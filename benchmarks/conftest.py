@@ -1,0 +1,30 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every bench runs one paper table/figure through
+:mod:`repro.experiments` under pytest-benchmark (single round — the
+simulator is deterministic, so the interesting output is the experiment's
+reproduction table, printed to the terminal report, not timing jitter).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture
+def run_reproduction(benchmark, capsys):
+    """Run one experiment under the benchmark clock and print its table."""
+
+    def _run(experiment_id: str, *, quick: bool = True):
+        result = benchmark.pedantic(
+            lambda: run_experiment(experiment_id, quick=quick),
+            rounds=1, iterations=1,
+        )
+        with capsys.disabled():
+            print()
+            print(result.rendered)
+        return result
+
+    return _run

@@ -1,0 +1,12 @@
+"""Bench (ablation): offload buffer sizing vs achievable model size."""
+
+
+def test_ablation_buffers(run_reproduction):
+    result = run_reproduction("ablation_buffers")
+    sizes = {r["buffer_gb"]: r["max_model_b"] for r in result.rows}
+    # Section V-A2's memory-side trade-off: every GB of pinned buffer is
+    # a GB of model states lost — monotone decreasing.
+    ordered = [sizes[k] for k in sorted(sizes)]
+    assert ordered == sorted(ordered, reverse=True)
+    # The swing is substantial across the swept range.
+    assert sizes[1] > 1.5 * sizes[16]

@@ -1,0 +1,17 @@
+"""Bench (ablation): NVMe DRAM-cache size and media-bandwidth sweeps."""
+
+
+def test_ablation_nvme(run_reproduction):
+    result = run_reproduction("ablation_nvme")
+    cache = {r["cache_gb"]: r["effective_gbps"] for r in result.rows
+             if r["study"] == "cache"}
+    media = {r["media_scale"]: r["tflops"] for r in result.rows
+             if r["study"] == "media"}
+    # Bigger caches absorb more of a 16 GB burst at link speed.
+    assert cache[16] > cache[4] > cache[0]
+    # The paper's conclusion: ZeRO-Infinity throughput follows aggregate
+    # NVMe bandwidth — monotone and strongly sub-linear at the top
+    # (compute/CPU-Adam eventually dominate).
+    assert media[4.0] > media[2.0] > media[1.0] > media[0.5]
+    assert media[1.0] / media[0.5] > 1.5
+    assert media[4.0] / media[2.0] < 1.8

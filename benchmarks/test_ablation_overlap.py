@@ -1,0 +1,20 @@
+"""Bench (ablation): gradient-communication overlap on/off."""
+
+
+def test_ablation_overlap(run_reproduction):
+    result = run_reproduction("ablation_overlap")
+
+    def cell(nodes, strategy, overlap):
+        return next(r["tflops"] for r in result.rows
+                    if r["nodes"] == nodes and r["strategy"] == strategy
+                    and r["overlap"] is overlap)
+
+    # Overlap always helps (or at worst is neutral).
+    for nodes in (1, 2):
+        for strategy in ("zero2", "zero3"):
+            assert cell(nodes, strategy, True) >= cell(nodes, strategy,
+                                                       False) * 0.999
+    # The win is bigger across the slow inter-node fabric than on NVLink.
+    gain_1n = cell(1, "zero2", True) / cell(1, "zero2", False)
+    gain_2n = cell(2, "zero2", True) / cell(2, "zero2", False)
+    assert gain_2n > gain_1n

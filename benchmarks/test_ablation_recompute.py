@@ -1,0 +1,27 @@
+"""Bench (ablation): activation recomputation on/off."""
+
+
+def test_ablation_recompute(run_reproduction):
+    result = run_reproduction("ablation_recompute")
+
+    def cell(recompute, strategy):
+        return next(r for r in result.rows
+                    if r["recompute"] is recompute
+                    and r["strategy"] == strategy)
+
+    for strategy in ("ddp", "zero2", "zero3"):
+        with_rc = cell(True, strategy)
+        without = cell(False, strategy)
+        # Checkpointing buys model size (the activation footprint is the
+        # binding constraint without it)...
+        assert with_rc["max_model_b"] > 1.2 * without["max_model_b"]
+        # ...at the cost of the extra forward pass per iteration.
+        assert (without["iteration_s_at_0p7b"]
+                < with_rc["iteration_s_at_0p7b"])
+    # The size gap is largest for the strategies whose states are
+    # partitioned (activations are the only replicated tensor left).
+    gain_zero3 = (cell(True, "zero3")["max_model_b"]
+                  / cell(False, "zero3")["max_model_b"])
+    gain_ddp = (cell(True, "ddp")["max_model_b"]
+                / cell(False, "ddp")["max_model_b"])
+    assert gain_zero3 > gain_ddp

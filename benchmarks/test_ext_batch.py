@@ -1,0 +1,31 @@
+"""Bench (extension): micro-batch-size sensitivity."""
+
+
+def test_ext_batch(run_reproduction):
+    result = run_reproduction("ext_batch")
+
+    def series(case):
+        return [(r["micro_batch"], r["tflops"]) for r in result.rows
+                if r["case"] == case and r["fits"]]
+
+    compute_bound = series("zero2@1.4B")
+    nvme_bound = series("zero3_nvme@11.4B")
+    # Throughput rises monotonically with batch for both regimes
+    # (Section V-B2's speculation, confirmed).
+    assert [t for _, t in compute_bound] == sorted(
+        t for _, t in compute_bound)
+    assert [t for _, t in nvme_bound] == sorted(t for _, t in nvme_bound)
+    # The compute-bound curve saturates (diminishing returns)...
+    gains = [b / a for (_, a), (_, b) in zip(compute_bound,
+                                             compute_bound[1:])]
+    assert gains[-1] < gains[0]
+    # ...while the NVMe-bound curve stays near-linear: the batch-
+    # independent swap dominates, so doubling the batch ~doubles useful
+    # work per swap.
+    nvme_gain = nvme_bound[-1][1] / nvme_bound[0][1]
+    batch_gain = nvme_bound[-1][0] / nvme_bound[0][0]
+    assert nvme_gain > 0.6 * batch_gain
+    # Memory grows with batch (activations).
+    gpu = [r["gpu_gb"] for r in result.rows
+           if r["case"] == "zero2@1.4B" and r["fits"]]
+    assert gpu == sorted(gpu)

@@ -1,0 +1,18 @@
+"""Bench (extension): energy per iteration and TFLOP/s per kW."""
+
+
+def test_ext_energy(run_reproduction):
+    result = run_reproduction("ext_energy")
+    rows = {r["config"]: r for r in result.rows}
+    # Dual-node Megatron burns energy idling GPUs behind RoCE: worst
+    # efficiency by a wide margin.
+    assert (rows["megatron@2n"]["tflops_per_kw"]
+            < 0.5 * rows["zero3@2n"]["tflops_per_kw"])
+    # Consolidating 11.4 B onto one node is more energy-efficient than
+    # the dual-node Megatron run at the same model size.
+    assert (rows["zero2_opt_cpu@1n"]["tflops_per_kw"]
+            > 1.5 * rows["megatron@2n"]["tflops_per_kw"])
+    # GPUs dominate the power budget in compute-bound configs.
+    assert rows["zero2@1n"]["gpu_power_share"] > 0.5
+    # Sanity: a 4-GPU node draws on the order of 1-3 kW.
+    assert 0.8 < rows["zero2@1n"]["avg_power_kw"] < 3.0

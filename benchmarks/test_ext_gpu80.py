@@ -1,0 +1,17 @@
+"""Bench (extension): 80 GB A100 what-if."""
+
+
+def test_ext_gpu80(run_reproduction):
+    result = run_reproduction("ext_gpu80")
+    rows = {r["strategy"]: r for r in result.rows}
+    # Doubling HBM roughly doubles every strategy's ceiling...
+    for name, row in rows.items():
+        assert 1.8 <= row["gain"] <= 3.0, name
+    # ...without re-ranking the strategies (capacity scales, semantics
+    # don't change).
+    order_40 = sorted(rows, key=lambda n: rows[n]["max_40gb_b"])
+    order_80 = sorted(rows, key=lambda n: rows[n]["max_80gb_b"])
+    assert order_40 == order_80
+    # DDP at 80 GB finally clears the 2.9 B grid point the paper's 40 GB
+    # cards OOM on.
+    assert rows["ddp"]["max_80gb_b"] > 2.9

@@ -1,0 +1,17 @@
+"""Bench (extension): hybrid TP x ZeRO on the dual-node cluster."""
+
+
+def test_ext_hybrid(run_reproduction):
+    result = run_reproduction("ext_hybrid")
+    rows = {r["strategy"]: r for r in result.rows}
+    # The hybrid keeps TP traffic on NVLink and only ZeRO traffic on
+    # RoCE: it must avoid Megatron-LM's inter-node collapse entirely...
+    assert rows["hybrid_tp_zero1"]["tflops"] > 4 * rows["megatron"]["tflops"]
+    # ...while fitting more than the pure ZeRO stages it builds on.
+    assert (rows["hybrid_tp_zero1"]["max_model_b"]
+            > rows["zero1"]["max_model_b"])
+    assert (rows["hybrid_tp_zero2"]["max_model_b"]
+            > rows["zero2"]["max_model_b"])
+    # And beating pure ZeRO throughput (all its collectives are bigger
+    # per launch and half its world is NVLink-local).
+    assert rows["hybrid_tp_zero2"]["tflops"] > rows["zero2"]["tflops"]

@@ -1,0 +1,24 @@
+"""Bench (extension): multi-node scaling sweep (1-4/8 nodes)."""
+
+
+def test_ext_scaling(run_reproduction):
+    result = run_reproduction("ext_scaling")
+
+    def eff(nodes, strategy):
+        return next(r["scaling_efficiency"] for r in result.rows
+                    if r["nodes"] == nodes and r["strategy"] == strategy)
+
+    largest = max(r["nodes"] for r in result.rows)
+    # Scaling efficiency degrades with node count for everyone...
+    for strategy in ("ddp", "megatron", "zero2", "zero3"):
+        assert eff(largest, strategy) <= eff(2, strategy) + 0.02
+    # ...but Megatron-LM degrades catastrophically (inter-node TP),
+    # extrapolating the paper's two-node observation.
+    assert eff(largest, "megatron") < 0.2
+    assert eff(largest, "ddp") > 0.5
+    # Aggregate throughput still grows for the DP strategies.
+    def tflops(nodes, strategy):
+        return next(r["tflops"] for r in result.rows
+                    if r["nodes"] == nodes and r["strategy"] == strategy)
+    assert tflops(largest, "ddp") > tflops(1, "ddp")
+    assert tflops(largest, "zero3") > tflops(1, "zero3")

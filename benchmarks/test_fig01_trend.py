@@ -1,0 +1,12 @@
+"""Bench: Fig. 1 — LLM size vs GPU memory growth trends."""
+
+
+def test_fig01_trend(run_reproduction):
+    result = run_reproduction("fig1")
+    model_growth = result.row_by(series="growth_factor",
+                                 name="model 2018-2020")["value"]
+    memory_growth = result.row_by(series="growth_factor",
+                                  name="gpu memory 2017-2020")["value"]
+    # Paper: models grew ~1000x while GPU memory grew ~5x.
+    assert model_growth > 1000
+    assert memory_growth == 5.0

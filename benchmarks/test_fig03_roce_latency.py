@@ -1,0 +1,15 @@
+"""Bench: Fig. 3 — RoCE latency vs message size, same/cross socket."""
+
+
+def test_fig03_roce_latency(run_reproduction):
+    result = run_reproduction("fig3", quick=False)
+    small = [r for r in result.rows if r["message_bytes"] < 64 * 1024
+             and r["verb"] != "rdma_read"]
+    same = max(r["latency_us"] for r in small
+               if r["placement"] == "same_socket")
+    cross = max(r["latency_us"] for r in small
+                if r["placement"] == "cross_socket")
+    # Paper bounds: <6 us same-socket, <40 us (~7x) cross-socket.
+    assert same < 6.5
+    assert cross < 40.0
+    assert cross / same > 4.0

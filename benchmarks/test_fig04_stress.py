@@ -1,0 +1,15 @@
+"""Bench: Fig. 4 — CPU-RoCE / GPU-RoCE bandwidth stress tests."""
+
+import pytest
+
+
+def test_fig04_stress(run_reproduction):
+    result = run_reproduction("fig4", quick=False)
+    for row in result.rows:
+        # Attained fractions within +-9 points of the paper's
+        # 93/47/52/42 % measurements.
+        assert row["attained_fraction"] == pytest.approx(
+            row["paper_fraction"], abs=0.09)
+    same_cpu = result.row_by(test="cpu_roce", placement="same_socket")
+    cross_gpu = result.row_by(test="gpu_roce", placement="cross_socket")
+    assert same_cpu["attained_fraction"] > 2 * cross_gpu["attained_fraction"]

@@ -1,0 +1,21 @@
+"""Bench: Fig. 6 — achieved model size per strategy, 1 and 2 nodes."""
+
+import pytest
+
+
+def test_fig06_model_size(run_reproduction):
+    result = run_reproduction("fig6")
+    for row in result.rows:
+        assert row["achieved_b"] == pytest.approx(row["paper_b"], rel=0.15)
+
+    single = {r["strategy"]: r["achieved_b"] for r in result.rows
+              if r["nodes"] == 1}
+    dual = {r["strategy"]: r["achieved_b"] for r in result.rows
+            if r["nodes"] == 2}
+    # Paper orderings.
+    assert single["ddp"] < single["zero1"] < single["zero2"]
+    assert single["zero3"] > single["megatron"] > single["zero2"]
+    assert dual["zero3"] > dual["megatron"] > dual["zero2"] > dual["zero1"]
+    # DDP cannot grow with more nodes; everyone else roughly doubles.
+    assert dual["ddp"] == single["ddp"]
+    assert dual["zero3"] > 1.7 * single["zero3"]

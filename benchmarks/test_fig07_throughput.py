@@ -1,0 +1,23 @@
+"""Bench: Fig. 7 — compute throughput at max model size."""
+
+import pytest
+
+
+def test_fig07_throughput(run_reproduction):
+    result = run_reproduction("fig7")
+    for row in result.rows:
+        tolerance = 0.20 if row["nodes"] == 1 else 0.25
+        assert row["tflops"] == pytest.approx(row["paper_tflops"],
+                                              rel=tolerance), row
+
+    single = {r["strategy"]: r["tflops"] for r in result.rows
+              if r["nodes"] == 1}
+    dual = {r["strategy"]: r["tflops"] for r in result.rows
+            if r["nodes"] == 2}
+    # Single node: DDP fastest, ZeRO-2 the DeepSpeed sweet spot.
+    assert single["zero2"] > single["zero1"]
+    assert single["zero2"] > single["megatron"]
+    # Dual node: Megatron-LM collapses; ZeRO holds.
+    assert dual["megatron"] < 0.3 * dual["ddp"]
+    for name in ("zero1", "zero2", "zero3"):
+        assert dual[name] > 2.8 * dual["megatron"]

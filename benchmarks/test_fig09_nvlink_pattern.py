@@ -1,0 +1,19 @@
+"""Bench: Fig. 9 — single-node NVLink utilization patterns."""
+
+import pytest
+
+
+def test_fig09_nvlink_pattern(run_reproduction):
+    result = run_reproduction("fig9")
+    avg = {r["strategy"]: r["nvlink_avg_gbps"] for r in result.rows}
+    peak = {r["strategy"]: r["nvlink_peak_gbps"] for r in result.rows}
+    # Paper: DDP lowest; Megatron-LM ~3x DDP (241 vs 83 GB/s average).
+    assert avg["megatron"] > 2.0 * avg["ddp"]
+    assert avg["megatron"] == max(avg.values())
+    # ZeRO utilizations sit between DDP and Megatron-LM.
+    for name in ("zero1", "zero2", "zero3"):
+        assert avg[name] < avg["megatron"]
+    # Peaks within a factor of two of the published counters.
+    for row in result.rows:
+        assert row["nvlink_peak_gbps"] == pytest.approx(
+            row["paper_peak_gbps"], rel=1.0)

@@ -1,0 +1,20 @@
+"""Bench: Fig. 12 — bandwidth patterns under CPU and NVMe offload."""
+
+
+def test_fig12_offload_pattern(run_reproduction):
+    result = run_reproduction("fig12")
+    rows = {r["config"]: r for r in result.rows}
+    # CPU offload hammers DRAM (paper: ~70 GB/s average, peaks ~200).
+    cpu = rows["zero2_opt_cpu"]
+    assert cpu["DRAM_avg_gbps"] > 20
+    assert cpu["DRAM_peak_gbps"] > cpu["DRAM_avg_gbps"] * 1.5
+    # NVMe offload engages PCIe-NVME; CPU offload does not.
+    assert rows["zero3_opt_nvme"]["PCIe-NVME_avg_gbps"] > 0.5
+    assert rows["zero2_opt_cpu"]["PCIe-NVME_avg_gbps"] == 0.0
+    # The NVMe runs idle the faster links: NVLink nearly quiet (paper's
+    # "minimal utilization on NVLink" for offloaded runs).
+    assert (rows["zero3_opt_nvme"]["NVLink_avg_gbps"]
+            < cpu["DRAM_avg_gbps"])
+    # Peak-and-trough shape: peaks well above averages on PCIe-NVME.
+    nvme = rows["zero3_opt_nvme"]
+    assert nvme["PCIe-NVME_peak_gbps"] > 1.5 * nvme["PCIe-NVME_avg_gbps"]

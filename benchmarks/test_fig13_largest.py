@@ -1,0 +1,26 @@
+"""Bench: Fig. 13 — largest single-node model with offload/Infinity."""
+
+import pytest
+
+
+def test_fig13_largest(run_reproduction):
+    result = run_reproduction("fig13")
+    rows = {r["strategy"]: r for r in result.rows}
+    z1 = rows["zero1_opt_cpu"]
+    z2 = rows["zero2_opt_cpu"]
+    inf = rows["zero3_opt_nvme_param_nvme"]
+    # Achieved sizes: ZeRO-1 (CPU) ~8.9 B, ZeRO-2 (CPU) ~14.2 B; the
+    # Infinity search exceeds the paper's 33.3 B stopping point (see
+    # EXPERIMENTS.md) but must clear it comfortably.
+    assert z1["achieved_b"] == pytest.approx(8.9, rel=0.10)
+    assert z2["achieved_b"] == pytest.approx(14.2, rel=0.10)
+    assert inf["achieved_b"] >= 33.3
+    # Throughput ordering: CPU offload >> NVMe offload.
+    assert z2["tflops"] > z1["tflops"] * 0.9
+    assert inf["tflops"] < 0.35 * z2["tflops"]
+    # Throughputs within 35 % of the published values.
+    for row in result.rows:
+        assert row["tflops"] == pytest.approx(row["paper_tflops"],
+                                              rel=0.35), row["strategy"]
+    # Infinity consumes all three memory tiers (paper: 158/611/375 GB).
+    assert inf["gpu_gb"] > 0 and inf["cpu_gb"] > 100 and inf["nvme_gb"] > 100

@@ -1,0 +1,31 @@
+"""Bench: Fig. 14 / Table VI — NVMe placement configurations A-G."""
+
+import pytest
+
+
+def test_fig14_table6_nvme_placement(run_reproduction):
+    result = run_reproduction("fig14_table6")
+    t = {r["config"]: r["tflops"] for r in result.rows}
+    xgmi = {r["config"]: r["xgmi_avg_gbps"] for r in result.rows}
+    # The paper's placement conclusions:
+    # 1. One drive is the worst configuration.
+    assert t["A"] == min(t.values())
+    # 2. A second drive buys a large improvement (paper: +80 %+).
+    assert t["B"] > 1.6 * t["A"]
+    # 3. Socket-local volumes beat stripes across sockets at the same
+    #    drive count (D >= B/C with less xGMI; F/G >> E-ish).
+    assert t["D"] >= t["C"]
+    assert xgmi["D"] < xgmi["B"]
+    assert xgmi["F"] < xgmi["E"]
+    # 4. Four drives with socket-local mapping are the best (F, G).
+    assert max(t, key=t.get) in ("F", "G")
+    assert t["F"] == pytest.approx(t["G"], rel=0.05)
+    assert t["G"] > 1.5 * t["B"]
+    # Relative throughput pattern matches Table VI within 35 % after
+    # normalizing to configuration B.
+    paper = {"A": 19.6, "B": 37.16, "C": 35.43, "D": 40.22, "E": 51.22,
+             "F": 64.61, "G": 65.16}
+    for key, value in t.items():
+        ours = value / t["B"]
+        published = paper[key] / paper["B"]
+        assert ours == pytest.approx(published, rel=0.35), key

@@ -1,0 +1,20 @@
+"""Bench: Table I — ZeRO stage and offload capability matrix."""
+
+
+def test_table1_capability(run_reproduction):
+    result = run_reproduction("table1")
+    rows = {r["stage"]: r for r in result.rows}
+    # Row-for-row reproduction of the published matrix.
+    assert rows[1]["partitions_optimizer"]
+    assert not rows[1]["partitions_gradients"]
+    assert rows[1]["optimizer_cpu"] and not rows[1]["optimizer_nvme"]
+    assert not rows[1]["parameter_cpu"]
+
+    assert rows[2]["partitions_gradients"]
+    assert not rows[2]["partitions_parameters"]
+    assert rows[2]["optimizer_cpu"] and not rows[2]["parameter_nvme"]
+
+    assert rows[3]["partitions_parameters"]
+    for capability in ("optimizer_cpu", "optimizer_nvme",
+                       "parameter_cpu", "parameter_nvme"):
+        assert rows[3][capability]

@@ -1,0 +1,12 @@
+"""Bench: Table III — interconnect inventory and bandwidths."""
+
+import pytest
+
+
+def test_table3_interconnects(run_reproduction):
+    result = run_reproduction("table3")
+    for row in result.rows:
+        # The built topology matches the paper's aggregate theoretical
+        # bandwidth under the paper's counting convention.
+        assert row["built_paper_convention_gbps"] == pytest.approx(
+            row["paper_aggregate_gbps"], rel=0.01), row["interface"]

@@ -1,0 +1,36 @@
+"""Bench: Table V — throughput sensitivity to model size."""
+
+import pytest
+
+
+def test_table5_sensitivity(run_reproduction):
+    result = run_reproduction("table5")
+    by_config = {}
+    for row in result.rows:
+        if row["fits"]:
+            by_config.setdefault(row["config"], {})[row["size_b"]] = \
+                row["tflops"]
+
+    # Throughput rises from the smallest to the largest size for the
+    # GPU-resident configs (fixed costs amortize) — paper's main shape.
+    for config in ("ddp", "megatron", "zero2"):
+        series = by_config[config]
+        sizes = sorted(series)
+        assert series[sizes[-1]] > series[sizes[0]], config
+
+    # Offload flavours stay flat: max/min ratio below 1.6 across sizes.
+    for config in ("zero2_opt_cpu", "zero3_opt_nvme"):
+        series = by_config[config]
+        values = list(series.values())
+        assert max(values) / min(values) < 1.6, config
+
+    # NVMe offload is an order of magnitude below CPU offload everywhere.
+    for size, tflops in by_config["zero3_opt_nvme"].items():
+        if size in by_config["zero2_opt_cpu"]:
+            assert tflops < 0.4 * by_config["zero2_opt_cpu"][size]
+
+    # Cells match the paper within 40 % where both exist.
+    for row in result.rows:
+        if row["fits"] and row["paper_tflops"]:
+            assert row["tflops"] == pytest.approx(
+                row["paper_tflops"], rel=0.40), (row["config"], row["size_b"])

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Reproduce every table and figure of the paper in one run.
+
+Drives the experiment registry in paper order and prints each
+reproduction table/plot.  ``--full`` uses the paper's iteration counts
+(slower); the default quick mode is what CI runs.
+
+Run:  python examples/reproduce_paper.py [--full] [--only fig7,table5]
+"""
+
+import argparse
+import time
+
+from repro.experiments import PAPER_EXPERIMENTS, run_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper-length measurement windows")
+    parser.add_argument("--only", type=str, default="",
+                        help="comma-separated experiment ids")
+    parser.add_argument("--ablations", action="store_true",
+                        help="also run the design-choice ablations")
+    args = parser.parse_args()
+
+    ids = ([x.strip() for x in args.only.split(",") if x.strip()]
+           or list(PAPER_EXPERIMENTS))
+    if args.ablations and not args.only:
+        ids += ["ablation_serdes", "ablation_overlap", "ablation_nvme",
+                "ablation_buffers"]
+
+    started = time.time()
+    for experiment_id in ids:
+        t0 = time.time()
+        result = run_experiment(experiment_id, quick=not args.full)
+        print()
+        print("=" * 78)
+        print(result.rendered)
+        print(f"[{experiment_id}: {time.time() - t0:.1f} s]")
+    print()
+    print(f"reproduced {len(ids)} artifacts in "
+          f"{time.time() - started:.1f} s wall time")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — a calibrated simulator reproducing "Bandwidth Characterization
+of DeepSpeed on Distributed Large Language Model Training" (ISPASS 2024).
+
+The package models the paper's two-node Dell XE8545 cluster (EPYC 7763
+sockets with an explicit IOD SerDes-contention model, A100 GPUs, NVLink,
+PCIe 4.0, NVMe with DRAM caches, RoCE through a Spectrum switch), runs
+DDP / Megatron-LM / DeepSpeed ZeRO / ZeRO-Offload / ZeRO-Infinity
+training schedules on a discrete-event engine, and measures achieved
+model size, compute throughput, memory composition, and per-interconnect
+bandwidth exactly as the paper does.
+
+Quickstart::
+
+    from repro import run_training, model_for_billions
+    from repro.hardware import single_node_cluster
+    from repro.parallel import zero2
+
+    cluster = single_node_cluster()
+    metrics = run_training(cluster, zero2(), model_for_billions(1.4))
+    print(metrics.tflops, "TFLOP/s")
+
+Every table and figure of the paper is reproducible through
+:mod:`repro.experiments` (``run_experiment("fig7")`` etc.).
+"""
+
+from . import calibration, errors, units
+from .core import (
+    PAPER_SIZE_GRID,
+    RunMetrics,
+    SearchResult,
+    fits,
+    max_model_size,
+    model_for_billions,
+    plan_only,
+    run_training,
+)
+from .errors import (
+    CapabilityError,
+    ConfigurationError,
+    OutOfMemoryError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+from .model import ModelConfig, TrainingConfig, paper_model, total_parameters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CapabilityError",
+    "ConfigurationError",
+    "ModelConfig",
+    "OutOfMemoryError",
+    "PAPER_SIZE_GRID",
+    "ReproError",
+    "RunMetrics",
+    "SearchResult",
+    "SimulationError",
+    "TopologyError",
+    "TrainingConfig",
+    "__version__",
+    "calibration",
+    "errors",
+    "fits",
+    "max_model_size",
+    "model_for_billions",
+    "paper_model",
+    "plan_only",
+    "run_training",
+    "total_parameters",
+    "units",
+]

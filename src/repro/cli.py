@@ -1,0 +1,211 @@
+"""Command-line interface.
+
+Five subcommands mirror the paper's workflow::
+
+    repro run      --strategy zero2 --size 1.4 --nodes 1     # one training run
+    repro search   --strategy zero3 --nodes 2                # max model size
+    repro stress   --duration 10                             # Fig. 3/4 tests
+    repro topology --nodes 2 --placement G                   # Fig. 2 wiring
+    repro experiment fig7 [--full]                           # any table/figure
+
+Installed as the ``repro`` console script; also runnable via
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .core.runner import run_training
+from .core.search import max_model_size, model_for_billions
+from .errors import ReproError
+from .experiments import EXPERIMENTS, run_experiment
+from .experiments.common import ALL_STRATEGIES, make_strategy
+from .hardware import Cluster, ClusterSpec, dual_node_cluster, single_node_cluster
+from .hardware.render import render_cluster
+from .parallel.placement import PLACEMENTS
+from .stress import full_stress_suite, latency_sweep
+from .telemetry.report import format_table
+
+
+def _cluster_for(args: argparse.Namespace) -> Cluster:
+    placement = PLACEMENTS[args.placement]
+    strategy_name = getattr(args, "strategy", "")
+    if "nvme" in strategy_name:
+        return Cluster(ClusterSpec(num_nodes=args.nodes,
+                                   node=placement.node_spec()))
+    return single_node_cluster() if args.nodes == 1 else dual_node_cluster()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    strategy = make_strategy(args.strategy)
+    cluster = _cluster_for(args)
+    model = model_for_billions(args.size)
+    metrics = run_training(cluster, strategy, model,
+                           iterations=args.iterations,
+                           placement=PLACEMENTS[args.placement])
+    payload = {
+        "strategy": strategy.name,
+        "model_billions": round(metrics.billions_of_parameters, 3),
+        "nodes": metrics.num_nodes,
+        "gpus": metrics.num_gpus,
+        "tflops": round(metrics.tflops, 1),
+        "iteration_seconds": round(metrics.iteration_time, 4),
+        "memory_gb": {
+            "gpu": round(metrics.memory.gpu_used / 1e9, 1),
+            "cpu": round(metrics.memory.cpu_used / 1e9, 1),
+            "nvme": round(metrics.memory.nvme_used / 1e9, 1),
+        },
+        "bandwidth_avg_gbps": {
+            str(cls): round(stats.average_gbps, 2)
+            for cls, stats in metrics.bandwidth.items()
+        },
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table(
+            ["metric", "value"],
+            [["strategy", payload["strategy"]],
+             ["model (B params)", payload["model_billions"]],
+             ["nodes x GPUs", f"{payload['nodes']} x {payload['gpus']}"],
+             ["TFLOP/s", payload["tflops"]],
+             ["iteration (s)", payload["iteration_seconds"]],
+             ["GPU / CPU / NVMe (GB)",
+              "{gpu} / {cpu} / {nvme}".format(**payload["memory_gb"])]],
+            title="training run",
+        ))
+        print()
+        print(format_table(
+            ["interconnect", "avg GB/s"],
+            sorted(payload["bandwidth_avg_gbps"].items()),
+        ))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    strategy = make_strategy(args.strategy)
+    cluster = _cluster_for(args)
+    result = max_model_size(cluster, strategy,
+                            placement=PLACEMENTS[args.placement])
+    if args.json:
+        print(json.dumps({
+            "strategy": strategy.name,
+            "nodes": args.nodes,
+            "max_layers": result.max_layers,
+            "max_billions": round(result.billions, 3),
+            "paper_grid_billions": result.grid_parameters,
+        }, indent=2))
+    else:
+        print(f"{strategy.display_name} on {args.nodes} node(s): "
+              f"{result.billions:.2f} B parameters "
+              f"({result.max_layers} layers)")
+    return 0
+
+
+def _cmd_stress(args: argparse.Namespace) -> int:
+    cluster = dual_node_cluster()
+    suite = full_stress_suite(cluster, duration=args.duration)
+    rows = []
+    for (kind, placement), result in suite.items():
+        rows.append([kind.value, placement.value,
+                     f"{result.roce_average_gbps:.1f}",
+                     f"{result.attained_fraction() * 100:.0f}%"])
+    print(format_table(
+        ["test", "placement", "RoCE avg GB/s", "attained"],
+        rows, title="Fig. 4 — inter-node bandwidth stress test",
+    ))
+    sweep = latency_sweep(dual_node_cluster())
+    small = [
+        (verb.value, placement.value,
+         max(s.latency_us for s in samples if s.message_bytes < 65536))
+        for (verb, placement), samples in sweep.items()
+    ]
+    print()
+    print(format_table(
+        ["verb", "placement", "max latency <64kB (us)"],
+        [[v, p, f"{lat:.1f}"] for v, p, lat in small],
+        title="Fig. 3 — RoCE latency",
+    ))
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    placement = PLACEMENTS[args.placement]
+    cluster = Cluster(ClusterSpec(num_nodes=args.nodes,
+                                  node=placement.node_spec()))
+    print(render_cluster(cluster))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.id, quick=not args.full)
+    print(result.rendered)
+    if args.json:
+        print()
+        print(json.dumps(result.rows, indent=2, default=str))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulator reproduction of the ISPASS'24 DeepSpeed "
+                    "bandwidth characterization study",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one training configuration")
+    run.add_argument("--strategy", choices=sorted(ALL_STRATEGIES),
+                     default="zero2")
+    run.add_argument("--size", type=float, default=1.4,
+                     help="model size in billions of parameters")
+    run.add_argument("--nodes", type=int, default=1, choices=(1, 2))
+    run.add_argument("--iterations", type=int, default=4)
+    run.add_argument("--placement", choices=sorted(PLACEMENTS), default="B")
+    run.add_argument("--json", action="store_true")
+    run.set_defaults(func=_cmd_run)
+
+    search = sub.add_parser("search", help="largest model that fits")
+    search.add_argument("--strategy", choices=sorted(ALL_STRATEGIES),
+                        default="zero3")
+    search.add_argument("--nodes", type=int, default=1, choices=(1, 2))
+    search.add_argument("--placement", choices=sorted(PLACEMENTS),
+                        default="B")
+    search.add_argument("--json", action="store_true")
+    search.set_defaults(func=_cmd_search)
+
+    stress = sub.add_parser("stress", help="Fig. 3/4 stress tests")
+    stress.add_argument("--duration", type=float, default=5.0)
+    stress.set_defaults(func=_cmd_stress)
+
+    topology = sub.add_parser("topology", help="render the cluster wiring")
+    topology.add_argument("--nodes", type=int, default=2, choices=(1, 2))
+    topology.add_argument("--placement", choices=sorted(PLACEMENTS),
+                          default="B")
+    topology.set_defaults(func=_cmd_topology)
+
+    experiment = sub.add_parser("experiment",
+                                help="reproduce one table/figure")
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--full", action="store_true")
+    experiment.add_argument("--json", action="store_true")
+    experiment.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Topology-aware collective-communication models (NCCL analog)."""
+
+from .algorithms import (
+    Algorithm,
+    TREE_PAYLOAD_THRESHOLD,
+    choose_algorithm,
+    tree_depth,
+    tree_edges,
+    tree_step_count,
+)
+from .nccl import NcclCommunicator
+from .primitives import (
+    CollectiveKind,
+    CollectiveOp,
+    ring_step_count,
+    ring_traffic_factor,
+)
+
+__all__ = [
+    "Algorithm",
+    "CollectiveKind",
+    "CollectiveOp",
+    "NcclCommunicator",
+    "TREE_PAYLOAD_THRESHOLD",
+    "choose_algorithm",
+    "tree_depth",
+    "tree_edges",
+    "tree_step_count",
+    "ring_step_count",
+    "ring_traffic_factor",
+]

@@ -1,0 +1,85 @@
+"""Collective-communication primitives (the NCCL operations of Fig. 5).
+
+The paper's application-level characterization observes five NCCL kernels:
+Reduce, Broadcast, All-Gather, All-Reduce (Section IV-A1), plus point-to-
+point sends for pipeline parallelism.  Each primitive has a well-known
+per-link traffic factor under ring scheduling, which the algorithms module
+turns into simulated flows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+class CollectiveKind(enum.Enum):
+    ALL_REDUCE = "all_reduce"
+    ALL_GATHER = "all_gather"
+    REDUCE_SCATTER = "reduce_scatter"
+    BROADCAST = "broadcast"
+    REDUCE = "reduce"
+    SEND_RECV = "send_recv"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def ring_traffic_factor(kind: CollectiveKind, group_size: int) -> float:
+    """Bytes each ring link carries, as a multiple of the payload size.
+
+    For a payload of ``B`` bytes over an ``n``-rank ring:
+
+    * all-reduce:      2 (n-1)/n x B   (reduce-scatter + all-gather phases)
+    * all-gather:        (n-1)/n x B
+    * reduce-scatter:    (n-1)/n x B
+    * broadcast/reduce:  (n-1)/n x B   (pipelined ring)
+    * send/recv:                 1 x B  (single hop)
+    """
+    if group_size < 1:
+        raise ConfigurationError("group_size must be >= 1")
+    if group_size == 1:
+        return 0.0
+    n = group_size
+    if kind is CollectiveKind.ALL_REDUCE:
+        return 2.0 * (n - 1) / n
+    if kind is CollectiveKind.SEND_RECV:
+        return 1.0
+    return (n - 1) / n
+
+
+def ring_step_count(kind: CollectiveKind, group_size: int) -> int:
+    """Number of sequential ring steps (latency terms)."""
+    if group_size <= 1:
+        return 0
+    n = group_size
+    if kind is CollectiveKind.ALL_REDUCE:
+        return 2 * (n - 1)
+    if kind is CollectiveKind.SEND_RECV:
+        return 1
+    return n - 1
+
+
+@dataclass(frozen=True)
+class CollectiveOp:
+    """A single collective invocation to be costed/executed."""
+
+    kind: CollectiveKind
+    payload_bytes: float
+    group_size: int
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ConfigurationError("payload must be non-negative")
+        if self.group_size < 1:
+            raise ConfigurationError("group size must be >= 1")
+
+    @property
+    def per_link_bytes(self) -> float:
+        return self.payload_bytes * ring_traffic_factor(self.kind, self.group_size)
+
+    @property
+    def steps(self) -> int:
+        return ring_step_count(self.kind, self.group_size)

@@ -1,0 +1,41 @@
+"""Core API: calibration, training runner, and model-size search."""
+
+from .. import calibration
+from .results import (
+    compare_runs,
+    load_metrics_dict,
+    metrics_to_dict,
+    save_metrics,
+)
+from .runner import RunMetrics, apply_memory_plan, plan_only, run_training
+from .validate import ValidationReport, validate_run
+from .search import (
+    PAPER_SIZE_GRID,
+    SearchResult,
+    fits,
+    max_model_size,
+    max_model_size_on_grid,
+    model_for_billions,
+    snap_to_grid,
+)
+
+__all__ = [
+    "PAPER_SIZE_GRID",
+    "RunMetrics",
+    "SearchResult",
+    "ValidationReport",
+    "apply_memory_plan",
+    "compare_runs",
+    "calibration",
+    "fits",
+    "max_model_size",
+    "max_model_size_on_grid",
+    "model_for_billions",
+    "plan_only",
+    "load_metrics_dict",
+    "metrics_to_dict",
+    "run_training",
+    "save_metrics",
+    "validate_run",
+    "snap_to_grid",
+]

@@ -1,0 +1,80 @@
+"""Result serialization: RunMetrics <-> plain dicts / JSON files.
+
+Lets the CLI, the benchmark harness, and downstream analysis scripts
+persist simulated measurements without pickling live simulator objects.
+Only the measurement payload is serialized (not timelines/ledgers, which
+can be regenerated deterministically from the same configuration).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..errors import ConfigurationError
+from .runner import RunMetrics
+
+SCHEMA_VERSION = 1
+
+
+def metrics_to_dict(metrics: RunMetrics) -> Dict[str, object]:
+    """A JSON-safe summary of one run."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "strategy": metrics.strategy_name,
+        "model_parameters": int(metrics.model_parameters),
+        "nodes": metrics.num_nodes,
+        "gpus": metrics.num_gpus,
+        "tflops": metrics.tflops,
+        "iteration_seconds": metrics.iteration_time,
+        "iteration_times": list(metrics.throughput.iteration_times),
+        "flops_per_iteration": metrics.throughput.flops_per_iteration,
+        "measurement_window": list(metrics.measurement_window),
+        "memory_bytes": {
+            "gpu": metrics.memory.gpu_used,
+            "cpu": metrics.memory.cpu_used,
+            "nvme": metrics.memory.nvme_used,
+        },
+        "memory_by_label": {
+            "gpu": dict(metrics.memory.gpu_by_label),
+            "cpu": dict(metrics.memory.cpu_by_label),
+            "nvme": dict(metrics.memory.nvme_by_label),
+        },
+        "bandwidth_gbps": {
+            str(cls): {
+                "avg": stats.average_gbps,
+                "p90": stats.p90_gbps,
+                "peak": stats.peak_gbps,
+            }
+            for cls, stats in metrics.bandwidth.items()
+        },
+    }
+
+
+def save_metrics(metrics: RunMetrics, path: Union[str, Path]) -> Path:
+    """Write one run's summary as JSON; returns the path written."""
+    target = Path(path)
+    target.write_text(json.dumps(metrics_to_dict(metrics), indent=2))
+    return target
+
+
+def load_metrics_dict(path: Union[str, Path]) -> Dict[str, object]:
+    """Read a summary back; validates the schema version."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported results schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return payload
+
+
+def compare_runs(runs: List[Dict[str, object]],
+                 metric: str = "tflops") -> List[Dict[str, object]]:
+    """Rank saved runs by a top-level metric, best first."""
+    missing = [r for r in runs if metric not in r]
+    if missing:
+        raise ConfigurationError(f"runs missing metric {metric!r}")
+    return sorted(runs, key=lambda r: r[metric], reverse=True)

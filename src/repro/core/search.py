@@ -1,0 +1,121 @@
+"""Maximum-achievable-model-size search (paper Figs. 6 and 13).
+
+The paper scales the GPT-2-like model by adding layers until training no
+longer fits ("we vary the number of layers ... until it reaches the
+maximum size that particular hardware/software configuration can
+handle").  :func:`max_model_size` replays that procedure against the
+strategy's memory plan: exponential growth to bracket the ceiling, then
+binary search on the layer count.
+
+:data:`PAPER_SIZE_GRID` is the model-size grid of paper Table V; the
+paper reports achieved sizes on this grid, so :func:`max_model_size_on_grid`
+snaps the search result the same way for comparable numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import OutOfMemoryError
+from ..hardware.cluster import Cluster
+from ..hardware.nvme import Raid0Volume
+from ..model.config import ModelConfig, TrainingConfig, paper_model
+from ..model.params import layers_for_target_params, total_parameters
+from ..parallel.placement import PlacementConfig
+from ..parallel.strategy import TrainingStrategy
+from .runner import plan_only
+
+#: Paper Table V's model-size grid, billions of parameters.
+PAPER_SIZE_GRID: Tuple[float, ...] = (
+    0.7, 1.4, 2.9, 4.4, 5.2, 5.5, 6.0, 6.6, 7.8, 8.9,
+    11.6, 14.2, 20.6, 26.9, 33.3,
+)
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one max-size search."""
+
+    max_layers: int
+    max_parameters: int
+    grid_parameters: Optional[float]  # snapped to PAPER_SIZE_GRID, billions
+
+    @property
+    def billions(self) -> float:
+        return self.max_parameters / 1e9
+
+
+def fits(cluster: Cluster, strategy: TrainingStrategy, model: ModelConfig, *,
+         training: Optional[TrainingConfig] = None,
+         placement: Optional[PlacementConfig] = None,
+         swap_volumes: Optional[Dict[int, Raid0Volume]] = None) -> bool:
+    """Whether the strategy's memory plan fits the cluster."""
+    try:
+        plan_only(cluster, strategy, model, training=training,
+                  placement=placement, swap_volumes=swap_volumes)
+        return True
+    except OutOfMemoryError:
+        return False
+
+
+def max_model_size(cluster: Cluster, strategy: TrainingStrategy, *,
+                   training: Optional[TrainingConfig] = None,
+                   placement: Optional[PlacementConfig] = None,
+                   swap_volumes: Optional[Dict[int, Raid0Volume]] = None,
+                   max_layers: int = 4096) -> SearchResult:
+    """Largest layer count (and parameter count) the configuration fits."""
+    base = paper_model(1)
+
+    def check(layers: int) -> bool:
+        return fits(cluster, strategy, base.with_layers(layers),
+                    training=training, placement=placement,
+                    swap_volumes=swap_volumes)
+
+    if not check(1):
+        raise OutOfMemoryError(
+            f"{strategy.name}: even a one-layer model does not fit"
+        )
+    # Bracket by doubling, then binary search the boundary.
+    low = 1
+    high = 2
+    while high <= max_layers and check(high):
+        low = high
+        high *= 2
+    high = min(high, max_layers + 1)
+    while high - low > 1:
+        mid = (low + high) // 2
+        if check(mid):
+            low = mid
+        else:
+            high = mid
+    params = total_parameters(base.with_layers(low))
+    return SearchResult(
+        max_layers=low,
+        max_parameters=params,
+        grid_parameters=snap_to_grid(params),
+    )
+
+
+def snap_to_grid(params: int) -> Optional[float]:
+    """Largest PAPER_SIZE_GRID entry at or below ``params``."""
+    billions = params / 1e9
+    candidates = [g for g in PAPER_SIZE_GRID if g <= billions + 0.05]
+    return max(candidates) if candidates else None
+
+
+def max_model_size_on_grid(cluster: Cluster, strategy: TrainingStrategy, *,
+                           training: Optional[TrainingConfig] = None,
+                           placement: Optional[PlacementConfig] = None,
+                           swap_volumes: Optional[Dict[int, Raid0Volume]] = None
+                           ) -> Optional[float]:
+    """Achieved model size on the paper's grid, billions of parameters."""
+    result = max_model_size(cluster, strategy, training=training,
+                            placement=placement, swap_volumes=swap_volumes)
+    return result.grid_parameters
+
+
+def model_for_billions(billions: float) -> ModelConfig:
+    """The paper's model at a target size in billions of parameters."""
+    layers = layers_for_target_params(paper_model(1), billions * 1e9)
+    return paper_model(layers)

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, hardware, or strategy configuration is invalid."""
+
+
+class TopologyError(ReproError):
+    """A route could not be resolved or a device reference is unknown."""
+
+
+class OutOfMemoryError(ReproError):
+    """A training configuration does not fit in the available memory.
+
+    Mirrors CUDA OOM during model-size search: the search treats this as
+    "this layer count does not fit" and backs off.
+    """
+
+    def __init__(self, message: str, *, device: str = "", required_bytes: float = 0.0,
+                 available_bytes: float = 0.0) -> None:
+        super().__init__(message)
+        self.device = device
+        self.required_bytes = required_bytes
+        self.available_bytes = available_bytes
+
+
+class CapabilityError(ReproError):
+    """A requested feature is not supported by the selected ZeRO stage.
+
+    E.g. parameter offload requires ZeRO-3 (paper Table I); NVMe offload
+    requires ZeRO-3 via ZeRO-Infinity.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

@@ -1,0 +1,12 @@
+"""One module per paper table/figure, plus ablations and the registry."""
+
+from .common import ExperimentResult
+from .registry import EXPERIMENTS, PAPER_EXPERIMENTS, run_all, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "PAPER_EXPERIMENTS",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,94 @@
+"""Shared plumbing for the per-figure/table experiment modules.
+
+Every experiment exposes ``run(quick=...) -> ExperimentResult`` with
+structured rows plus an ASCII rendering; the benchmark harness executes
+them and the EXPERIMENTS.md generator compares their rows against
+:mod:`repro.experiments.paper_data`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from ..hardware.cluster import Cluster, ClusterSpec
+from ..hardware.presets import dual_node_cluster, single_node_cluster
+from ..parallel.placement import PlacementConfig
+from ..parallel import (
+    DdpStrategy,
+    MegatronStrategy,
+    zero1,
+    zero1_cpu_offload,
+    zero2,
+    zero2_cpu_offload,
+    zero3,
+    zero3_cpu_param_offload,
+    zero3_nvme_optimizer,
+    zero3_nvme_optimizer_params,
+)
+from ..parallel.strategy import TrainingStrategy
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment module."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    rendered: str = ""
+
+    def row_by(self, **match: object) -> Dict[str, object]:
+        """The first row whose items all equal ``match`` (test helper)."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                return row
+        raise KeyError(f"no row matching {match}")
+
+
+#: Factories for the five core strategies of Section IV, in paper order.
+CORE_STRATEGIES: Dict[str, Callable[[], TrainingStrategy]] = {
+    "ddp": DdpStrategy,
+    "megatron": MegatronStrategy,
+    "zero1": zero1,
+    "zero2": zero2,
+    "zero3": zero3,
+}
+
+#: Offload strategies of Section V.
+OFFLOAD_STRATEGIES: Dict[str, Callable[[], TrainingStrategy]] = {
+    "zero1_opt_cpu": zero1_cpu_offload,
+    "zero2_opt_cpu": zero2_cpu_offload,
+    "zero3_opt_cpu_param_cpu": zero3_cpu_param_offload,
+    "zero3_opt_nvme": zero3_nvme_optimizer,
+    "zero3_opt_nvme_param_nvme": zero3_nvme_optimizer_params,
+}
+
+ALL_STRATEGIES: Dict[str, Callable[[], TrainingStrategy]] = {
+    **CORE_STRATEGIES, **OFFLOAD_STRATEGIES,
+}
+
+
+def make_strategy(name: str) -> TrainingStrategy:
+    return ALL_STRATEGIES[name]()
+
+
+def cluster_for(num_nodes: int) -> Cluster:
+    return single_node_cluster() if num_nodes == 1 else dual_node_cluster()
+
+
+def placement_cluster(placement: PlacementConfig,
+                      num_nodes: int = 1) -> Cluster:
+    """A cluster wired with a Fig. 14 NVMe placement's node spec."""
+    return Cluster(ClusterSpec(num_nodes=num_nodes,
+                               node=placement.node_spec()))
+
+
+def iterations_for(quick: bool) -> int:
+    """Simulated optimizer steps per configuration.
+
+    The paper runs 10 iterations and measures from the fifth; the
+    simulator is deterministic at steady state, so ``quick`` mode uses
+    the minimum that still discards one warmup iteration.
+    """
+    return 3 if quick else 10

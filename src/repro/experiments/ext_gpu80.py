@@ -1,0 +1,52 @@
+"""Extension — what if the cluster had 80 GB A100s?
+
+The paper's Fig. 1 narrative centres on GPU memory scarcity (40 GB SXM4
+parts).  This what-if rebuilds the identical cluster with the 80 GB A100
+variant and re-runs the Fig. 6 size search: model-state-bound strategies
+should roughly double their ceiling, DDP a bit more than double (its
+fixed activation/buffer tax stops mattering), and the *ordering* must be
+unchanged — memory capacity scales every strategy, it doesn't re-rank
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List
+
+from ..core.search import max_model_size
+from ..hardware.cluster import Cluster, ClusterSpec
+from ..hardware.gpu import GpuSpec
+from ..hardware.node import NodeSpec
+from ..telemetry.report import format_table
+from ..units import GB
+from .common import CORE_STRATEGIES, ExperimentResult
+
+
+def a100_80gb_cluster(num_nodes: int = 1) -> Cluster:
+    gpu = replace(GpuSpec(), name="NVIDIA A100 SXM4 80GB",
+                  memory_bytes=80 * GB)
+    node = replace(NodeSpec(), gpu=gpu)
+    return Cluster(ClusterSpec(num_nodes=num_nodes, node=node))
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    del quick  # pure memory-plan search, always fast
+    rows: List[dict] = []
+    for name, factory in CORE_STRATEGIES.items():
+        base = max_model_size(Cluster(ClusterSpec(num_nodes=1)), factory())
+        big = max_model_size(a100_80gb_cluster(1), factory())
+        rows.append({
+            "strategy": name,
+            "max_40gb_b": base.billions,
+            "max_80gb_b": big.billions,
+            "gain": big.max_parameters / base.max_parameters,
+        })
+    rendered = format_table(
+        ["strategy", "max @40GB (B)", "max @80GB (B)", "gain"],
+        [[r["strategy"], r["max_40gb_b"], r["max_80gb_b"], r["gain"]]
+         for r in rows],
+        title="Extension — 80 GB A100 what-if (single node)",
+    )
+    return ExperimentResult("ext_gpu80", "80 GB A100 what-if",
+                            rows, rendered)

@@ -1,0 +1,40 @@
+"""Fig. 1 — LLM size growth vs. single-GPU memory growth.
+
+The paper's motivating figure: model sizes grew ~1000x from ELMo (2018)
+to GPT-3 (2020) while GPU memory grew ~5x (V100 16 GB to A100 80 GB).
+We reproduce the two trend series and the headline growth factors.
+"""
+
+from __future__ import annotations
+
+from ..telemetry.report import format_table
+from . import paper_data
+from .common import ExperimentResult
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    del quick  # data-only experiment
+    rows = []
+    for year, name, billions in paper_data.LLM_SIZE_TREND:
+        rows.append({"series": "model", "year": year, "name": name,
+                     "value": billions})
+    for year, name, gb in paper_data.GPU_MEMORY_TREND:
+        rows.append({"series": "gpu_memory", "year": year, "name": name,
+                     "value": gb})
+    elmo = dict(rows[0])
+    gpt3 = next(r for r in rows if r["name"] == "GPT-3")
+    model_growth = float(gpt3["value"]) / float(elmo["value"])
+    v100 = next(r for r in rows if r["name"] == "Tesla V100")
+    a100 = next(r for r in rows if r["name"] == "A100 80GB")
+    memory_growth = float(a100["value"]) / float(v100["value"])
+    rows.append({"series": "growth_factor", "year": 2020,
+                 "name": "model 2018-2020", "value": model_growth})
+    rows.append({"series": "growth_factor", "year": 2020,
+                 "name": "gpu memory 2017-2020", "value": memory_growth})
+    rendered = format_table(
+        ["series", "year", "name", "value"],
+        [[r["series"], r["year"], r["name"], r["value"]] for r in rows],
+        title="Fig. 1 — LLM size (B params) vs GPU memory (GB) trend",
+    )
+    return ExperimentResult("fig1", "LLM size vs GPU memory trend",
+                            rows, rendered)

@@ -1,0 +1,44 @@
+"""Fig. 3 — RoCE latency vs message size (SEND / RDMA READ / RDMA WRITE).
+
+Sweeps 2 B - 8 MB message sizes for the same-socket and cross-socket
+placements and checks the paper's two bounds: <6 us same-socket and
+<40 us (~7x) cross-socket for messages under 64 kB.
+"""
+
+from __future__ import annotations
+
+from ..hardware.presets import dual_node_cluster
+from ..stress.perftest import MESSAGE_SIZES, SocketPlacement, Verb, latency_sweep
+from ..telemetry.report import format_table
+from .common import ExperimentResult
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    cluster = dual_node_cluster()
+    sizes = MESSAGE_SIZES[::4] if quick else MESSAGE_SIZES
+    sweep = latency_sweep(cluster, sizes)
+    rows = []
+    for (verb, placement), samples in sweep.items():
+        for sample in samples:
+            rows.append({
+                "verb": verb.value,
+                "placement": placement.value,
+                "message_bytes": sample.message_bytes,
+                "latency_us": sample.latency_us,
+            })
+    table_rows = []
+    for verb in Verb:
+        for placement in SocketPlacement:
+            small = [r for r in rows
+                     if r["verb"] == verb.value
+                     and r["placement"] == placement.value
+                     and r["message_bytes"] <= 64 * 1024]
+            worst = max(r["latency_us"] for r in small)
+            table_rows.append([verb.value, placement.value, f"{worst:.1f}"])
+    rendered = format_table(
+        ["verb", "placement", "max latency <=64kB (us)"],
+        table_rows,
+        title="Fig. 3 — RoCE latency (paper: same-socket <6us, cross <40us)",
+    )
+    return ExperimentResult("fig3", "RoCE latency vs message size",
+                            rows, rendered)

@@ -1,0 +1,46 @@
+"""Fig. 4 — CPU-RoCE and GPU-RoCE bandwidth stress tests.
+
+Runs the four stress scenarios (CPU/GPU x same-/cross-socket) and
+reports per-interconnect average/peak bandwidth plus the attained
+fraction of theoretical RoCE bandwidth — the paper's SerDes-contention
+evidence (93 % / 47 % / 52 % / 42 %).
+"""
+
+from __future__ import annotations
+
+from ..hardware.link import LinkClass
+from ..hardware.presets import dual_node_cluster
+from ..stress.bandwidth_test import full_stress_suite
+from ..telemetry.report import format_table
+from . import paper_data
+from .common import ExperimentResult
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    cluster = dual_node_cluster()
+    duration = 2.0 if quick else 10.0
+    suite = full_stress_suite(cluster, duration=duration)
+    rows = []
+    for (kind, placement), result in suite.items():
+        paper = paper_data.STRESS_ATTAINED_FRACTION[
+            (kind.value, placement.value)
+        ]
+        rows.append({
+            "test": kind.value,
+            "placement": placement.value,
+            "roce_avg_gbps": result.roce_average_gbps,
+            "attained_fraction": result.attained_fraction(),
+            "paper_fraction": paper,
+            "dram_avg_gbps": result.stats[LinkClass.DRAM].average_gbps,
+            "pcie_nic_avg_gbps": result.stats[LinkClass.PCIE_NIC].average_gbps,
+            "xgmi_avg_gbps": result.stats[LinkClass.XGMI].average_gbps,
+        })
+    rendered = format_table(
+        ["test", "placement", "RoCE avg GB/s", "attained %", "paper %"],
+        [[r["test"], r["placement"], r["roce_avg_gbps"],
+          100 * r["attained_fraction"], 100 * r["paper_fraction"]]
+         for r in rows],
+        title="Fig. 4 — inter-node bandwidth stress test",
+    )
+    return ExperimentResult("fig4", "RoCE bandwidth stress test",
+                            rows, rendered)

@@ -1,0 +1,48 @@
+"""Fig. 8 — throughput vs achieved model size trade-off.
+
+Joins the Fig. 6 sizes with the Fig. 7 throughputs into the paper's
+scatter: on one node ZeRO-2 is the sweet spot (high throughput,
+Megatron-class size); on two nodes ZeRO-3 maximizes size while keeping
+3-4x Megatron-LM's throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from . import fig07_throughput
+from .common import ExperimentResult
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    base = fig07_throughput.run(quick=quick)
+    rows = list(base.rows)
+    # Annotate the paper's qualitative winners.
+    by_node: Dict[int, list] = {1: [], 2: []}
+    for row in rows:
+        by_node[int(row["nodes"])].append(row)
+    analysis = []
+    for nodes, node_rows in by_node.items():
+        best_size = max(node_rows, key=lambda r: r["model_b"])
+        best_ratio = max(node_rows,
+                         key=lambda r: float(r["tflops"]) * float(r["model_b"]))
+        analysis.append({
+            "nodes": nodes,
+            "largest_model": best_size["strategy"],
+            "sweet_spot": best_ratio["strategy"],
+        })
+    for row in analysis:
+        rows.append({"nodes": row["nodes"], "strategy": "(analysis)",
+                     "largest_model": row["largest_model"],
+                     "sweet_spot": row["sweet_spot"]})
+    chart_lines = ["Fig. 8 — throughput (TFLOP/s) vs model size (B)"]
+    for nodes in (1, 2):
+        chart_lines.append(f"  {nodes} node(s):")
+        for r in sorted(by_node[nodes], key=lambda r: r["model_b"]):
+            bar = "#" * max(1, int(float(r["tflops"]) / 12))
+            chart_lines.append(
+                f"    {r['strategy']:>9} {float(r['model_b']):5.1f}B "
+                f"|{bar} {float(r['tflops']):.0f}"
+            )
+    return ExperimentResult("fig8", "throughput vs size trade-off",
+                            rows, "\n".join(chart_lines))

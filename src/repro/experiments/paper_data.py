@@ -1,0 +1,157 @@
+"""Published results from the paper, for side-by-side comparison.
+
+Every experiment module prints its simulated result next to the value the
+paper reports; EXPERIMENTS.md is generated from the same data.  Values
+are transcribed from the paper's figures and tables (ISPASS 2024).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# --- Fig. 1: model size (B params) and GPU memory (GB) over time -----------
+LLM_SIZE_TREND: Tuple[Tuple[int, str, float], ...] = (
+    (2018, "ELMo", 0.094),
+    (2018, "GPT-1", 0.117),
+    (2018, "BERT-Large", 0.340),
+    (2019, "GPT-2", 1.5),
+    (2019, "Megatron-LM", 8.3),
+    (2020, "T5-11B", 11.0),
+    (2020, "GPT-3", 175.0),
+    (2021, "Megatron-Turing NLG", 530.0),
+    (2023, "GPT-4 (est.)", 1760.0),
+)
+GPU_MEMORY_TREND: Tuple[Tuple[int, str, float], ...] = (
+    (2017, "Tesla V100", 16.0),
+    (2018, "Tesla V100 32GB", 32.0),
+    (2020, "A100 40GB", 40.0),
+    (2020, "A100 80GB", 80.0),
+    (2023, "H100 80GB", 80.0),
+)
+
+# --- Fig. 3: RoCE latency (us) for <64 kB messages -------------------------
+ROCE_LATENCY_SAME_SOCKET_US = 6.0     # upper bound, small messages
+ROCE_LATENCY_CROSS_SOCKET_US = 40.0   # ~7x same-socket
+
+# --- Fig. 4: stress-test attained fraction of theoretical RoCE -------------
+STRESS_ATTAINED_FRACTION: Dict[Tuple[str, str], float] = {
+    ("cpu_roce", "same_socket"): 0.93,
+    ("cpu_roce", "cross_socket"): 0.47,
+    ("gpu_roce", "same_socket"): 0.52,
+    ("gpu_roce", "cross_socket"): 0.42,
+}
+
+# --- Fig. 5: single-iteration time at 1.4 B parameters, single node --------
+ITERATION_TIME_1P4B_S: Dict[str, float] = {
+    "ddp": 0.471,
+    "megatron": 0.736,
+    "zero1": 0.412,
+    "zero2": 0.404,
+    "zero3": 0.696,
+    "zero1_opt_cpu": 1.38,
+    "zero2_opt_cpu": 1.22,
+    "zero3_opt_nvme": 5.2,            # 2x NVMe optimizer offload
+    "zero3_opt_nvme_param_nvme": 5.9,  # 2x NVMe optimizer + parameter
+}
+
+# --- Fig. 6: achieved model size (B parameters) ------------------------------
+ACHIEVED_SIZE_SINGLE_NODE_B: Dict[str, float] = {
+    "ddp": 1.4, "megatron": 5.5, "zero1": 4.4, "zero2": 5.2, "zero3": 6.6,
+}
+ACHIEVED_SIZE_DUAL_NODE_B: Dict[str, float] = {
+    "ddp": 1.4, "megatron": 11.4, "zero1": 6.4, "zero2": 8.5, "zero3": 13.5,
+}
+
+# --- Fig. 7: throughput at max model size (TFLOP/s) ---------------------------
+THROUGHPUT_SINGLE_NODE: Dict[str, float] = {
+    "ddp": 438.0, "megatron": 331.0, "zero1": 391.0, "zero2": 524.0,
+    "zero3": 381.0,
+}
+THROUGHPUT_DUAL_NODE: Dict[str, float] = {
+    "ddp": 640.0, "megatron": 121.0, "zero1": 395.0, "zero2": 424.0,
+    "zero3": 458.0,
+}
+
+# --- Fig. 9: single-node NVLink utilization (GB/s, avg and peak) --------------
+NVLINK_SINGLE_NODE: Dict[str, Tuple[float, float]] = {
+    "ddp": (83.0, 94.8),
+    "megatron": (241.0, 267.0),
+    "zero1": (111.0, 147.0),
+    "zero2": (97.3, 117.0),
+    "zero3": (99.7, 121.0),
+}
+
+# --- Table IV (subset): dual-node averages (GB/s) ------------------------------
+DUAL_NODE_BANDWIDTH_AVG: Dict[str, Dict[str, float]] = {
+    "ddp": {"NVLink": 60.2, "RoCE": 9.28, "PCIe-GPU": 11.2, "PCIe-NIC": 6.07,
+            "xGMI": 5.22},
+    "megatron": {"NVLink": 88.3, "RoCE": 13.8, "PCIe-GPU": 16.9,
+                 "PCIe-NIC": 9.06, "xGMI": 7.29},
+    "zero1": {"NVLink": 52.7, "RoCE": 10.5, "PCIe-GPU": 18.2,
+              "PCIe-NIC": 6.64, "xGMI": 6.35},
+    "zero2": {"NVLink": 34.3, "RoCE": 10.5, "PCIe-GPU": 15.8,
+              "PCIe-NIC": 7.08, "xGMI": 6.11},
+    "zero3": {"NVLink": 52.2, "RoCE": 16.3, "PCIe-GPU": 20.5,
+              "PCIe-NIC": 10.9, "xGMI": 10.4},
+}
+
+# --- Fig. 11: consolidation of dual-node 11.4 B onto one node -----------------
+CONSOLIDATION_THROUGHPUT: Dict[str, float] = {
+    "megatron_dual": 121.0,
+    "zero2_opt_cpu": 191.0,
+    "zero3_opt_cpu_param_cpu": 126.0,
+    "zero3_opt_nvme_1x": 20.4,
+    "zero3_opt_nvme_param_nvme_1x": 15.8,
+    "zero3_opt_nvme_2x": 38.1,
+    "zero3_opt_nvme_param_nvme_2x": 24.5,
+}
+CONSOLIDATION_MEMORY_GB: Dict[str, Tuple[float, float, float]] = {
+    # (GPU, CPU, NVMe) totals across the node(s)
+    "megatron_dual": (308.0, 36.0, 0.0),
+    "zero2_opt_cpu": (127.0, 353.0, 0.0),
+    "zero3_opt_cpu_param_cpu": (157.0, 295.0, 0.0),
+    "zero3_opt_nvme_1x": (108.0, 317.0, 129.0),
+    "zero3_opt_nvme_param_nvme_1x": (52.0, 488.0, 150.0),
+}
+
+# --- Fig. 13: largest single-node model with offload ---------------------------
+LARGEST_SINGLE_NODE: Dict[str, Tuple[float, float]] = {
+    # strategy -> (model size B, throughput TFLOP/s)
+    "zero1_opt_cpu": (8.9, 155.3),
+    "zero2_opt_cpu": (14.2, 180.2),
+    "zero3_opt_nvme_param_nvme": (33.3, 37.16),
+}
+
+# --- Table V: throughput (TFLOP/s) vs model size (B) ---------------------------
+TABLE_V: Dict[str, Dict[float, float]] = {
+    "ddp": {0.7: 379, 1.4: 438},
+    "megatron": {0.7: 270, 1.4: 309, 2.9: 312, 4.4: 315, 5.2: 324, 5.5: 331},
+    "zero1": {0.7: 419, 1.4: 461, 2.9: 487, 4.4: 391},
+    "zero2": {0.7: 427, 1.4: 472, 2.9: 502, 4.4: 509, 5.2: 524},
+    "zero3": {0.7: 377, 1.4: 392, 2.9: 385, 4.4: 389, 5.2: 379, 5.5: 385,
+              6.0: 382, 6.6: 381},
+    "zero1_opt_cpu": {0.7: 145, 1.4: 165, 2.9: 148, 4.4: 167, 5.2: 150,
+                      5.5: 168, 6.0: 164, 6.6: 163, 7.8: 158, 8.9: 155},
+    "zero2_opt_cpu": {0.7: 164, 1.4: 177, 2.9: 191, 4.4: 179, 5.2: 182,
+                      5.5: 182, 6.0: 192, 6.6: 182, 7.8: 192, 8.9: 192,
+                      11.6: 174, 14.2: 180},
+    "zero3_opt_nvme": {0.7: 39, 1.4: 37, 2.9: 39, 4.4: 38, 5.2: 38, 5.5: 38,
+                       6.0: 38, 6.6: 38, 7.8: 37, 8.9: 38, 11.6: 36,
+                       14.2: 36, 20.6: 36, 26.9: 34, 33.3: 37},
+}
+
+# --- Table VI: NVMe placement configs at 33.3 B --------------------------------
+TABLE_VI: Dict[str, Dict[str, float]] = {
+    "A": {"tflops": 19.6, "xgmi_avg": 2.94, "pcie_nvme_avg": 3.23},
+    "B": {"tflops": 37.16, "xgmi_avg": 7.63, "pcie_nvme_avg": 6.5},
+    "C": {"tflops": 35.43, "xgmi_avg": 8.14, "pcie_nvme_avg": 6.18},
+    "D": {"tflops": 40.22, "xgmi_avg": 4.89, "pcie_nvme_avg": 6.98},
+    "E": {"tflops": 51.22, "xgmi_avg": 9.58, "pcie_nvme_avg": 7.1},
+    "F": {"tflops": 64.61, "xgmi_avg": 7.35, "pcie_nvme_avg": 11.2},
+    "G": {"tflops": 65.16, "xgmi_avg": 7.81, "pcie_nvme_avg": 11.4},
+}
+
+#: Model size used for the consolidation study (Sections V-A/V-B).
+CONSOLIDATION_MODEL_B = 11.4
+#: Model size used for the placement study (Section V-E).
+PLACEMENT_MODEL_B = 33.3

@@ -1,0 +1,101 @@
+"""Experiment registry: every paper table/figure plus the ablations.
+
+``EXPERIMENTS`` maps an experiment id to its module's ``run`` callable;
+:func:`run_experiment` executes one by id, and :func:`run_all` drives the
+full reproduction (as the `examples/reproduce_paper.py` script does).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+from ..errors import ConfigurationError
+from . import (
+    ablation_buffers,
+    ablation_nvme,
+    ablation_overlap,
+    ablation_recompute,
+    ablation_serdes,
+    ext_batch,
+    ext_energy,
+    ext_gpu80,
+    ext_hybrid,
+    ext_pipeline,
+    ext_scaling,
+    fig01_trend,
+    fig03_latency,
+    fig04_stress,
+    fig05_timeline,
+    fig06_model_size,
+    fig07_throughput,
+    fig08_tradeoff,
+    fig09_nvlink_pattern,
+    fig10_dual_pattern,
+    fig11_offload,
+    fig12_offload_pattern,
+    fig13_largest,
+    fig14_table6_nvme,
+    table1_capability,
+    table3_interconnects,
+    table4_bandwidth,
+    table5_sensitivity,
+)
+from .common import ExperimentResult
+
+Runner = Callable[..., ExperimentResult]
+
+EXPERIMENTS: Dict[str, Runner] = {
+    "fig1": fig01_trend.run,
+    "fig3": fig03_latency.run,
+    "fig4": fig04_stress.run,
+    "fig5": fig05_timeline.run,
+    "fig6": fig06_model_size.run,
+    "fig7": fig07_throughput.run,
+    "fig8": fig08_tradeoff.run,
+    "fig9": fig09_nvlink_pattern.run,
+    "fig10": fig10_dual_pattern.run,
+    "fig11": fig11_offload.run,
+    "fig12": fig12_offload_pattern.run,
+    "fig13": fig13_largest.run,
+    "fig14_table6": fig14_table6_nvme.run,
+    "table1": table1_capability.run,
+    "table3": table3_interconnects.run,
+    "table4": table4_bandwidth.run,
+    "table5": table5_sensitivity.run,
+    "ablation_serdes": ablation_serdes.run,
+    "ext_hybrid": ext_hybrid.run,
+    "ext_energy": ext_energy.run,
+    "ext_scaling": ext_scaling.run,
+    "ext_pipeline": ext_pipeline.run,
+    "ablation_overlap": ablation_overlap.run,
+    "ablation_nvme": ablation_nvme.run,
+    "ablation_buffers": ablation_buffers.run,
+    "ablation_recompute": ablation_recompute.run,
+    "ext_batch": ext_batch.run,
+    "ext_gpu80": ext_gpu80.run,
+}
+
+#: ids in paper order, excluding ablations.
+PAPER_EXPERIMENTS: List[str] = [
+    "fig1", "table1", "table3", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "fig8", "fig9", "table4", "fig10", "fig11", "fig12", "fig13",
+    "table5", "fig14_table6",
+]
+
+
+def run_experiment(experiment_id: str, *, quick: bool = True) -> ExperimentResult:
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(quick=quick)
+
+
+def run_all(ids: Iterable[str] = None, *, quick: bool = True
+            ) -> List[ExperimentResult]:
+    selected = list(ids) if ids is not None else PAPER_EXPERIMENTS
+    return [run_experiment(experiment_id, quick=quick)
+            for experiment_id in selected]

@@ -1,0 +1,49 @@
+"""Table I — ZeRO stage and offload capability matrix.
+
+Verifies that the strategy layer enforces exactly the published
+capability matrix: which stages partition which model states, and which
+offload targets each stage supports.
+"""
+
+from __future__ import annotations
+
+from ..model.states import OffloadTarget, ZeroStage
+from ..telemetry.report import format_table
+from .common import ExperimentResult
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    del quick
+    rows = []
+    for stage in (ZeroStage.OPTIMIZER, ZeroStage.GRADIENTS,
+                  ZeroStage.PARAMETERS):
+        rows.append({
+            "stage": int(stage),
+            "partitions_optimizer": stage.partitions_optimizer,
+            "partitions_gradients": stage.partitions_gradients,
+            "partitions_parameters": stage.partitions_parameters,
+            "optimizer_cpu": stage.supports_offload("optimizer",
+                                                    OffloadTarget.CPU),
+            "optimizer_nvme": stage.supports_offload("optimizer",
+                                                     OffloadTarget.NVME),
+            "parameter_cpu": stage.supports_offload("parameter",
+                                                    OffloadTarget.CPU),
+            "parameter_nvme": stage.supports_offload("parameter",
+                                                     OffloadTarget.NVME),
+        })
+
+    def mark(value: bool) -> str:
+        return "yes" if value else "-"
+
+    rendered = format_table(
+        ["stage", "opt part", "grad part", "param part", "opt CPU",
+         "opt NVME", "param CPU", "param NVME"],
+        [[r["stage"], mark(r["partitions_optimizer"]),
+          mark(r["partitions_gradients"]), mark(r["partitions_parameters"]),
+          mark(r["optimizer_cpu"]), mark(r["optimizer_nvme"]),
+          mark(r["parameter_cpu"]), mark(r["parameter_nvme"])]
+         for r in rows],
+        title="Table I — ZeRO stage and offload capability",
+    )
+    return ExperimentResult("table1", "ZeRO capability matrix",
+                            rows, rendered)

@@ -1,0 +1,75 @@
+"""Hardware substrate: devices, links, topology, and the paper's cluster.
+
+The public surface re-exports the pieces most users need; deeper knobs live
+in the individual modules.
+"""
+
+from .cluster import Cluster, ClusterSpec
+from .cpu import CpuSpec, cpu_adam_step_time, make_cpu, make_dram
+from .devices import Device, DeviceKind, MemoryPool
+from .gpu import GpuSpec, make_gpu
+from .link import BandwidthLedger, Link, LinkClass, LinkSpec, SERDES_CLASSES
+from .nic import NicSpec, SwitchSpec, make_nic, make_switch
+from .node import Node, NodeSpec
+from .nvme import NvmeDrive, NvmeSpec, Raid0Volume
+from .presets import (
+    INTERFACE_TO_CLASS,
+    TABLE_III,
+    InterconnectEntry,
+    dual_node_cluster,
+    nvme_placement_node_spec,
+    paper_cluster,
+    paper_node_spec,
+    single_node_cluster,
+    uncontended_cluster,
+)
+from .serdes import (
+    SerdesContentionModel,
+    TrafficProfile,
+    disabled_contention_model,
+    route_crosses_socket,
+)
+from .topology import Route, Topology
+
+__all__ = [
+    "BandwidthLedger",
+    "Cluster",
+    "ClusterSpec",
+    "CpuSpec",
+    "Device",
+    "DeviceKind",
+    "GpuSpec",
+    "INTERFACE_TO_CLASS",
+    "InterconnectEntry",
+    "Link",
+    "LinkClass",
+    "LinkSpec",
+    "MemoryPool",
+    "NicSpec",
+    "Node",
+    "NodeSpec",
+    "NvmeDrive",
+    "NvmeSpec",
+    "Raid0Volume",
+    "Route",
+    "SERDES_CLASSES",
+    "SerdesContentionModel",
+    "SwitchSpec",
+    "TABLE_III",
+    "Topology",
+    "TrafficProfile",
+    "cpu_adam_step_time",
+    "disabled_contention_model",
+    "dual_node_cluster",
+    "make_cpu",
+    "make_dram",
+    "make_gpu",
+    "make_nic",
+    "make_switch",
+    "nvme_placement_node_spec",
+    "paper_cluster",
+    "paper_node_spec",
+    "route_crosses_socket",
+    "single_node_cluster",
+    "uncontended_cluster",
+]

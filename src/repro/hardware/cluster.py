@@ -1,0 +1,118 @@
+"""Multi-node cluster assembly (paper Fig. 2-a).
+
+A :class:`Cluster` is N :class:`~repro.hardware.node.Node` instances whose
+NICs connect through one Spectrum-class Ethernet switch running RoCE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ConfigurationError, TopologyError
+from ..units import US
+from .devices import Device
+from .link import Link, LinkClass, LinkSpec
+from .nic import SwitchSpec, make_switch
+from .node import Node, NodeSpec
+from .serdes import SerdesContentionModel
+from .topology import Topology
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Configuration for a cluster build."""
+
+    num_nodes: int = 2
+    node: NodeSpec = NodeSpec()
+    switch: SwitchSpec = SwitchSpec()
+    roce_latency: float = 1.0 * US
+    contention: SerdesContentionModel = SerdesContentionModel()
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ConfigurationError("cluster needs at least one node")
+        if self.num_nodes * self.node.nics_per_node > self.switch.ports:
+            raise ConfigurationError("not enough switch ports for the NICs")
+
+
+class Cluster:
+    """The full simulated machine: nodes, switch, and topology graph."""
+
+    def __init__(self, spec: ClusterSpec = ClusterSpec()) -> None:
+        self.spec = spec
+        self.topology = Topology(contention=spec.contention)
+        self.nodes: List[Node] = [
+            Node(i, spec.node, self.topology) for i in range(spec.num_nodes)
+        ]
+        self.switch: Optional[Device] = None
+        if spec.num_nodes > 1:
+            self._wire_switch()
+
+    def _wire_switch(self) -> None:
+        self.switch = make_switch("switch0", self.spec.switch)
+        self.topology.add_device(self.switch)
+        roce_spec = LinkSpec(
+            link_class=LinkClass.ROCE,
+            bandwidth_per_direction=self.spec.switch.port_bandwidth_per_direction,
+            latency=self.spec.roce_latency,
+            efficiency=self.spec.node.nic.efficiency,
+        )
+        for node in self.nodes:
+            for nic in node.nics:
+                self.topology.add_link(Link(
+                    f"{nic.name}/roce",
+                    roce_spec,
+                    nic.name,
+                    self.switch.name,
+                ))
+
+    # -- convenience views -----------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def gpus_per_node(self) -> int:
+        return self.spec.node.gpus_per_node
+
+    @property
+    def num_gpus(self) -> int:
+        return sum(len(n.gpus) for n in self.nodes)
+
+    def all_gpus(self) -> List[Device]:
+        return [gpu for node in self.nodes for gpu in node.gpus]
+
+    def gpu(self, rank: int) -> Device:
+        """Global-rank to GPU device (rank = node * gpus_per_node + local)."""
+        if not 0 <= rank < self.num_gpus:
+            raise TopologyError(f"GPU rank {rank} out of range (0..{self.num_gpus - 1})")
+        node = self.nodes[rank // self.gpus_per_node]
+        return node.gpus[rank % self.gpus_per_node]
+
+    def node_of_rank(self, rank: int) -> Node:
+        if not 0 <= rank < self.num_gpus:
+            raise TopologyError(f"GPU rank {rank} out of range (0..{self.num_gpus - 1})")
+        return self.nodes[rank // self.gpus_per_node]
+
+    def dram_for_rank(self, rank: int) -> Device:
+        """The host-memory endpoint on the same socket as a GPU rank."""
+        node = self.node_of_rank(rank)
+        gpu = self.gpu(rank)
+        return node.drams[gpu.socket_index or 0]
+
+    def total_gpu_memory(self) -> float:
+        return sum(n.total_gpu_memory() for n in self.nodes)
+
+    def total_host_memory(self) -> float:
+        return sum(n.total_host_memory() for n in self.nodes)
+
+    def reset(self) -> None:
+        """Clear every ledger, memory pool, and NVMe cache for a fresh run."""
+        self.topology.reset_ledgers()
+        for device in self.topology.devices:
+            if device.memory is not None:
+                device.memory.reset()
+        for node in self.nodes:
+            for drive in node.nvme_drives:
+                drive.reset_cache()

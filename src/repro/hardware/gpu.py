@@ -1,0 +1,64 @@
+"""NVIDIA A100 SXM4 40 GB GPU model.
+
+The paper trains in mixed precision on A100s; the compute side of the
+simulator only needs peak Tensor-Core throughput, memory capacity, and the
+NVLink port count.  Kernel efficiency (fraction of peak a real GEMM-heavy
+training step attains) is a calibrated property of the *strategy*, not the
+GPU — see :mod:`repro.core.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import GB, TFLOPS
+from .devices import Device, DeviceKind, MemoryPool
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static GPU datasheet numbers.
+
+    Defaults are the NVIDIA A100 SXM4 40 GB 400 W part used in the paper:
+    312 TFLOP/s FP16 Tensor Core peak (dense), 40 GB HBM2 at 1555 GB/s,
+    12 NVLink 3.0 links (25 GB/s per direction each).
+    """
+
+    name: str = "NVIDIA A100 SXM4 40GB"
+    memory_bytes: float = 40 * GB
+    peak_fp16_flops: float = 312 * TFLOPS
+    peak_fp32_flops: float = 19.5 * TFLOPS
+    hbm_bandwidth: float = 1555 * GB
+    nvlink_ports: int = 12
+    # Memory the CUDA context + framework reserves before the first tensor
+    # (CUDA context, cuBLAS/cuDNN workspaces, NCCL channels).  ~2.5 GB is
+    # typical for PyTorch 1.12 + NCCL on A100.
+    reserved_bytes: float = 2.5 * GB
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0 or self.peak_fp16_flops <= 0:
+            raise ConfigurationError("GPU spec values must be positive")
+        if self.reserved_bytes >= self.memory_bytes:
+            raise ConfigurationError("reserved memory exceeds GPU capacity")
+
+    @property
+    def usable_memory_bytes(self) -> float:
+        """Bytes available to tensors after framework reservations."""
+        return self.memory_bytes - self.reserved_bytes
+
+
+def make_gpu(name: str, *, node_index: int, socket_index: int,
+             spec: GpuSpec = GpuSpec()) -> Device:
+    """Create a GPU device with its HBM memory pool attached."""
+    pool = MemoryPool(spec.usable_memory_bytes, owner=name)
+    device = Device(
+        name=name,
+        kind=DeviceKind.GPU,
+        node_index=node_index,
+        socket_index=socket_index,
+        memory=pool,
+    )
+    # Stash the spec on the device for the runtime's compute model.
+    device.spec = spec  # type: ignore[attr-defined]
+    return device

@@ -1,0 +1,256 @@
+"""Interconnect link model.
+
+Every interconnect in the paper's Table III (DRAM channels, xGMI, PCIe to
+GPU/NIC/NVMe, NVLink, RoCE) is represented by :class:`Link` instances built
+from a :class:`LinkSpec`.  A link is a full-duplex channel with a
+per-direction theoretical bandwidth, a base latency, and an attainable
+efficiency (protocol overhead).  Links carry a :class:`BandwidthLedger` that
+accumulates every byte moved over them, timestamped, so the telemetry layer
+can reconstruct the avg/90th-percentile/peak utilization figures the paper
+reports (Table IV) and the time-series plots (Figs. 9, 10, 12).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigurationError
+
+
+class LinkClass(enum.Enum):
+    """Interconnect classes as grouped in the paper's Table III / Table IV."""
+
+    DRAM = "DRAM"
+    XGMI = "xGMI"
+    PCIE_GPU = "PCIe-GPU"
+    PCIE_NVME = "PCIe-NVME"
+    PCIE_NIC = "PCIe-NIC"
+    NVLINK = "NVLink"
+    ROCE = "RoCE"
+    INTERNAL = "Internal"  # on-package paths not reported by the paper
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Link classes that terminate in an EPYC IOD I/O SerDes set.  Traffic whose
+#: route enters *and* leaves through SerDes suffers the contention the paper
+#: hypothesizes in Section III-C4.
+SERDES_CLASSES = frozenset(
+    {LinkClass.XGMI, LinkClass.PCIE_GPU, LinkClass.PCIE_NVME, LinkClass.PCIE_NIC}
+)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static description of one link type.
+
+    Parameters
+    ----------
+    link_class:
+        Which Table III interconnect class the link belongs to.
+    bandwidth_per_direction:
+        Theoretical bandwidth in bytes/s for each direction (the paper's
+        Table III footnotes give these: e.g. 32 GBps/direction for PCIe 4.0
+        x16, 25 GBps/direction for one NVLink 3.0 link).
+    latency:
+        Base one-way latency in seconds for a minimum-size message.
+    efficiency:
+        Fraction of the theoretical bandwidth attainable by a single
+        well-behaved stream (protocol/encoding overhead).
+    duplex:
+        ``True`` for full-duplex links (everything except DRAM, which the
+        paper's footnote 2 marks half-duplex).
+    """
+
+    link_class: LinkClass
+    bandwidth_per_direction: float
+    latency: float
+    efficiency: float = 1.0
+    duplex: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_per_direction <= 0:
+            raise ConfigurationError("link bandwidth must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigurationError("link efficiency must be in (0, 1]")
+        if self.latency < 0:
+            raise ConfigurationError("link latency must be non-negative")
+
+    @property
+    def bandwidth_bidirectional(self) -> float:
+        """Theoretical bidirectional bandwidth (the paper's headline figure)."""
+        if self.duplex:
+            return 2.0 * self.bandwidth_per_direction
+        return self.bandwidth_per_direction
+
+    @property
+    def attainable_per_direction(self) -> float:
+        """Single-stream attainable bandwidth per direction."""
+        return self.bandwidth_per_direction * self.efficiency
+
+
+@dataclass
+class TransferRecord:
+    """One completed transfer interval over a link (one direction)."""
+
+    start: float
+    end: float
+    num_bytes: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def rate(self) -> float:
+        """Average bytes/s over the interval (0 for instantaneous records)."""
+        if self.duration <= 0:
+            return 0.0
+        return self.num_bytes / self.duration
+
+
+class BandwidthLedger:
+    """Append-only record of transfers over one link.
+
+    The ledger stores ``(start, end, bytes)`` intervals.  Utilization at any
+    instant is the sum of the rates of the intervals covering it; the
+    telemetry layer samples this on a regular grid to produce the paper's
+    average/90th/peak statistics and time-series plots.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[TransferRecord] = []
+
+    def record(self, start: float, end: float, num_bytes: float) -> None:
+        """Record a transfer of ``num_bytes`` between ``start`` and ``end``."""
+        if end < start:
+            raise ConfigurationError(
+                f"transfer interval is reversed: start={start} end={end}"
+            )
+        if num_bytes < 0:
+            raise ConfigurationError("cannot record a negative byte count")
+        if num_bytes == 0:
+            return
+        self._records.append(TransferRecord(start, end, num_bytes))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(r.num_bytes for r in self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def utilization_at(self, instant: float) -> float:
+        """Instantaneous bytes/s at ``instant`` (sum of covering intervals)."""
+        return sum(
+            r.rate for r in self._records if r.start <= instant < r.end
+        )
+
+    def sample(self, start: float, end: float, num_samples: int) -> List[float]:
+        """Sample utilization on a regular grid of ``num_samples`` bins.
+
+        Each bin reports the *average* bytes/s within it (bytes transferred
+        in-bin divided by bin width), which matches how hardware counters
+        sampled at a fixed period behave.
+        """
+        if num_samples <= 0:
+            raise ConfigurationError("num_samples must be positive")
+        if end <= start:
+            raise ConfigurationError("sample window must have positive width")
+        width = (end - start) / num_samples
+        bins = [0.0] * num_samples
+        for r in self._records:
+            if r.end <= start or r.start >= end:
+                continue
+            lo = max(r.start, start)
+            hi = min(r.end, end)
+            if r.duration <= 0:
+                # Instantaneous transfer: deposit in the containing bin.
+                idx = min(int((lo - start) / width), num_samples - 1)
+                bins[idx] += r.num_bytes
+                continue
+            rate = r.rate
+            first = int((lo - start) / width)
+            last = min(int((hi - start) / width), num_samples - 1)
+            for idx in range(first, last + 1):
+                b_lo = start + idx * width
+                b_hi = b_lo + width
+                overlap = min(hi, b_hi) - max(lo, b_lo)
+                if overlap > 0:
+                    bins[idx] += rate * overlap
+        return [b / width for b in bins]
+
+
+class Link:
+    """One physical link instance between two devices.
+
+    ``endpoint_a``/``endpoint_b`` are device names (see
+    :mod:`repro.hardware.topology`).  ``count`` aggregates identical parallel
+    links (e.g. the four NVLink lanes between one GPU pair, or the three
+    xGMI links between sockets) into a single simulated channel with summed
+    bandwidth, which is how NCCL and the Infinity Fabric stripe traffic.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        spec: LinkSpec,
+        endpoint_a: str,
+        endpoint_b: str,
+        *,
+        count: int = 1,
+    ) -> None:
+        if count < 1:
+            raise ConfigurationError("link count must be >= 1")
+        self.name = name
+        self.spec = spec
+        self.endpoint_a = endpoint_a
+        self.endpoint_b = endpoint_b
+        self.count = count
+        self.ledger = BandwidthLedger()
+
+    # -- capacity ----------------------------------------------------------
+    @property
+    def link_class(self) -> LinkClass:
+        return self.spec.link_class
+
+    @property
+    def capacity_per_direction(self) -> float:
+        """Aggregate attainable bytes/s in each direction."""
+        return self.spec.attainable_per_direction * self.count
+
+    @property
+    def capacity_bidirectional(self) -> float:
+        """Aggregate theoretical bidirectional bytes/s (Table III numbers)."""
+        return self.spec.bandwidth_bidirectional * self.count
+
+    @property
+    def latency(self) -> float:
+        return self.spec.latency
+
+    def other_end(self, endpoint: str) -> str:
+        if endpoint == self.endpoint_a:
+            return self.endpoint_b
+        if endpoint == self.endpoint_b:
+            return self.endpoint_a
+        raise ConfigurationError(
+            f"{endpoint!r} is not an endpoint of link {self.name!r}"
+        )
+
+    def connects(self, a: str, b: str) -> bool:
+        return {a, b} == {self.endpoint_a, self.endpoint_b}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Link({self.name!r}, {self.link_class}, "
+            f"{self.capacity_per_direction / 1e9:.1f} GB/s/dir x{self.count})"
+        )

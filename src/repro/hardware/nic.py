@@ -1,0 +1,74 @@
+"""ConnectX-6 NIC and RoCE model.
+
+Each node has two NVIDIA ConnectX-6 NICs, one per socket, each running
+200 Gbps Ethernet with RoCE (RDMA over Converged Ethernet).  RoCE gives the
+cluster lossless RDMA semantics; GPUDirect RDMA lets a NIC DMA straight
+into GPU memory so inter-node GPU traffic bypasses DRAM (paper Section
+III-A1 and the Fig. 4-b observation of no DRAM activity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import GB, US
+from .devices import Device, DeviceKind
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Static NIC datasheet numbers (defaults: ConnectX-6, 200 GbE)."""
+
+    name: str = "NVIDIA ConnectX-6"
+    # 200 Gbps = 25 GB/s per direction at the wire.
+    wire_bandwidth_per_direction: float = 25 * GB
+    # Fraction attainable after Ethernet/RoCE framing (Fig. 4-a: 93 %).
+    efficiency: float = 0.93
+    # One-way RoCE latency for small messages, same-socket (Fig. 3: < 6 us).
+    base_latency: float = 4.0 * US
+    supports_gpudirect: bool = True
+
+    def __post_init__(self) -> None:
+        if self.wire_bandwidth_per_direction <= 0:
+            raise ConfigurationError("NIC bandwidth must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise ConfigurationError("NIC efficiency must be in (0, 1]")
+
+
+def make_nic(name: str, *, node_index: int, socket_index: int,
+             spec: NicSpec = NicSpec()) -> Device:
+    device = Device(
+        name=name,
+        kind=DeviceKind.NIC,
+        node_index=node_index,
+        socket_index=socket_index,
+    )
+    device.spec = spec  # type: ignore[attr-defined]
+    return device
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """Static switch datasheet numbers (defaults: Spectrum SN3700).
+
+    12.8 Tbps switching capacity over 32x 200 GbE ports; for a two-node
+    cluster it is never the bottleneck, but the model keeps it explicit so
+    larger synthetic clusters oversubscribe realistically.
+    """
+
+    name: str = "NVIDIA Spectrum SN3700"
+    ports: int = 32
+    port_bandwidth_per_direction: float = 25 * GB
+    switching_capacity: float = 1600 * GB  # 12.8 Tbps
+    port_latency: float = 0.3 * US
+
+    def __post_init__(self) -> None:
+        if self.ports <= 0 or self.port_bandwidth_per_direction <= 0:
+            raise ConfigurationError("switch spec values must be positive")
+
+
+def make_switch(name: str, spec: SwitchSpec = SwitchSpec()) -> Device:
+    device = Device(name=name, kind=DeviceKind.SWITCH)
+    device.spec = spec  # type: ignore[attr-defined]
+    return device

@@ -1,0 +1,185 @@
+"""NVMe SSD model with DRAM write cache, plus software-RAID0 volumes.
+
+The paper uses Intel D7-P5600 3.2 TB PCIe 4.0 x4 drives.  Section V-B3
+attributes ZeRO-Infinity's "abrupt peak and low average" PCIe-NVME pattern
+to the drive's internal DRAM cache: bursts land in the cache at near-link
+speed, but once the cache is full (or on cache misses) throughput collapses
+to NAND speed.  We model exactly that two-regime behaviour.
+
+RAID0 (Linux mdadm) stripes requests round-robin over member drives; the
+volume's bandwidth is the sum of the members', but — as Fig. 14/Table VI
+shows — a volume whose members hang off *different* sockets forces part of
+every stripe across xGMI, inheriting the SerDes contention penalty.  The
+placement study in :mod:`repro.parallel.placement` builds on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+from ..units import GB, TB
+from .devices import Device, DeviceKind, MemoryPool
+
+
+@dataclass(frozen=True)
+class NvmeSpec:
+    """Static SSD datasheet numbers (defaults: Intel D7-P5600 3.2 TB).
+
+    The D7-P5600 is rated ~7 GB/s sequential read and ~4.3 GB/s sequential
+    write at the link level; sustained mixed read/write through the FTL with
+    a full DRAM cache lands near the NAND figures below.  ZeRO-Infinity's
+    optimizer swap traffic is large sequential reads+writes of tensor
+    partitions, so the sustained mixed figure dominates.
+    """
+
+    name: str = "Intel D7-P5600 3.2TB"
+    capacity_bytes: float = 3.2 * TB
+    # Burst (DRAM-cache) bandwidth: bounded by PCIe 4.0 x4 minus protocol.
+    cache_read_bandwidth: float = 6.8 * GB
+    cache_write_bandwidth: float = 4.3 * GB
+    # Steady-state NAND bandwidth once the cache no longer absorbs traffic.
+    nand_read_bandwidth: float = 3.2 * GB
+    nand_write_bandwidth: float = 1.8 * GB
+    dram_cache_bytes: float = 4 * GB
+    # Latency of one NVMe command (queueing + FTL), dominating small I/O.
+    command_latency: float = 90e-6
+
+    def __post_init__(self) -> None:
+        if min(self.cache_read_bandwidth, self.cache_write_bandwidth,
+               self.nand_read_bandwidth, self.nand_write_bandwidth) <= 0:
+            raise ConfigurationError("NVMe bandwidths must be positive")
+        if self.dram_cache_bytes < 0 or self.capacity_bytes <= 0:
+            raise ConfigurationError("NVMe capacities must be non-negative")
+
+
+class NvmeDrive:
+    """One SSD with the two-regime (cache vs. NAND) transfer model."""
+
+    def __init__(self, name: str, spec: NvmeSpec = NvmeSpec(), *,
+                 node_index: int = 0, socket_index: int = 0) -> None:
+        self.name = name
+        self.spec = spec
+        self.device = Device(
+            name=name,
+            kind=DeviceKind.NVME,
+            node_index=node_index,
+            socket_index=socket_index,
+            memory=MemoryPool(spec.capacity_bytes, owner=name),
+        )
+        self._cache_fill_bytes = 0.0
+
+    @property
+    def memory(self) -> MemoryPool:
+        assert self.device.memory is not None
+        return self.device.memory
+
+    def reset_cache(self) -> None:
+        self._cache_fill_bytes = 0.0
+
+    def drain_cache(self, elapsed: float) -> None:
+        """Background FTL flush: the cache drains to NAND between bursts."""
+        if elapsed < 0:
+            raise ConfigurationError("elapsed time must be non-negative")
+        drained = elapsed * self.spec.nand_write_bandwidth
+        self._cache_fill_bytes = max(0.0, self._cache_fill_bytes - drained)
+
+    def write_time(self, num_bytes: float) -> float:
+        """Seconds to absorb a write burst of ``num_bytes``.
+
+        Bytes up to the remaining cache headroom land at cache speed; the
+        remainder is throttled to NAND speed.  The cache fill persists
+        across calls until :meth:`drain_cache`/:meth:`reset_cache`.
+        """
+        if num_bytes < 0:
+            raise ConfigurationError("num_bytes must be non-negative")
+        headroom = max(0.0, self.spec.dram_cache_bytes - self._cache_fill_bytes)
+        fast_bytes = min(num_bytes, headroom)
+        slow_bytes = num_bytes - fast_bytes
+        self._cache_fill_bytes += fast_bytes
+        return (
+            self.spec.command_latency
+            + fast_bytes / self.spec.cache_write_bandwidth
+            + slow_bytes / self.spec.nand_write_bandwidth
+        )
+
+    def read_time(self, num_bytes: float, *, cached_fraction: float = 0.0) -> float:
+        """Seconds to read ``num_bytes``; ``cached_fraction`` hits DRAM."""
+        if num_bytes < 0:
+            raise ConfigurationError("num_bytes must be non-negative")
+        if not 0.0 <= cached_fraction <= 1.0:
+            raise ConfigurationError("cached_fraction must be in [0, 1]")
+        fast = num_bytes * cached_fraction
+        slow = num_bytes - fast
+        return (
+            self.spec.command_latency
+            + fast / self.spec.cache_read_bandwidth
+            + slow / self.spec.nand_read_bandwidth
+        )
+
+    def sustained_bandwidth(self, *, read_fraction: float = 0.5) -> float:
+        """Steady-state mixed read/write bytes/s (harmonic blend)."""
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ConfigurationError("read_fraction must be in [0, 1]")
+        r = self.spec.nand_read_bandwidth
+        w = self.spec.nand_write_bandwidth
+        if read_fraction == 0.0:
+            return w
+        if read_fraction == 1.0:
+            return r
+        return 1.0 / (read_fraction / r + (1.0 - read_fraction) / w)
+
+
+class Raid0Volume:
+    """A Linux-mdadm-style stripe set over one or more NVMe drives.
+
+    A single drive is represented as a one-member "volume" so the offload
+    engines can treat every target uniformly.  ``sockets`` reports the set
+    of sockets the members hang off — spanning more than one socket is the
+    configuration Fig. 14 flags as xGMI-hostile.
+    """
+
+    def __init__(self, name: str, drives: Sequence[NvmeDrive]) -> None:
+        if not drives:
+            raise ConfigurationError("a RAID0 volume needs at least one drive")
+        self.name = name
+        self.drives: List[NvmeDrive] = list(drives)
+
+    @property
+    def capacity_bytes(self) -> float:
+        # RAID0 capacity is members x smallest member.
+        return len(self.drives) * min(d.spec.capacity_bytes for d in self.drives)
+
+    @property
+    def sockets(self) -> frozenset:
+        return frozenset(d.device.socket_index for d in self.drives)
+
+    @property
+    def spans_sockets(self) -> bool:
+        return len(self.sockets) > 1
+
+    def sustained_bandwidth(self, *, read_fraction: float = 0.5) -> float:
+        """Aggregate steady-state bytes/s (sum over stripe members)."""
+        return sum(
+            d.sustained_bandwidth(read_fraction=read_fraction) for d in self.drives
+        )
+
+    def write_time(self, num_bytes: float) -> float:
+        """Seconds for a striped write (each member takes 1/N of the bytes)."""
+        per_member = num_bytes / len(self.drives)
+        return max(d.write_time(per_member) for d in self.drives)
+
+    def read_time(self, num_bytes: float, *, cached_fraction: float = 0.0) -> float:
+        per_member = num_bytes / len(self.drives)
+        return max(
+            d.read_time(per_member, cached_fraction=cached_fraction)
+            for d in self.drives
+        )
+
+    def reset(self) -> None:
+        for d in self.drives:
+            d.reset_cache()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Raid0Volume({self.name!r}, {len(self.drives)} drives)"

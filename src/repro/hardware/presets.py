@@ -1,0 +1,102 @@
+"""Paper hardware presets (Tables II and III, Figs. 2 and 14).
+
+``paper_node_spec``/``paper_cluster`` reconstruct the two-node XE8545
+cluster of Section III-A.  ``TABLE_III`` captures the published
+interconnect inventory so the Table III bench can verify the built
+topology link-for-link.  ``nvme_placement_node_spec`` builds the Fig. 14
+variants with four scratch drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from ..units import GB
+from .cluster import Cluster, ClusterSpec
+from .link import LinkClass
+from .node import NodeSpec
+from .serdes import SerdesContentionModel, disabled_contention_model
+
+
+@dataclass(frozen=True)
+class InterconnectEntry:
+    """One row of the paper's Table III."""
+
+    interconnect: str
+    interface: str
+    links_per_node: int
+    devices_per_node: int
+    bandwidth_per_link: float  # theoretical bidirectional, bytes/s
+    tool: str
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Aggregate theoretical bidirectional bandwidth per node."""
+        return self.links_per_node * self.devices_per_node * self.bandwidth_per_link
+
+
+#: Paper Table III, verbatim.
+TABLE_III: Tuple[InterconnectEntry, ...] = (
+    InterconnectEntry("CPU-DRAM", "DRAM", 8, 2, 25.6 * GB, "AMD uProf"),
+    InterconnectEntry("CPU-CPU", "xGMI", 3, 1, 72 * GB, "AMD uProf"),
+    InterconnectEntry("CPU-GPU", "PCIe-GPU", 1, 4, 64 * GB, "NVIDIA SMI"),
+    InterconnectEntry("GPU-GPU", "NVLink", 12, 4, 50 * GB, "NVIDIA SMI"),
+    InterconnectEntry("CPU-NIC", "PCIe-NIC", 1, 2, 64 * GB, "AMD uProf"),
+    InterconnectEntry("CPU-NVME", "PCIe-NVME", 1, 8, 16 * GB, "AMD uProf"),
+    InterconnectEntry("Internode", "RoCE", 1, 2, 50 * GB, "HW Counter"),
+)
+
+#: Map from Table III interface names to the simulator's link classes.
+INTERFACE_TO_CLASS: Dict[str, LinkClass] = {
+    "DRAM": LinkClass.DRAM,
+    "xGMI": LinkClass.XGMI,
+    "PCIe-GPU": LinkClass.PCIE_GPU,
+    "NVLink": LinkClass.NVLINK,
+    "PCIe-NIC": LinkClass.PCIE_NIC,
+    "PCIe-NVME": LinkClass.PCIE_NVME,
+    "RoCE": LinkClass.ROCE,
+}
+
+
+def paper_node_spec() -> NodeSpec:
+    """The XE8545 node exactly as configured in the paper's Table II."""
+    return NodeSpec()
+
+
+def nvme_placement_node_spec(sockets_for_scratch: Tuple[int, ...]) -> NodeSpec:
+    """A node spec with scratch NVMe drives on the given sockets.
+
+    ``sockets_for_scratch`` lists the socket of each *scratch* drive; the
+    OS drive stays on socket 0 as drive 0.  The Fig. 14 study uses
+    ``(1, 1)`` (baseline dual-drive) and ``(0, 0, 1, 1)`` (quad-drive).
+    """
+    return replace(paper_node_spec(), nvme_sockets=(0,) + tuple(sockets_for_scratch))
+
+
+def paper_cluster(num_nodes: int = 2, *,
+                  contention: SerdesContentionModel = SerdesContentionModel(),
+                  node_spec: Optional[NodeSpec] = None) -> Cluster:
+    """Build the paper's cluster: ``num_nodes`` XE8545s behind an SN3700."""
+    spec = ClusterSpec(
+        num_nodes=num_nodes,
+        node=node_spec if node_spec is not None else paper_node_spec(),
+        contention=contention,
+    )
+    return Cluster(spec)
+
+
+def single_node_cluster(**kwargs) -> Cluster:
+    """One XE8545, no switch — the single-node experiments of Section IV."""
+    return paper_cluster(num_nodes=1, **kwargs)
+
+
+def dual_node_cluster(**kwargs) -> Cluster:
+    """Two XE8545s behind the switch — Section IV's dual-node experiments."""
+    return paper_cluster(num_nodes=2, **kwargs)
+
+
+def uncontended_cluster(num_nodes: int = 2) -> Cluster:
+    """Ablation: the same cluster with SerDes contention disabled."""
+    return paper_cluster(num_nodes=num_nodes,
+                         contention=disabled_contention_model())

@@ -1,0 +1,74 @@
+"""ASCII rendering of the cluster topology (paper Fig. 2 analog).
+
+``render_node`` draws one XE8545's internal wiring — sockets, DRAM,
+GPUs with their NVLink mesh, NICs, and NVMe drives with their socket
+attachment — and ``render_cluster`` adds the switch fan-in.  Used by the
+``repro topology`` CLI subcommand and handy when debugging placement
+configurations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .cluster import Cluster
+from .link import LinkClass
+from .node import Node
+
+
+def _gbps(value: float) -> str:
+    return f"{value / 1e9:.0f}GB/s"
+
+
+def render_node(node: Node) -> str:
+    """One node's internal topology, Fig. 2-b style."""
+    spec = node.spec
+    lines: List[str] = []
+    lines.append(f"+--- {node.name} (Dell PowerEdge XE8545) " + "-" * 24)
+    dram_bw = _gbps(spec.cpu.dram_bandwidth)
+    xgmi_bw = _gbps(2 * spec.xgmi_links * spec.xgmi_bandwidth_per_direction)
+    lines.append(f"|  DRAM {dram_bw} x8ch == [cpu0] <= xGMI x{spec.xgmi_links} "
+                 f"{xgmi_bw} => [cpu1] == x8ch {dram_bw} DRAM")
+    for socket in range(2):
+        gpus = [g for g in node.gpus if g.socket_index == socket]
+        nics = [n for n in node.nics if n.socket_index == socket]
+        drives = [d for d in node.nvme_drives
+                  if d.device.socket_index == socket]
+        parts = []
+        if gpus:
+            names = ",".join(g.name.split("/")[-1] for g in gpus)
+            parts.append(f"{names} (PCIe4 x16 each)")
+        if nics:
+            names = ",".join(n.name.split("/")[-1] for n in nics)
+            parts.append(f"{names} (PCIe4 x16)")
+        if drives:
+            names = ",".join(d.name.split("/")[-1] for d in drives)
+            parts.append(f"{names} (PCIe4 x4 each)")
+        lines.append(f"|  cpu{socket}: " + "; ".join(parts))
+    pair_bw = _gbps(2 * spec.nvlink_links_per_pair
+                    * spec.nvlink_bandwidth_per_direction)
+    lines.append(f"|  NVLink mesh: every GPU pair x{spec.nvlink_links_per_pair} "
+                 f"links = {pair_bw} bidirectional")
+    lines.append("+" + "-" * 62)
+    return "\n".join(lines)
+
+
+def render_cluster(cluster: Cluster) -> str:
+    """The whole cluster, Fig. 2-a style."""
+    blocks = [render_node(node) for node in cluster.nodes]
+    if cluster.switch is not None:
+        roce = cluster.topology.links_of_class(LinkClass.ROCE)
+        per_port = _gbps(roce[0].capacity_bidirectional) if roce else "?"
+        fan_in = " | ".join(
+            f"{node.name}:{len(node.nics)}xNIC" for node in cluster.nodes
+        )
+        blocks.append(
+            f"[{cluster.switch.name}] NVIDIA Spectrum SN3700 "
+            f"({per_port} RoCE per port) <== {fan_in}"
+        )
+    summary = (
+        f"{cluster.num_nodes} node(s), {cluster.num_gpus} GPUs, "
+        f"{cluster.total_gpu_memory() / 1e9:.0f} GB HBM, "
+        f"{cluster.total_host_memory() / 1e9:.0f} GB DRAM"
+    )
+    return "\n\n".join(blocks + [summary])

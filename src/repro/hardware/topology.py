@@ -1,0 +1,227 @@
+"""Cluster topology graph and route resolution.
+
+Devices are vertices; :class:`~repro.hardware.link.Link` objects are edges.
+A :class:`Route` is the ordered list of links a transfer traverses between
+two devices, e.g. for cross-socket GPU-RoCE traffic::
+
+    node0/gpu0 --PCIe-GPU--> node0/cpu0 --xGMI--> node0/cpu1
+               --PCIe-NIC--> node0/nic1 --RoCE--> switch0 ...
+
+Routing is shortest-path by a weight that prefers fewer hops, then higher
+bandwidth — which reproduces NCCL's transport selection (NVLink inside a
+node, the same-socket NIC for inter-node traffic).  Each Route knows its
+end-to-end latency and attainable bandwidth, including the EPYC SerDes
+contention derate of :mod:`repro.hardware.serdes`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import TopologyError
+from .devices import Device
+from .link import BandwidthLedger, Link, LinkClass
+from .serdes import SerdesContentionModel, TrafficProfile
+
+
+class Route:
+    """An ordered path of links between two devices."""
+
+    def __init__(self, source: str, destination: str, links: Sequence[Link],
+                 contention: SerdesContentionModel) -> None:
+        self.source = source
+        self.destination = destination
+        self.links: Tuple[Link, ...] = tuple(links)
+        self._contention = contention
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+    def __iter__(self):
+        return iter(self.links)
+
+    @property
+    def is_loopback(self) -> bool:
+        return not self.links
+
+    @property
+    def link_classes(self) -> Tuple[LinkClass, ...]:
+        return tuple(link.link_class for link in self.links)
+
+    def crosses(self, link_class: LinkClass) -> bool:
+        return any(link.link_class is link_class for link in self.links)
+
+    @property
+    def base_latency(self) -> float:
+        """Sum of per-hop latencies, before contention inflation."""
+        return sum(link.latency for link in self.links)
+
+    def latency(self) -> float:
+        """End-to-end small-message latency including SerDes queueing."""
+        return self.base_latency * self._contention.latency_factor(self.links)
+
+    def bandwidth(self, profile: TrafficProfile = TrafficProfile.SUSTAINED) -> float:
+        """Attainable bytes/s: bottleneck link x contention derate."""
+        if self.is_loopback:
+            return float("inf")
+        bottleneck = min(link.capacity_per_direction for link in self.links)
+        return bottleneck * self._contention.derate(self.links, profile)
+
+    def transfer_time(self, num_bytes: float,
+                      profile: TrafficProfile = TrafficProfile.SUSTAINED) -> float:
+        """Seconds to move ``num_bytes`` over the route (latency + streaming)."""
+        if self.is_loopback or num_bytes <= 0:
+            return 0.0
+        return self.latency() + num_bytes / self.bandwidth(profile)
+
+    def record(self, start: float, end: float, num_bytes: float) -> None:
+        """Charge ``num_bytes`` over [start, end] to every link's ledger."""
+        for link in self.links:
+            link.ledger.record(start, end, num_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        hops = " -> ".join(str(link.link_class) for link in self.links)
+        return f"Route({self.source} -> {self.destination}: {hops or 'loopback'})"
+
+
+class Topology:
+    """The device/link graph for one cluster."""
+
+    def __init__(self, contention: Optional[SerdesContentionModel] = None) -> None:
+        self.contention = contention if contention is not None else SerdesContentionModel()
+        self._devices: Dict[str, Device] = {}
+        self._links: List[Link] = []
+        self._adjacency: Dict[str, List[Link]] = {}
+        self._route_cache: Dict[Tuple[str, str], Route] = {}
+
+    # -- construction -------------------------------------------------------
+    def add_device(self, device: Device) -> Device:
+        if device.name in self._devices:
+            raise TopologyError(f"duplicate device name {device.name!r}")
+        self._devices[device.name] = device
+        self._adjacency.setdefault(device.name, [])
+        return device
+
+    def add_link(self, link: Link) -> Link:
+        for end in (link.endpoint_a, link.endpoint_b):
+            if end not in self._devices:
+                raise TopologyError(
+                    f"link {link.name!r} references unknown device {end!r}"
+                )
+        self._links.append(link)
+        self._adjacency[link.endpoint_a].append(link)
+        self._adjacency[link.endpoint_b].append(link)
+        self._route_cache.clear()
+        return link
+
+    # -- lookup --------------------------------------------------------------
+    def device(self, name: str) -> Device:
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise TopologyError(f"unknown device {name!r}") from None
+
+    def has_device(self, name: str) -> bool:
+        return name in self._devices
+
+    @property
+    def devices(self) -> Iterable[Device]:
+        return self._devices.values()
+
+    @property
+    def links(self) -> Sequence[Link]:
+        return tuple(self._links)
+
+    def link_between(self, a: str, b: str) -> Link:
+        """The direct link joining two adjacent devices."""
+        for link in self._adjacency.get(a, ()):
+            if link.connects(a, b):
+                return link
+        raise TopologyError(f"no direct link between {a!r} and {b!r}")
+
+    def links_of_class(self, link_class: LinkClass) -> List[Link]:
+        return [link for link in self._links if link.link_class is link_class]
+
+    def ledgers_by_class(self) -> Dict[LinkClass, List[BandwidthLedger]]:
+        out: Dict[LinkClass, List[BandwidthLedger]] = {}
+        for link in self._links:
+            out.setdefault(link.link_class, []).append(link.ledger)
+        return out
+
+    def reset_ledgers(self) -> None:
+        for link in self._links:
+            link.ledger.clear()
+
+    # -- routing --------------------------------------------------------------
+    def route(self, source: str, destination: str) -> Route:
+        """Resolve (and cache) the preferred route between two devices."""
+        key = (source, destination)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        if source not in self._devices:
+            raise TopologyError(f"unknown source device {source!r}")
+        if destination not in self._devices:
+            raise TopologyError(f"unknown destination device {destination!r}")
+        if source == destination:
+            route = Route(source, destination, (), self.contention)
+            self._route_cache[key] = route
+            return route
+        links = self._shortest_path(source, destination)
+        route = Route(source, destination, links, self.contention)
+        self._route_cache[key] = route
+        return route
+
+    def route_via(self, source: str, destination: str,
+                  waypoints: Sequence[str]) -> Route:
+        """Resolve a route forced through ``waypoints`` in order.
+
+        The stress tests of Section III-C pin a test kernel's traffic
+        through a *specific* NIC (same-socket vs. cross-socket); natural
+        shortest-path routing would always pick the local NIC, so forced
+        waypoints are required to reproduce the cross-socket scenarios.
+        """
+        stops = [source, *waypoints, destination]
+        links: List[Link] = []
+        for a, b in zip(stops, stops[1:]):
+            if a == b:
+                continue
+            links.extend(self._shortest_path(a, b))
+        return Route(source, destination, links, self.contention)
+
+    def _shortest_path(self, source: str, destination: str) -> List[Link]:
+        """Dijkstra over hop-dominant weights.
+
+        Weight per edge = 1 + epsilon/bandwidth, so fewer hops always win
+        and ties break toward the fattest pipe (NVLink over PCIe).
+        """
+        dist: Dict[str, float] = {source: 0.0}
+        prev: Dict[str, Tuple[str, Link]] = {}
+        heap: List[Tuple[float, str]] = [(0.0, source)]
+        visited = set()
+        while heap:
+            d, name = heapq.heappop(heap)
+            if name in visited:
+                continue
+            visited.add(name)
+            if name == destination:
+                break
+            for link in self._adjacency[name]:
+                neighbor = link.other_end(name)
+                weight = 1.0 + 1e-3 / max(link.capacity_per_direction / 1e9, 1e-9)
+                nd = d + weight
+                if nd < dist.get(neighbor, float("inf")):
+                    dist[neighbor] = nd
+                    prev[neighbor] = (name, link)
+                    heapq.heappush(heap, (nd, neighbor))
+        if destination not in prev:
+            raise TopologyError(f"no route from {source!r} to {destination!r}")
+        path: List[Link] = []
+        cursor = destination
+        while cursor != source:
+            parent, link = prev[cursor]
+            path.append(link)
+            cursor = parent
+        path.reverse()
+        return path

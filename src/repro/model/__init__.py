@@ -1,0 +1,60 @@
+"""Analytic GPT-2-like transformer: parameters, FLOPs, activations, states."""
+
+from .activations import (
+    activation_bytes_per_layer,
+    activation_memory_per_gpu,
+    checkpoint_boundary_bytes,
+)
+from .config import GPT2_VOCAB_PADDED, GPT2_VOCAB_SIZE, ModelConfig, TrainingConfig, paper_model
+from .flops import FlopsBreakdown, flops_factor, forward_flops, iteration_flops
+from .params import (
+    ParameterBreakdown,
+    count_parameters,
+    layer_parameters,
+    layers_for_target_params,
+    total_parameters,
+)
+from .states import (
+    GRAD_BYTES,
+    OPTIM_BYTES,
+    PARAM_BYTES,
+    TOTAL_STATE_BYTES,
+    OffloadTarget,
+    StatePlacement,
+    ZeroStage,
+    model_parallel_states,
+    replicated_states,
+    validate_offload,
+    zero_states,
+)
+
+__all__ = [
+    "GPT2_VOCAB_PADDED",
+    "GPT2_VOCAB_SIZE",
+    "GRAD_BYTES",
+    "FlopsBreakdown",
+    "ModelConfig",
+    "OPTIM_BYTES",
+    "OffloadTarget",
+    "PARAM_BYTES",
+    "ParameterBreakdown",
+    "StatePlacement",
+    "TOTAL_STATE_BYTES",
+    "TrainingConfig",
+    "ZeroStage",
+    "activation_bytes_per_layer",
+    "activation_memory_per_gpu",
+    "checkpoint_boundary_bytes",
+    "count_parameters",
+    "flops_factor",
+    "forward_flops",
+    "iteration_flops",
+    "layer_parameters",
+    "layers_for_target_params",
+    "model_parallel_states",
+    "paper_model",
+    "replicated_states",
+    "total_parameters",
+    "validate_offload",
+    "zero_states",
+]

@@ -1,0 +1,70 @@
+"""Activation-memory model.
+
+Without recomputation, the fp16 activation footprint of one transformer
+layer for micro-batch ``b`` and sequence ``s`` follows the standard
+estimate (Korthikanti et al., "Reducing Activation Recomputation in Large
+Transformer Models"):
+
+    bytes_per_layer = s * b * h * (34 + 5 * a * s / h)
+
+With full activation recomputation only the layer-boundary activations are
+kept (2 bytes/element), plus one layer's working set that is live while a
+block executes.  Tensor parallelism divides the bulk of the per-layer
+activations by the TP degree (LayerNorm inputs are replicated); pipeline
+parallelism keeps one micro-batch's activations per in-flight stage.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .config import ModelConfig, TrainingConfig
+
+
+def activation_bytes_per_layer(config: ModelConfig, training: TrainingConfig,
+                               *, tensor_parallel: int = 1) -> float:
+    """fp16 activation bytes one layer retains for the backward pass."""
+    if tensor_parallel < 1:
+        raise ConfigurationError("tensor_parallel must be >= 1")
+    s = config.seq_length
+    b = training.micro_batch_per_gpu
+    h = config.hidden_size
+    a = config.num_heads
+    full = s * b * h * (34.0 + 5.0 * a * s / h)
+    # Following Korthikanti et al.: the attention/MLP internals shard by TP
+    # while ~10 bytes/token-channel of LayerNorm/residual inputs replicate.
+    sharded = s * b * h * ((24.0 + 5.0 * a * s / h) / tensor_parallel + 10.0)
+    return full if tensor_parallel == 1 else sharded
+
+
+def checkpoint_boundary_bytes(config: ModelConfig,
+                              training: TrainingConfig) -> float:
+    """Bytes to store one layer-boundary activation (fp16)."""
+    return 2.0 * config.seq_length * training.micro_batch_per_gpu * config.hidden_size
+
+
+def activation_memory_per_gpu(config: ModelConfig, training: TrainingConfig, *,
+                              tensor_parallel: int = 1,
+                              pipeline_parallel: int = 1) -> float:
+    """Total activation bytes resident on one GPU during training.
+
+    With recomputation: one boundary tensor per local layer plus the live
+    working set of a single layer (the block being recomputed).  Without:
+    the full per-layer footprint for every local layer.  Pipeline
+    parallelism multiplies resident micro-batches by the number of
+    in-flight stages (we model the GPipe-style schedule Megatron-LM uses,
+    which keeps up to ``pipeline_parallel`` micro-batches in flight).
+    """
+    if pipeline_parallel < 1:
+        raise ConfigurationError("pipeline_parallel must be >= 1")
+    local_layers = max(1, config.num_layers // pipeline_parallel)
+    per_layer = activation_bytes_per_layer(
+        config, training, tensor_parallel=tensor_parallel
+    )
+    if training.activation_recompute:
+        boundaries = checkpoint_boundary_bytes(config, training) * local_layers
+        working_set = per_layer
+        resident = boundaries + working_set
+    else:
+        resident = per_layer * local_layers
+    in_flight = min(pipeline_parallel, 1 if pipeline_parallel == 1 else pipeline_parallel)
+    return resident * (in_flight if pipeline_parallel > 1 else 1)

@@ -1,0 +1,78 @@
+"""GPT-2-like model configuration (paper Section III-B2).
+
+The paper fixes 16 attention heads, hidden size 2048, sequence length 256,
+1024 maximum position embeddings, and a per-GPU micro-batch of 16, then
+varies the number of transformer layers to scale the model from 0.7 B to
+33.3 B parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+
+#: GPT-2 BPE vocabulary, padded to a multiple of 128 as Megatron-LM does
+#: for efficient tensor-parallel embedding sharding.
+GPT2_VOCAB_SIZE = 50257
+GPT2_VOCAB_PADDED = 50304
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """A GPT-2-like transformer language model specification."""
+
+    num_layers: int
+    hidden_size: int = 2048
+    num_heads: int = 16
+    seq_length: int = 256
+    max_position_embeddings: int = 1024
+    vocab_size: int = GPT2_VOCAB_PADDED
+    ffn_multiplier: int = 4
+    tied_embeddings: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 1:
+            raise ConfigurationError("num_layers must be >= 1")
+        if self.hidden_size % self.num_heads != 0:
+            raise ConfigurationError(
+                f"hidden_size {self.hidden_size} is not divisible by "
+                f"num_heads {self.num_heads}"
+            )
+        if self.seq_length > self.max_position_embeddings:
+            raise ConfigurationError(
+                "seq_length cannot exceed max_position_embeddings"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    @property
+    def ffn_hidden(self) -> int:
+        return self.ffn_multiplier * self.hidden_size
+
+    def with_layers(self, num_layers: int) -> "ModelConfig":
+        """The same model at a different depth (the paper's scaling axis)."""
+        return replace(self, num_layers=num_layers)
+
+
+def paper_model(num_layers: int) -> ModelConfig:
+    """The paper's GPT-2-like model at a given depth."""
+    return ModelConfig(num_layers=num_layers)
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Per-run training hyperparameters the paper holds fixed."""
+
+    micro_batch_per_gpu: int = 16
+    precision_bytes: int = 2  # FP16 mixed precision
+    optimizer: str = "adam"
+    activation_recompute: bool = True
+
+    def __post_init__(self) -> None:
+        if self.micro_batch_per_gpu < 1:
+            raise ConfigurationError("micro batch must be >= 1")
+        if self.precision_bytes not in (2, 4):
+            raise ConfigurationError("precision must be fp16 (2) or fp32 (4)")

@@ -1,0 +1,84 @@
+"""Per-iteration FLOP accounting (the DeepSpeed Flops Profiler analog).
+
+We use the standard dense-transformer accounting (Narayanan et al.,
+"Efficient Large-Scale Language Model Training on GPU Clusters"): a matrix
+multiply of (m x k) by (k x n) costs 2mkn FLOPs; the backward pass costs
+twice the forward; activation recomputation adds one extra forward through
+the checkpointed blocks.
+
+The paper's "compute throughput" (Figs. 7, 11, 13; Table V) is
+model FLOPs per iteration divided by iteration wall time, aggregated over
+all GPUs — exactly what the DeepSpeed Flops Profiler reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import ModelConfig, TrainingConfig
+
+
+@dataclass(frozen=True)
+class FlopsBreakdown:
+    """Forward-pass FLOPs per micro-batch by component."""
+
+    attention_gemm: float      # QKV, projection
+    attention_scores: float    # QK^T and attention-weighted values
+    mlp: float
+    lm_head: float
+
+    @property
+    def forward_total(self) -> float:
+        return (
+            self.attention_gemm
+            + self.attention_scores
+            + self.mlp
+            + self.lm_head
+        )
+
+
+def forward_flops(config: ModelConfig, batch_size: int) -> FlopsBreakdown:
+    """Forward FLOPs for one micro-batch of ``batch_size`` sequences."""
+    s = config.seq_length
+    h = config.hidden_size
+    ffn = config.ffn_hidden
+    L = config.num_layers
+    tokens = batch_size * s
+    attention_gemm = L * (
+        2 * tokens * h * (3 * h)   # QKV projection
+        + 2 * tokens * h * h       # output projection
+    )
+    attention_scores = L * (
+        2 * batch_size * config.num_heads * s * s * config.head_dim  # QK^T
+        + 2 * batch_size * config.num_heads * s * s * config.head_dim  # AV
+    )
+    mlp = L * (2 * tokens * h * ffn + 2 * tokens * ffn * h)
+    lm_head = 2 * tokens * h * config.vocab_size
+    return FlopsBreakdown(
+        attention_gemm=attention_gemm,
+        attention_scores=attention_scores,
+        mlp=mlp,
+        lm_head=lm_head,
+    )
+
+
+def iteration_flops(config: ModelConfig, training: TrainingConfig,
+                    num_gpus: int) -> float:
+    """Model FLOPs for one optimizer step across the whole job.
+
+    Backward is 2x forward; activation recomputation re-runs the forward
+    through the transformer blocks (but not the LM head).  Every GPU
+    processes its own micro-batch (pure data parallelism at the cluster
+    level — model-parallel strategies split these same FLOPs, they do not
+    add to them).
+    """
+    fwd = forward_flops(config, training.micro_batch_per_gpu)
+    per_gpu = 3.0 * fwd.forward_total
+    if training.activation_recompute:
+        per_gpu += fwd.forward_total - fwd.lm_head
+    return per_gpu * num_gpus
+
+
+def flops_factor(training: TrainingConfig) -> float:
+    """Multiple of one forward pass executed per iteration (3 or ~4)."""
+    return 4.0 if training.activation_recompute else 3.0

@@ -1,0 +1,89 @@
+"""Parameter counting for the GPT-2-like model.
+
+The per-layer parameter count of a standard pre-LN GPT block with hidden
+size ``h`` and 4h FFN is ``12 h^2 + 13 h`` (QKV + attention projection +
+two FFN matrices, their biases, and two LayerNorms); embeddings add
+``(V + P_max) h`` and the final LayerNorm ``2 h``.  With h = 2048 each
+layer is ~50.4 M parameters, so the paper's 1.4 B model is ~26 layers and
+the 33.3 B ZeRO-Infinity model is ~660 layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import ModelConfig
+
+
+@dataclass(frozen=True)
+class ParameterBreakdown:
+    """Parameter counts by component, all in raw parameter counts."""
+
+    embedding: int
+    position_embedding: int
+    per_layer: int
+    num_layers: int
+    final_layernorm: int
+    lm_head: int
+
+    @property
+    def transformer(self) -> int:
+        return self.per_layer * self.num_layers
+
+    @property
+    def total(self) -> int:
+        return (
+            self.embedding
+            + self.position_embedding
+            + self.transformer
+            + self.final_layernorm
+            + self.lm_head
+        )
+
+
+def layer_parameters(config: ModelConfig) -> int:
+    """Parameters in one transformer block."""
+    h = config.hidden_size
+    ffn = config.ffn_hidden
+    attention = 3 * h * h + 3 * h  # fused QKV
+    attention += h * h + h        # output projection
+    mlp = h * ffn + ffn           # up-projection
+    mlp += ffn * h + h            # down-projection
+    layernorms = 2 * (2 * h)
+    return attention + mlp + layernorms
+
+
+def count_parameters(config: ModelConfig) -> ParameterBreakdown:
+    """Full parameter breakdown for a model configuration."""
+    h = config.hidden_size
+    embedding = config.vocab_size * h
+    position = config.max_position_embeddings * h
+    lm_head = 0 if config.tied_embeddings else config.vocab_size * h
+    return ParameterBreakdown(
+        embedding=embedding,
+        position_embedding=position,
+        per_layer=layer_parameters(config),
+        num_layers=config.num_layers,
+        final_layernorm=2 * h,
+        lm_head=lm_head,
+    )
+
+
+def total_parameters(config: ModelConfig) -> int:
+    """Total parameter count (the paper's "model size")."""
+    return count_parameters(config).total
+
+
+def layers_for_target_params(config: ModelConfig, target_params: float) -> int:
+    """Smallest depth whose total parameter count reaches ``target_params``.
+
+    Used to translate the paper's billion-parameter model sizes (Table V's
+    columns) back into layer counts for simulation.
+    """
+    base = count_parameters(config.with_layers(1))
+    fixed = base.total - base.per_layer
+    needed = max(0.0, target_params - fixed)
+    layers = max(1, round(needed / base.per_layer))
+    while total_parameters(config.with_layers(layers)) < target_params:
+        layers += 1
+    return layers

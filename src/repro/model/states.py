@@ -1,0 +1,199 @@
+"""Model-state partitioning and placement accounting (paper Table I).
+
+Mixed-precision Adam training keeps, per parameter: 2 B fp16 weights,
+2 B fp16 gradients, and 12 B of fp32 optimizer state (master weights,
+momentum, variance) — 16 B/parameter in total (Rajbhandari et al., ZeRO).
+
+This module computes where those bytes live for every strategy/offload
+combination the paper evaluates: replicated (DDP), model-parallel split
+(Megatron-LM), ZeRO-partitioned by stage, and ZeRO-Offload / ZeRO-Infinity
+placements in CPU DRAM or NVMe.  All quantities are *per data-parallel
+rank* (per GPU) unless suffixed ``_total``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import CapabilityError, ConfigurationError
+
+PARAM_BYTES = 2.0       # fp16 weights
+GRAD_BYTES = 2.0        # fp16 gradients
+OPTIM_BYTES = 12.0      # fp32 master + momentum + variance
+TOTAL_STATE_BYTES = PARAM_BYTES + GRAD_BYTES + OPTIM_BYTES
+
+
+class OffloadTarget(enum.Enum):
+    """Where a partitioned state component lives (paper Table I columns)."""
+
+    NONE = "none"
+    CPU = "cpu"
+    NVME = "nvme"
+
+
+class ZeroStage(enum.IntEnum):
+    """DeepSpeed ZeRO stages (paper Table I rows).
+
+    Stage 0 disables partitioning (plain DDP semantics through the
+    DeepSpeed engine); stages 1-3 partition optimizer states, gradients,
+    and parameters cumulatively.
+    """
+
+    DISABLED = 0
+    OPTIMIZER = 1
+    GRADIENTS = 2
+    PARAMETERS = 3
+
+    @property
+    def partitions_optimizer(self) -> bool:
+        return self >= ZeroStage.OPTIMIZER
+
+    @property
+    def partitions_gradients(self) -> bool:
+        return self >= ZeroStage.GRADIENTS
+
+    @property
+    def partitions_parameters(self) -> bool:
+        return self >= ZeroStage.PARAMETERS
+
+    def supports_offload(self, component: str, target: OffloadTarget) -> bool:
+        """Capability matrix of paper Table I."""
+        if target is OffloadTarget.NONE:
+            return True
+        if component == "optimizer":
+            if target is OffloadTarget.CPU:
+                return self >= ZeroStage.OPTIMIZER
+            return self >= ZeroStage.PARAMETERS  # NVMe needs ZeRO-3
+        if component == "parameter":
+            return self >= ZeroStage.PARAMETERS
+        raise ConfigurationError(f"unknown state component {component!r}")
+
+
+def validate_offload(stage: ZeroStage, *, optimizer_target: OffloadTarget,
+                     parameter_target: OffloadTarget) -> None:
+    """Raise :class:`CapabilityError` on Table-I-invalid combinations."""
+    if not stage.supports_offload("optimizer", optimizer_target):
+        raise CapabilityError(
+            f"ZeRO-{int(stage)} cannot offload optimizer states to "
+            f"{optimizer_target.value}; see paper Table I"
+        )
+    if not stage.supports_offload("parameter", parameter_target):
+        raise CapabilityError(
+            f"ZeRO-{int(stage)} cannot offload parameters to "
+            f"{parameter_target.value}; see paper Table I"
+        )
+
+
+@dataclass(frozen=True)
+class StatePlacement:
+    """Bytes of model state per data-parallel rank, by residence.
+
+    ``gpu_*`` components are resident in the rank's HBM; ``cpu_*`` in the
+    host DRAM serving that rank; ``nvme_*`` on the swap volume.
+    """
+
+    gpu_params: float = 0.0
+    gpu_grads: float = 0.0
+    gpu_optimizer: float = 0.0
+    cpu_params: float = 0.0
+    cpu_grads: float = 0.0
+    cpu_optimizer: float = 0.0
+    nvme_params: float = 0.0
+    nvme_optimizer: float = 0.0
+
+    @property
+    def gpu_total(self) -> float:
+        return self.gpu_params + self.gpu_grads + self.gpu_optimizer
+
+    @property
+    def cpu_total(self) -> float:
+        return self.cpu_params + self.cpu_grads + self.cpu_optimizer
+
+    @property
+    def nvme_total(self) -> float:
+        return self.nvme_params + self.nvme_optimizer
+
+    @property
+    def total(self) -> float:
+        return self.gpu_total + self.cpu_total + self.nvme_total
+
+
+def replicated_states(num_params: float) -> StatePlacement:
+    """DDP: every rank holds every byte (16 B/parameter on GPU)."""
+    return StatePlacement(
+        gpu_params=PARAM_BYTES * num_params,
+        gpu_grads=GRAD_BYTES * num_params,
+        gpu_optimizer=OPTIM_BYTES * num_params,
+    )
+
+
+def model_parallel_states(num_params: float, model_parallel_degree: int) -> StatePlacement:
+    """Megatron-LM: all states split across the TP x PP group."""
+    if model_parallel_degree < 1:
+        raise ConfigurationError("model_parallel_degree must be >= 1")
+    share = num_params / model_parallel_degree
+    return replicated_states(share)
+
+
+def zero_states(num_params: float, stage: ZeroStage, dp_degree: int, *,
+                optimizer_target: OffloadTarget = OffloadTarget.NONE,
+                parameter_target: OffloadTarget = OffloadTarget.NONE) -> StatePlacement:
+    """ZeRO stage ``stage`` over ``dp_degree`` ranks, with offload targets.
+
+    ZeRO-Offload moves the fp32 optimizer partition (and, with it, a fp32
+    gradient working copy for the CPU Adam step) to host DRAM; ZeRO-3 with
+    parameter offload keeps only the working fp16 parameters on GPU.
+    ZeRO-Infinity pushes the optimizer partition (and optionally the fp16
+    parameter partition) to NVMe, with host DRAM acting as the staging
+    tier (accounted by the strategies' buffer models, not here).
+    """
+    if dp_degree < 1:
+        raise ConfigurationError("dp_degree must be >= 1")
+    validate_offload(stage, optimizer_target=optimizer_target,
+                     parameter_target=parameter_target)
+    params = PARAM_BYTES * num_params
+    grads = GRAD_BYTES * num_params
+    optim = OPTIM_BYTES * num_params
+
+    gpu_params, cpu_params, nvme_params = params, 0.0, 0.0
+    gpu_grads, cpu_grads = grads, 0.0
+    gpu_optim, cpu_optim, nvme_optim = optim, 0.0, 0.0
+
+    if stage.partitions_optimizer:
+        gpu_optim = optim / dp_degree
+    if stage.partitions_gradients:
+        gpu_grads = grads / dp_degree
+    if stage.partitions_parameters:
+        gpu_params = params / dp_degree
+
+    if optimizer_target is not OffloadTarget.NONE:
+        # CPU Adam consumes gradients host-side: the rank's gradient
+        # partition moves to pinned DRAM as fp32 (2x the fp16 bytes), and
+        # the GPU no longer retains the partition.  Without gradient
+        # partitioning (stage 1) the GPU still buffers most of the full
+        # fp16 gradient set in flight, because the PCIe drain cannot keep
+        # up with backward compute (calibrated to Fig. 13's ZeRO-1 CPU
+        # ceiling of 8.9 B parameters).
+        cpu_grads = gpu_grads * 2.0
+        gpu_grads = 0.0 if stage.partitions_gradients else 0.75 * grads
+    if optimizer_target is OffloadTarget.CPU:
+        cpu_optim, gpu_optim = gpu_optim, 0.0
+    elif optimizer_target is OffloadTarget.NVME:
+        nvme_optim, gpu_optim = gpu_optim, 0.0
+
+    if parameter_target is OffloadTarget.CPU:
+        cpu_params, gpu_params = gpu_params, 0.0
+    elif parameter_target is OffloadTarget.NVME:
+        nvme_params, gpu_params = gpu_params, 0.0
+
+    return StatePlacement(
+        gpu_params=gpu_params,
+        gpu_grads=gpu_grads,
+        gpu_optimizer=gpu_optim,
+        cpu_params=cpu_params,
+        cpu_grads=cpu_grads,
+        cpu_optimizer=cpu_optim,
+        nvme_params=nvme_params,
+        nvme_optimizer=nvme_optim,
+    )

@@ -1,0 +1,76 @@
+"""Training strategies: DDP, Megatron-LM, and the DeepSpeed ZeRO family."""
+
+from .ddp import DdpStrategy
+from .hybrid import HybridTpZeroStrategy, hybrid_tp_zero1, hybrid_tp_zero2
+from .infinity import zero3_nvme_optimizer, zero3_nvme_optimizer_params
+from .megatron import MegatronStrategy
+from .pipeline import PipelineParallelStrategy, pipeline_1f1b
+from .offload import (
+    zero1_cpu_offload,
+    zero2_cpu_offload,
+    zero3_cpu_offload,
+    zero3_cpu_param_offload,
+)
+from .placement import DEFAULT_PLACEMENT, PLACEMENTS, PlacementConfig
+from .schedule import (
+    CollectiveStep,
+    CommunicatorSpec,
+    ComputeStep,
+    CpuWorkStep,
+    HostTransferStep,
+    IdleStep,
+    IterationSchedule,
+    Location,
+    Step,
+    WaitForStep,
+    WaitPendingStep,
+    layer_chunks,
+    uniform_schedule,
+)
+from .strategy import (
+    LayerTimings,
+    MemoryPlan,
+    StrategyContext,
+    TrainingStrategy,
+)
+from .zero import ZeroStrategy, zero1, zero2, zero3
+
+__all__ = [
+    "CollectiveStep",
+    "CommunicatorSpec",
+    "ComputeStep",
+    "CpuWorkStep",
+    "DEFAULT_PLACEMENT",
+    "DdpStrategy",
+    "HostTransferStep",
+    "HybridTpZeroStrategy",
+    "IdleStep",
+    "IterationSchedule",
+    "LayerTimings",
+    "Location",
+    "MegatronStrategy",
+    "MemoryPlan",
+    "PLACEMENTS",
+    "PipelineParallelStrategy",
+    "PlacementConfig",
+    "Step",
+    "StrategyContext",
+    "TrainingStrategy",
+    "WaitForStep",
+    "WaitPendingStep",
+    "ZeroStrategy",
+    "layer_chunks",
+    "uniform_schedule",
+    "pipeline_1f1b",
+    "hybrid_tp_zero1",
+    "hybrid_tp_zero2",
+    "zero1",
+    "zero1_cpu_offload",
+    "zero2",
+    "zero2_cpu_offload",
+    "zero3",
+    "zero3_cpu_offload",
+    "zero3_cpu_param_offload",
+    "zero3_nvme_optimizer",
+    "zero3_nvme_optimizer_params",
+]

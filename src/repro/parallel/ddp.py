@@ -1,0 +1,113 @@
+"""PyTorch Distributed Data-Parallel (DDP) strategy.
+
+DDP replicates the full model on every GPU, runs forward/backward on a
+local micro-batch, and all-reduces gradients bucket-by-bucket overlapped
+with backward compute (Li et al., VLDB 2020).  It is the paper's baseline:
+highest throughput, but model size capped by one GPU's memory (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..collectives.primitives import CollectiveKind
+from .. import calibration
+from ..model.params import count_parameters
+from ..model.states import PARAM_BYTES, replicated_states
+from ..runtime.kernels import KernelKind
+from .schedule import (
+    CollectiveStep,
+    CommunicatorSpec,
+    ComputeStep,
+    IterationSchedule,
+    Step,
+    WaitPendingStep,
+    layer_chunks,
+    uniform_schedule,
+)
+from .strategy import (
+    MemoryPlan,
+    StrategyContext,
+    TrainingStrategy,
+    elementwise_step,
+    gemm_step,
+    optimizer_step,
+)
+
+
+class DdpStrategy(TrainingStrategy):
+    """Vanilla data parallelism with AMP mixed precision."""
+
+    name = "ddp"
+    display_name = "PyTorch DDP"
+
+    def __init__(self) -> None:
+        super().__init__(calibration.DDP)
+
+    def data_parallel_degree(self, ctx: StrategyContext) -> int:
+        return ctx.world_size
+
+    # -- memory ---------------------------------------------------------------
+    def memory_plan(self, ctx: StrategyContext) -> MemoryPlan:
+        plan = self.base_gpu_plan(ctx)
+        states = replicated_states(ctx.total_params)
+        plan.add_gpu("parameters", states.gpu_params)
+        plan.add_gpu("gradients", states.gpu_grads)
+        plan.add_gpu("optimizer_states", states.gpu_optimizer)
+        plan.add_gpu("amp_and_reducer",
+                     calibration.DDP_EXTRA_BYTES_PER_PARAM * ctx.total_params)
+        self.host_base_plan(plan, ctx)
+        return plan
+
+    # -- schedule ----------------------------------------------------------------
+    def build_schedule(self, ctx: StrategyContext) -> IterationSchedule:
+        timings = self.layer_timings(ctx)
+        breakdown = count_parameters(ctx.model)
+        layer_grad_bytes = PARAM_BYTES * breakdown.per_layer
+        embed_grad_bytes = PARAM_BYTES * (
+            breakdown.embedding + breakdown.position_embedding
+            + breakdown.final_layernorm
+        )
+        chunks = layer_chunks(ctx.model.num_layers)
+        steps: List[Step] = []
+        for start, count in chunks:
+            steps.append(gemm_step(timings.fwd_layer * count,
+                                   f"fwd_l{start}+{count}"))
+            steps.append(elementwise_step(timings.elementwise_layer * count,
+                                          f"fwd_ew_l{start}+{count}"))
+        steps.append(gemm_step(timings.head_fwd, "lm_head_fwd"))
+        steps.append(gemm_step(timings.head_bwd, "lm_head_bwd"))
+        for start, count in reversed(chunks):
+            if timings.recompute_layer:
+                steps.append(gemm_step(timings.recompute_layer * count,
+                                       f"recompute_l{start}+{count}"))
+            steps.append(gemm_step(timings.bwd_layer * count,
+                                   f"bwd_l{start}+{count}"))
+            steps.append(CollectiveStep(
+                key=f"allreduce_l{start}",
+                comm="dp",
+                kind=CollectiveKind.ALL_REDUCE,
+                payload_bytes=layer_grad_bytes * count,
+                blocking=False,
+                op_count=count,
+            ))
+        steps.append(CollectiveStep(
+            key="allreduce_embeddings",
+            comm="dp",
+            kind=CollectiveKind.ALL_REDUCE,
+            payload_bytes=embed_grad_bytes,
+            blocking=False,
+        ))
+        steps.append(WaitPendingStep(name="gradient_sync"))
+        compute = self.compute_model(ctx)
+        steps.append(optimizer_step(
+            compute.optimizer_time(ctx.total_params), "adam_full"
+        ))
+        steps.append(ComputeStep(KernelKind.ELEMENTWISE,
+                                 self.calibration.fixed_overhead_s,
+                                 "host_overhead"))
+        ranks = list(range(ctx.world_size))
+        return uniform_schedule(
+            ranks, steps,
+            {"dp": CommunicatorSpec("dp", [ranks])},
+        )

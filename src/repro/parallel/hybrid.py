@@ -1,0 +1,183 @@
+"""Hybrid tensor-parallel + ZeRO data-parallel strategy (extension).
+
+The paper notes that "DeepSpeed supports hybrid parallelism, including
+TP, PP, and DP" (Section II-C) but never evaluates it.  This strategy
+implements the configuration its own findings point to: keep Megatron
+style tensor parallelism *inside* each node (where the dense activation
+all-reduces ride NVLink) and run ZeRO data parallelism *across* nodes
+(where only bucketed gradient/parameter traffic touches the contended
+RoCE fabric).  On the paper's dual-node cluster this avoids exactly the
+failure mode that collapses Megatron-LM (inter-node TP all-reduce) while
+fitting more than plain data parallelism.
+
+The extension experiment (``repro.experiments.ext_hybrid``) compares it
+against the paper's configurations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .. import calibration
+from ..collectives.primitives import CollectiveKind
+from ..errors import ConfigurationError
+from ..model.params import count_parameters
+from ..model.states import PARAM_BYTES, ZeroStage
+from ..runtime.kernels import KernelKind
+from .schedule import (
+    CollectiveStep,
+    CommunicatorSpec,
+    ComputeStep,
+    IterationSchedule,
+    Step,
+    WaitPendingStep,
+    layer_chunks,
+    uniform_schedule,
+)
+from .strategy import (
+    MemoryPlan,
+    StrategyContext,
+    TrainingStrategy,
+    elementwise_step,
+    gemm_step,
+    optimizer_step,
+)
+
+
+class HybridTpZeroStrategy(TrainingStrategy):
+    """Intra-node tensor parallelism x inter-node ZeRO data parallelism."""
+
+    name = "hybrid_tp_zero"
+    display_name = "Hybrid TP x ZeRO"
+
+    def __init__(self, *, zero_stage: ZeroStage = ZeroStage.OPTIMIZER) -> None:
+        if zero_stage not in (ZeroStage.OPTIMIZER, ZeroStage.GRADIENTS):
+            raise ConfigurationError(
+                "the hybrid strategy supports ZeRO stages 1 and 2 "
+                "(stage 3 would re-shard the already TP-sharded parameters)"
+            )
+        super().__init__(calibration.MEGATRON)
+        self.zero_stage = zero_stage
+        self.name = f"hybrid_tp_zero{int(zero_stage)}"
+        self.display_name = f"Hybrid TP x ZeRO-{int(zero_stage)}"
+
+    # -- degrees -----------------------------------------------------------------
+    def model_parallel_degree(self, ctx: StrategyContext) -> int:
+        return ctx.cluster.gpus_per_node
+
+    def data_parallel_degree(self, ctx: StrategyContext) -> int:
+        return ctx.cluster.num_nodes
+
+    # -- memory --------------------------------------------------------------------
+    def memory_plan(self, ctx: StrategyContext) -> MemoryPlan:
+        mp = self.model_parallel_degree(ctx)
+        dp = self.data_parallel_degree(ctx)
+        params = ctx.total_params
+        plan = self.base_gpu_plan(ctx, tensor_parallel=mp)
+        plan.gpu["framework_buffers"] = (
+            self.calibration.gpu_buffer_bytes
+            + calibration.MEGATRON_BUFFER_PER_MP / mp
+        )
+        shard = params / mp
+        plan.add_gpu("parameters", 2.0 * shard)
+        grads = 2.0 * shard
+        optim = 12.0 * shard
+        if self.zero_stage.partitions_gradients:
+            grads /= dp
+        if self.zero_stage.partitions_optimizer:
+            optim /= dp
+        plan.add_gpu("gradients", grads)
+        plan.add_gpu("optimizer_states", optim)
+        self.host_base_plan(plan, ctx)
+        return plan
+
+    # -- schedule --------------------------------------------------------------------
+    def build_schedule(self, ctx: StrategyContext) -> IterationSchedule:
+        mp = self.model_parallel_degree(ctx)
+        dp = self.data_parallel_degree(ctx)
+        per_node = ctx.cluster.gpus_per_node
+        timings = self.layer_timings(ctx)
+        breakdown = count_parameters(ctx.model)
+        shard_layer_bytes = PARAM_BYTES * breakdown.per_layer / mp
+        shard_total_bytes = PARAM_BYTES * breakdown.total / mp
+
+        # Each TP group processes its own dp-share of the global batch.
+        tokens_per_group = ctx.total_tokens_per_iteration / dp
+        activation_bytes = tokens_per_group * ctx.model.hidden_size * 2.0
+        fwd_ar = 2.0 * activation_bytes
+        bwd_factor = 4.0 if ctx.training.activation_recompute else 2.0
+        bwd_ar = bwd_factor * activation_bytes
+
+        chunks = layer_chunks(ctx.model.num_layers, max_chunks=32)
+        steps: List[Step] = []
+        for start, count in chunks:
+            steps.append(gemm_step(timings.fwd_layer * count,
+                                   f"fwd_l{start}+{count}"))
+            steps.append(elementwise_step(timings.elementwise_layer * count,
+                                          f"fwd_ew_l{start}+{count}"))
+            steps.append(CollectiveStep(
+                key=f"tp_ar_fwd_l{start}", comm="tp",
+                kind=CollectiveKind.ALL_REDUCE,
+                payload_bytes=fwd_ar * count, blocking=True,
+                op_count=2 * count,
+            ))
+        steps.append(gemm_step(timings.head_fwd, "lm_head_fwd"))
+        steps.append(gemm_step(timings.head_bwd, "lm_head_bwd"))
+        for start, count in reversed(chunks):
+            if timings.recompute_layer:
+                steps.append(gemm_step(timings.recompute_layer * count,
+                                       f"recompute_l{start}+{count}"))
+            steps.append(gemm_step(timings.bwd_layer * count,
+                                   f"bwd_l{start}+{count}"))
+            steps.append(CollectiveStep(
+                key=f"tp_ar_bwd_l{start}", comm="tp",
+                kind=CollectiveKind.ALL_REDUCE,
+                payload_bytes=bwd_ar * count, blocking=True,
+                op_count=2 * count,
+            ))
+            # ZeRO gradient sync for the TP shard across nodes.
+            grad_kind = (CollectiveKind.REDUCE
+                         if self.zero_stage.partitions_gradients
+                         else CollectiveKind.ALL_REDUCE)
+            steps.append(CollectiveStep(
+                key=f"dp_grad_l{start}", comm="dp",
+                kind=grad_kind,
+                payload_bytes=shard_layer_bytes * count,
+                blocking=False, op_count=count,
+            ))
+        steps.append(WaitPendingStep(name="gradient_sync"))
+        compute = self.compute_model(ctx)
+        partition = ctx.total_params / (
+            mp * (dp if self.zero_stage.partitions_optimizer else 1))
+        steps.append(optimizer_step(compute.optimizer_time(partition),
+                                    "adam_shard"))
+        if self.zero_stage.partitions_optimizer and dp > 1:
+            steps.append(CollectiveStep(
+                key="dp_allgather_params", comm="dp",
+                kind=CollectiveKind.ALL_GATHER,
+                payload_bytes=shard_total_bytes,
+                blocking=True,
+            ))
+        steps.append(ComputeStep(KernelKind.ELEMENTWISE,
+                                 self.calibration.fixed_overhead_s,
+                                 "host_overhead"))
+
+        ranks = list(range(ctx.world_size))
+        tp_groups = [list(range(n * per_node, (n + 1) * per_node))
+                     for n in range(ctx.cluster.num_nodes)]
+        dp_groups = [[n * per_node + local for n in range(dp)]
+                     for local in range(per_node)]
+        return uniform_schedule(ranks, steps, {
+            "tp": CommunicatorSpec("tp", tp_groups),
+            "dp": CommunicatorSpec("dp", dp_groups),
+        })
+
+
+def hybrid_tp_zero1() -> HybridTpZeroStrategy:
+    """Intra-node TP with inter-node ZeRO-1."""
+    return HybridTpZeroStrategy(zero_stage=ZeroStage.OPTIMIZER)
+
+
+def hybrid_tp_zero2() -> HybridTpZeroStrategy:
+    """Intra-node TP with inter-node ZeRO-2."""
+    return HybridTpZeroStrategy(zero_stage=ZeroStage.GRADIENTS)

@@ -1,0 +1,26 @@
+"""ZeRO-Infinity factory functions (paper Sections V-B, V-C, V-E).
+
+ZeRO-Infinity (Rajbhandari et al., SC'21) extends ZeRO-3 offloading to
+NVMe storage, staging tensors through pinned host DRAM with an async-IO
+engine.  The paper evaluates optimizer-only and optimizer+parameter NVMe
+offload, shows throughput scaling with aggregate NVMe bandwidth, and
+studies data placement across sockets (Fig. 14 / Table VI).
+"""
+
+from __future__ import annotations
+
+from ..model.states import OffloadTarget, ZeroStage
+from .zero import ZeroStrategy
+
+
+def zero3_nvme_optimizer() -> ZeroStrategy:
+    """ZeRO-Infinity: optimizer states on the NVMe swap volume."""
+    return ZeroStrategy(ZeroStage.PARAMETERS,
+                        optimizer_target=OffloadTarget.NVME)
+
+
+def zero3_nvme_optimizer_params() -> ZeroStrategy:
+    """ZeRO-Infinity: optimizer states and fp16 parameters on NVMe."""
+    return ZeroStrategy(ZeroStage.PARAMETERS,
+                        optimizer_target=OffloadTarget.NVME,
+                        parameter_target=OffloadTarget.NVME)

@@ -1,0 +1,163 @@
+"""Megatron-LM tensor + pipeline model parallelism.
+
+The paper configures Megatron-LM with TP=4/PP=4 on one node and TP=8/PP=8
+on two (Section IV): the whole job is one model-parallel group; there is
+no data parallelism.  We model the group as ``mp = world_size`` ranks that
+
+* each compute ``1/mp`` of every layer's GEMMs (tensor slicing),
+* all-reduce the sliced activations twice per layer per direction
+  (Shoeybi et al.: one after attention, one after the MLP) — the dense
+  stream of All-Reduce between GEMMs in the paper's Fig. 5 timeline,
+* process the batch as ``mp`` pipeline micro-batches (Fig. 5 shows four
+  forward/backward pairs on four GPUs), paying a fill/drain bubble, and
+* exchange stage-boundary activations point-to-point.
+
+Across nodes the TP all-reduces ride RoCE with a SUSTAINED traffic
+profile — the constant-stream pattern the paper blames (together with the
+SerDes contention) for Megatron-LM's dual-node collapse.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..collectives.primitives import CollectiveKind
+from .. import calibration
+from ..hardware.serdes import TrafficProfile
+from ..model.states import model_parallel_states
+from ..runtime.kernels import KernelKind
+from .schedule import (
+    CollectiveStep,
+    CommunicatorSpec,
+    ComputeStep,
+    IdleStep,
+    IterationSchedule,
+    Step,
+    layer_chunks,
+    uniform_schedule,
+)
+from .strategy import (
+    MemoryPlan,
+    StrategyContext,
+    TrainingStrategy,
+    elementwise_step,
+    gemm_step,
+    optimizer_step,
+)
+
+
+class MegatronStrategy(TrainingStrategy):
+    """Megatron-LM with TP x PP spanning every GPU in the job."""
+
+    name = "megatron"
+    display_name = "Megatron-LM"
+    traffic_profile = TrafficProfile.SUSTAINED
+
+    def __init__(self) -> None:
+        super().__init__(calibration.MEGATRON)
+
+    def data_parallel_degree(self, ctx: StrategyContext) -> int:
+        return 1
+
+    def model_parallel_degree(self, ctx: StrategyContext) -> int:
+        return ctx.world_size
+
+    # -- memory -----------------------------------------------------------------
+    def memory_plan(self, ctx: StrategyContext) -> MemoryPlan:
+        mp = self.model_parallel_degree(ctx)
+        plan = self.base_gpu_plan(ctx, tensor_parallel=mp)
+        plan.gpu["framework_buffers"] = (
+            self.calibration.gpu_buffer_bytes
+            + calibration.MEGATRON_BUFFER_PER_MP / mp
+        )
+        states = model_parallel_states(ctx.total_params, mp)
+        plan.add_gpu("parameters", states.gpu_params)
+        plan.add_gpu("gradients", states.gpu_grads)
+        plan.add_gpu("optimizer_states", states.gpu_optimizer)
+        self.host_base_plan(plan, ctx)
+        return plan
+
+    # -- schedule -----------------------------------------------------------------
+    def build_schedule(self, ctx: StrategyContext) -> IterationSchedule:
+        mp = self.model_parallel_degree(ctx)
+        micro_batches = mp  # Fig. 5: one fwd/bwd pair per model-parallel rank
+        timings = self.layer_timings(ctx)
+        num_layers = ctx.model.num_layers
+
+        # Activation payload per TP all-reduce per micro-batch: the whole
+        # group's tokens divided across micro-batches, times hidden, fp16.
+        tokens_per_microbatch = ctx.total_tokens_per_iteration / micro_batches
+        activation_bytes = tokens_per_microbatch * ctx.model.hidden_size * 2.0
+        fwd_ar_bytes = 2.0 * activation_bytes   # post-attention + post-MLP
+        bwd_ar_factor = 4.0 if ctx.training.activation_recompute else 2.0
+        bwd_ar_bytes = bwd_ar_factor * activation_bytes
+        boundary_bytes = activation_bytes       # pipeline stage hand-off
+
+        # Per-micro-batch per-layer compute: a rank's layer share / m.
+        fwd_t = timings.fwd_layer / micro_batches
+        ew_t = timings.elementwise_layer / micro_batches
+        bwd_t = (timings.bwd_layer + timings.recompute_layer) / micro_batches
+        head_fwd_t = timings.head_fwd / micro_batches
+        head_bwd_t = timings.head_bwd / micro_batches
+
+        compute_total = (
+            num_layers * (fwd_t + ew_t + bwd_t)
+            + head_fwd_t + head_bwd_t
+        ) * micro_batches
+        bubble = calibration.MEGATRON_BUBBLE_FRACTION * compute_total
+
+        chunks = layer_chunks(num_layers, max_chunks=24)
+        steps: List[Step] = [IdleStep(bubble / 2.0, "pipeline_fill")]
+        for mb in range(micro_batches):
+            for start, count in chunks:
+                steps.append(gemm_step(fwd_t * count,
+                                       f"fwd_mb{mb}_l{start}+{count}"))
+                steps.append(elementwise_step(ew_t * count,
+                                              f"fwd_ew_mb{mb}_l{start}+{count}"))
+                steps.append(CollectiveStep(
+                    key=f"tp_ar_fwd_mb{mb}_l{start}",
+                    comm="mp",
+                    kind=CollectiveKind.ALL_REDUCE,
+                    payload_bytes=fwd_ar_bytes * count,
+                    blocking=True,
+                    op_count=2 * count,  # post-attention + post-MLP per layer
+                ))
+            steps.append(CollectiveStep(
+                key=f"pp_boundary_fwd_mb{mb}",
+                comm="mp",
+                kind=CollectiveKind.SEND_RECV,
+                payload_bytes=boundary_bytes,
+                blocking=True,
+            ))
+            steps.append(gemm_step(head_fwd_t, f"lm_head_fwd_mb{mb}"))
+            steps.append(gemm_step(head_bwd_t, f"lm_head_bwd_mb{mb}"))
+            for start, count in reversed(chunks):
+                steps.append(gemm_step(bwd_t * count,
+                                       f"bwd_mb{mb}_l{start}+{count}"))
+                steps.append(CollectiveStep(
+                    key=f"tp_ar_bwd_mb{mb}_l{start}",
+                    comm="mp",
+                    kind=CollectiveKind.ALL_REDUCE,
+                    payload_bytes=bwd_ar_bytes * count,
+                    blocking=True,
+                    op_count=2 * count,
+                ))
+            steps.append(CollectiveStep(
+                key=f"pp_boundary_bwd_mb{mb}",
+                comm="mp",
+                kind=CollectiveKind.SEND_RECV,
+                payload_bytes=boundary_bytes,
+                blocking=True,
+            ))
+        steps.append(IdleStep(bubble / 2.0, "pipeline_drain"))
+        compute = self.compute_model(ctx)
+        steps.append(optimizer_step(
+            compute.optimizer_time(ctx.total_params / mp), "adam_shard"
+        ))
+        steps.append(ComputeStep(KernelKind.ELEMENTWISE,
+                                 self.calibration.fixed_overhead_s,
+                                 "host_overhead"))
+        ranks = list(range(ctx.world_size))
+        return uniform_schedule(
+            ranks, steps, {"mp": CommunicatorSpec("mp", [ranks])},
+        )

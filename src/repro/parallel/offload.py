@@ -1,0 +1,38 @@
+"""ZeRO-Offload factory functions (paper Section V-A).
+
+ZeRO-Offload (Ren et al., USENIX ATC 2021) moves the fp32 optimizer
+partition to host DRAM and runs an AVX-optimized Adam on the CPUs,
+freeing GPU memory for a larger model.  The paper explores it on ZeRO-1,
+ZeRO-2 (the recommended sweet spot), and ZeRO-3.
+"""
+
+from __future__ import annotations
+
+from ..model.states import OffloadTarget, ZeroStage
+from .zero import ZeroStrategy
+
+
+def zero1_cpu_offload() -> ZeroStrategy:
+    """ZeRO-1 with the optimizer partition in host DRAM."""
+    return ZeroStrategy(ZeroStage.OPTIMIZER,
+                        optimizer_target=OffloadTarget.CPU)
+
+
+def zero2_cpu_offload() -> ZeroStrategy:
+    """ZeRO-2 with CPU optimizer offload — the paper's recommendation for
+    consolidating dual-node training onto one node (Section V-A1)."""
+    return ZeroStrategy(ZeroStage.GRADIENTS,
+                        optimizer_target=OffloadTarget.CPU)
+
+
+def zero3_cpu_offload() -> ZeroStrategy:
+    """ZeRO-3 with CPU optimizer offload (parameters stay on GPU)."""
+    return ZeroStrategy(ZeroStage.PARAMETERS,
+                        optimizer_target=OffloadTarget.CPU)
+
+
+def zero3_cpu_param_offload() -> ZeroStrategy:
+    """ZeRO-3 with optimizer *and* parameters in host DRAM."""
+    return ZeroStrategy(ZeroStage.PARAMETERS,
+                        optimizer_target=OffloadTarget.CPU,
+                        parameter_target=OffloadTarget.CPU)

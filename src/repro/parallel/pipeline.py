@@ -1,0 +1,202 @@
+"""True pipeline parallelism with a 1F1B schedule (extension).
+
+:class:`~repro.parallel.megatron.MegatronStrategy` reproduces the paper's
+measured configuration with a *calibrated* bubble fraction.  This module
+instead builds the classic one-forward-one-backward (1F1B) pipeline
+schedule explicitly, per rank: each stage owns a contiguous block of
+layers, micro-batches flow through keyed point-to-point activations and
+gradients, and the executor's rendezvous machinery makes the fill/drain
+bubbles *emerge* from the simulated dependencies instead of being
+asserted.
+
+Because a stage boundary moves only one micro-batch of activations, pure
+pipeline parallelism sends orders of magnitude less inter-node traffic
+than tensor parallelism — the extension experiment shows it sidesteps
+the dual-node collapse the paper measured for Megatron-LM's TP=8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .. import calibration
+from ..collectives.primitives import CollectiveKind
+from ..errors import ConfigurationError
+from ..model.states import model_parallel_states
+from ..runtime.kernels import KernelKind
+from .schedule import (
+    CollectiveStep,
+    CommunicatorSpec,
+    ComputeStep,
+    IterationSchedule,
+    Step,
+    WaitPendingStep,
+)
+from .strategy import (
+    MemoryPlan,
+    StrategyContext,
+    TrainingStrategy,
+    elementwise_step,
+    gemm_step,
+    optimizer_step,
+)
+
+
+class PipelineParallelStrategy(TrainingStrategy):
+    """GPipe-partitioned layers driven by a 1F1B micro-batch schedule."""
+
+    name = "pipeline"
+    display_name = "Pipeline (1F1B)"
+
+    def __init__(self, *, micro_batches: int = 0) -> None:
+        super().__init__(calibration.MEGATRON)
+        #: micro-batches in flight per iteration; 0 = 2x stages (a common
+        #: setting that keeps the bubble fraction near 1/(2m/p + 1)).
+        self._micro_batches = micro_batches
+
+    # -- degrees ------------------------------------------------------------
+    def data_parallel_degree(self, ctx: StrategyContext) -> int:
+        return 1
+
+    def model_parallel_degree(self, ctx: StrategyContext) -> int:
+        return ctx.world_size
+
+    def micro_batches(self, ctx: StrategyContext) -> int:
+        if self._micro_batches > 0:
+            return self._micro_batches
+        return 2 * ctx.world_size
+
+    def stage_layers(self, ctx: StrategyContext) -> List[int]:
+        """Layer count per stage (early stages take the remainder)."""
+        stages = ctx.world_size
+        base = ctx.model.num_layers // stages
+        remainder = ctx.model.num_layers % stages
+        return [base + (1 if s < remainder else 0) for s in range(stages)]
+
+    # -- memory ----------------------------------------------------------------
+    def memory_plan(self, ctx: StrategyContext) -> MemoryPlan:
+        stages = ctx.world_size
+        plan = self.base_gpu_plan(ctx, pipeline_parallel=stages)
+        states = model_parallel_states(ctx.total_params, stages)
+        plan.add_gpu("parameters", states.gpu_params)
+        plan.add_gpu("gradients", states.gpu_grads)
+        plan.add_gpu("optimizer_states", states.gpu_optimizer)
+        self.host_base_plan(plan, ctx)
+        return plan
+
+    # -- schedule -----------------------------------------------------------------
+    def build_schedule(self, ctx: StrategyContext) -> IterationSchedule:
+        stages = ctx.world_size
+        if stages < 2:
+            raise ConfigurationError("pipeline parallelism needs >= 2 GPUs")
+        if ctx.model.num_layers < stages:
+            raise ConfigurationError(
+                f"{ctx.model.num_layers} layers cannot fill {stages} stages"
+            )
+        m = self.micro_batches(ctx)
+        timings = self.layer_timings(ctx)
+        layers = self.stage_layers(ctx)
+
+        # Each micro-batch carries total_tokens / m tokens.
+        tokens_per_microbatch = ctx.total_tokens_per_iteration / m
+        boundary_bytes = tokens_per_microbatch * ctx.model.hidden_size * 2.0
+        # Per-micro-batch compute for one stage: its layer block scaled by
+        # the micro-batch's share of the rank's tokens.
+        scale = (tokens_per_microbatch
+                 / (ctx.training.micro_batch_per_gpu * ctx.model.seq_length))
+
+        steps_by_rank: Dict[int, List[Step]] = {}
+        communicators = {
+            f"ppb{s}": CommunicatorSpec(f"ppb{s}", [[s, s + 1]])
+            for s in range(stages - 1)
+        }
+        for stage in range(stages):
+            steps_by_rank[stage] = self._stage_steps(
+                ctx, stage, stages, m, layers[stage], timings, scale,
+                boundary_bytes,
+            )
+        return IterationSchedule(steps_by_rank=steps_by_rank,
+                                 communicators=communicators)
+
+    def _stage_steps(self, ctx, stage, stages, m, local_layers, timings,
+                     scale, boundary_bytes) -> List[Step]:
+        fwd_t = timings.fwd_layer * local_layers * scale
+        ew_t = timings.elementwise_layer * local_layers * scale
+        bwd_t = ((timings.bwd_layer + timings.recompute_layer)
+                 * local_layers * scale)
+        head_fwd = timings.head_fwd * scale if stage == stages - 1 else 0.0
+        head_bwd = timings.head_bwd * scale if stage == stages - 1 else 0.0
+
+        steps: List[Step] = []
+
+        def recv_activation(mb):
+            steps.append(CollectiveStep(
+                key=f"act_mb{mb}_b{stage - 1}", comm=f"ppb{stage - 1}",
+                kind=CollectiveKind.SEND_RECV,
+                payload_bytes=boundary_bytes, blocking=True,
+            ))
+
+        def send_activation(mb):
+            steps.append(CollectiveStep(
+                key=f"act_mb{mb}_b{stage}", comm=f"ppb{stage}",
+                kind=CollectiveKind.SEND_RECV,
+                payload_bytes=boundary_bytes, blocking=False,
+            ))
+
+        def recv_gradient(mb):
+            steps.append(CollectiveStep(
+                key=f"grad_mb{mb}_b{stage}", comm=f"ppb{stage}",
+                kind=CollectiveKind.SEND_RECV,
+                payload_bytes=boundary_bytes, blocking=True,
+            ))
+
+        def send_gradient(mb):
+            steps.append(CollectiveStep(
+                key=f"grad_mb{mb}_b{stage - 1}", comm=f"ppb{stage - 1}",
+                kind=CollectiveKind.SEND_RECV,
+                payload_bytes=boundary_bytes, blocking=False,
+            ))
+
+        def forward(mb):
+            if stage > 0:
+                recv_activation(mb)
+            steps.append(gemm_step(fwd_t, f"fwd_mb{mb}"))
+            steps.append(elementwise_step(ew_t, f"fwd_ew_mb{mb}"))
+            if stage < stages - 1:
+                send_activation(mb)
+            else:
+                steps.append(gemm_step(head_fwd, f"lm_head_fwd_mb{mb}"))
+
+        def backward(mb):
+            if stage < stages - 1:
+                recv_gradient(mb)
+            else:
+                steps.append(gemm_step(head_bwd, f"lm_head_bwd_mb{mb}"))
+            steps.append(gemm_step(bwd_t, f"bwd_mb{mb}"))
+            if stage > 0:
+                send_gradient(mb)
+
+        # --- the 1F1B schedule -------------------------------------------
+        warmup = min(stages - stage - 1, m)
+        for mb in range(warmup):
+            forward(mb)
+        for mb in range(warmup, m):
+            forward(mb)
+            backward(mb - warmup)
+        for mb in range(m - warmup, m):
+            backward(mb)
+
+        steps.append(WaitPendingStep(name="pipeline_flush"))
+        compute = self.compute_model(ctx)
+        steps.append(optimizer_step(
+            compute.optimizer_time(ctx.total_params / stages), "adam_stage"
+        ))
+        steps.append(ComputeStep(KernelKind.ELEMENTWISE,
+                                 self.calibration.fixed_overhead_s,
+                                 "host_overhead"))
+        return steps
+
+
+def pipeline_1f1b(micro_batches: int = 0) -> PipelineParallelStrategy:
+    """A pure pipeline-parallel strategy with the 1F1B schedule."""
+    return PipelineParallelStrategy(micro_batches=micro_batches)

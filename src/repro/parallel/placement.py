@@ -1,0 +1,146 @@
+"""NVMe swap-volume placement configurations (paper Fig. 14 / Table VI).
+
+The paper studies seven ways of wiring scratch NVMe drives to the two
+sockets and grouping them into volumes, mapping each GPU rank to a volume
+via UNIX soft links:
+
+====  =========================================================
+ A    one drive on socket 1, all ranks
+ B    RAID0 of two drives on socket 1, all ranks (baseline)
+ C    RAID0 of one drive per socket (stripe spans sockets)
+ D    no RAID: one drive per socket, ranks use their local drive
+ E    RAID0 of four drives (two per socket), all ranks
+ F    two RAID0 volumes, one per socket, ranks use the local one
+ G    no RAID: four drives, one per rank, socket-local mapping
+====  =========================================================
+
+Configurations that stripe across sockets (C, E) force part of every
+access over xGMI, inheriting the SerDes contention penalty — the paper's
+reason to recommend socket-local volumes (Section V-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from ..hardware.cluster import Cluster
+from ..hardware.node import NodeSpec
+from ..hardware.nvme import Raid0Volume
+from ..hardware.presets import nvme_placement_node_spec
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """One Fig. 14 wiring/grouping/mapping configuration."""
+
+    key: str
+    description: str
+    #: socket of each *scratch* drive, in drive order
+    scratch_sockets: Tuple[int, ...]
+    #: volumes, as tuples of scratch-drive indices
+    grouping: Tuple[Tuple[int, ...], ...]
+    #: local GPU rank -> volume index
+    rank_to_volume: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        used = [d for volume in self.grouping for d in volume]
+        if sorted(set(used)) != sorted(used):
+            raise ConfigurationError(
+                f"placement {self.key}: a drive appears in two volumes"
+            )
+        if any(d >= len(self.scratch_sockets) for d in used):
+            raise ConfigurationError(
+                f"placement {self.key}: drive index out of range"
+            )
+        if any(v >= len(self.grouping) for v in self.rank_to_volume):
+            raise ConfigurationError(
+                f"placement {self.key}: volume index out of range"
+            )
+
+    @property
+    def num_scratch_drives(self) -> int:
+        return len(self.scratch_sockets)
+
+    def node_spec(self) -> NodeSpec:
+        """A node spec wired with this placement's scratch drives."""
+        return nvme_placement_node_spec(self.scratch_sockets)
+
+    def build_volumes(self, cluster: Cluster) -> Dict[int, Raid0Volume]:
+        """Create volumes per node and map every global rank to one."""
+        mapping: Dict[int, Raid0Volume] = {}
+        for node in cluster.nodes:
+            scratch = node.scratch_drives
+            if len(scratch) < self.num_scratch_drives:
+                raise ConfigurationError(
+                    f"placement {self.key} needs {self.num_scratch_drives} "
+                    f"scratch drives; node {node.index} has {len(scratch)}"
+                )
+            volumes: List[Raid0Volume] = []
+            for vol_index, drive_indices in enumerate(self.grouping):
+                volumes.append(Raid0Volume(
+                    f"{node.name}/md{vol_index}",
+                    [scratch[d] for d in drive_indices],
+                ))
+            for local_rank, vol_index in enumerate(self.rank_to_volume):
+                global_rank = node.index * cluster.gpus_per_node + local_rank
+                if global_rank < cluster.num_gpus:
+                    mapping[global_rank] = volumes[vol_index]
+        return mapping
+
+
+PLACEMENTS: Dict[str, PlacementConfig] = {
+    "A": PlacementConfig(
+        key="A",
+        description="single NVMe on socket 1, shared by all ranks",
+        scratch_sockets=(1,),
+        grouping=((0,),),
+        rank_to_volume=(0, 0, 0, 0),
+    ),
+    "B": PlacementConfig(
+        key="B",
+        description="RAID0 of 2 NVMe on socket 1 (paper baseline)",
+        scratch_sockets=(1, 1),
+        grouping=((0, 1),),
+        rank_to_volume=(0, 0, 0, 0),
+    ),
+    "C": PlacementConfig(
+        key="C",
+        description="RAID0 of 2 NVMe, one per socket (stripe spans xGMI)",
+        scratch_sockets=(0, 1),
+        grouping=((0, 1),),
+        rank_to_volume=(0, 0, 0, 0),
+    ),
+    "D": PlacementConfig(
+        key="D",
+        description="2 NVMe without RAID, socket-local rank mapping",
+        scratch_sockets=(0, 1),
+        grouping=((0,), (1,)),
+        rank_to_volume=(0, 0, 1, 1),
+    ),
+    "E": PlacementConfig(
+        key="E",
+        description="RAID0 of 4 NVMe across both sockets",
+        scratch_sockets=(0, 0, 1, 1),
+        grouping=((0, 1, 2, 3),),
+        rank_to_volume=(0, 0, 0, 0),
+    ),
+    "F": PlacementConfig(
+        key="F",
+        description="two RAID0 volumes of 2 NVMe, one volume per socket",
+        scratch_sockets=(0, 0, 1, 1),
+        grouping=((0, 1), (2, 3)),
+        rank_to_volume=(0, 0, 1, 1),
+    ),
+    "G": PlacementConfig(
+        key="G",
+        description="4 NVMe without RAID, one drive per rank, socket-local",
+        scratch_sockets=(0, 0, 1, 1),
+        grouping=((0,), (1,), (2,), (3,)),
+        rank_to_volume=(0, 1, 2, 3),
+    ),
+}
+
+#: The paper's default swap target outside the placement study.
+DEFAULT_PLACEMENT = PLACEMENTS["B"]

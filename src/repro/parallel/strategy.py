@@ -1,0 +1,227 @@
+"""Training-strategy base class and shared timing/memory helpers.
+
+A strategy answers three questions for a (cluster, model, training) triple:
+
+1. *Where do the bytes live?* — :meth:`TrainingStrategy.memory_plan`
+   returns labelled per-rank allocations for GPU HBM, host DRAM, and the
+   NVMe swap volume.  The max-model-size search (Fig. 6/13) applies the
+   plan to the cluster's memory pools and backs off on OOM.
+2. *What happens each iteration?* — :meth:`TrainingStrategy.build_schedule`
+   compiles the per-rank step list the executor runs on the DES, yielding
+   iteration time, timelines (Fig. 5), and bandwidth ledgers (Table IV).
+3. *How fast is compute?* — a calibrated
+   :class:`~repro.runtime.kernels.GpuComputeModel`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .. import calibration
+from ..errors import ConfigurationError
+from ..hardware.cluster import Cluster
+from ..hardware.serdes import TrafficProfile
+from ..model.activations import activation_memory_per_gpu
+from ..model.config import ModelConfig, TrainingConfig
+from ..model.flops import forward_flops
+from ..model.params import total_parameters
+from ..runtime.kernels import GpuComputeModel, KernelKind
+from .schedule import ComputeStep, IterationSchedule, Step
+
+
+@dataclass
+class MemoryPlan:
+    """Labelled byte allocations for one data-parallel rank.
+
+    ``gpu`` bytes land in the rank's HBM pool; ``cpu`` bytes in the host
+    DRAM pool of the rank's socket; ``nvme`` bytes on the rank's swap
+    volume.  Labels feed the memory-composition plots (Figs. 11-b, 13-c).
+    """
+
+    gpu: Dict[str, float] = field(default_factory=dict)
+    cpu: Dict[str, float] = field(default_factory=dict)
+    nvme: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def gpu_total(self) -> float:
+        return sum(self.gpu.values())
+
+    @property
+    def cpu_total(self) -> float:
+        return sum(self.cpu.values())
+
+    @property
+    def nvme_total(self) -> float:
+        return sum(self.nvme.values())
+
+    def add_gpu(self, label: str, num_bytes: float) -> None:
+        if num_bytes > 0:
+            self.gpu[label] = self.gpu.get(label, 0.0) + num_bytes
+
+    def add_cpu(self, label: str, num_bytes: float) -> None:
+        if num_bytes > 0:
+            self.cpu[label] = self.cpu.get(label, 0.0) + num_bytes
+
+    def add_nvme(self, label: str, num_bytes: float) -> None:
+        if num_bytes > 0:
+            self.nvme[label] = self.nvme.get(label, 0.0) + num_bytes
+
+
+@dataclass(frozen=True)
+class StrategyContext:
+    """Everything a strategy needs to plan one training run."""
+
+    cluster: Cluster
+    model: ModelConfig
+    training: TrainingConfig
+
+    @property
+    def world_size(self) -> int:
+        return self.cluster.num_gpus
+
+    @property
+    def total_params(self) -> int:
+        return total_parameters(self.model)
+
+    @property
+    def total_tokens_per_iteration(self) -> int:
+        """Tokens processed per optimizer step, identical across strategies
+        so reported TFLOP/s are comparable (paper Section III-B)."""
+        return (
+            self.training.micro_batch_per_gpu
+            * self.model.seq_length
+            * self.world_size
+        )
+
+
+@dataclass(frozen=True)
+class LayerTimings:
+    """Per-rank kernel durations derived from the FLOP model."""
+
+    fwd_layer: float        # one transformer layer, forward
+    bwd_layer: float        # one transformer layer, backward (2x fwd)
+    recompute_layer: float  # forward re-execution under checkpointing
+    head_fwd: float         # embedding + LM head forward
+    head_bwd: float
+    elementwise_layer: float  # non-GEMM tail per layer (bias/gelu/dropout)
+
+
+class TrainingStrategy(abc.ABC):
+    """Abstract base for DDP, Megatron-LM, and the DeepSpeed ZeRO family."""
+
+    #: short machine name, e.g. "zero2"
+    name: str = ""
+    #: label used in tables/plots, e.g. "ZeRO-2"
+    display_name: str = ""
+    #: how this strategy's traffic loads the fabric (Section IV-E2)
+    traffic_profile: TrafficProfile = TrafficProfile.BURSTY
+
+    def __init__(self, cal: calibration.StrategyCalibration) -> None:
+        self.calibration = cal
+
+    # -- required interface -------------------------------------------------
+    @abc.abstractmethod
+    def data_parallel_degree(self, ctx: StrategyContext) -> int:
+        """Number of data-parallel replicas."""
+
+    @abc.abstractmethod
+    def memory_plan(self, ctx: StrategyContext) -> MemoryPlan:
+        """Per-rank byte placement for the run."""
+
+    @abc.abstractmethod
+    def build_schedule(self, ctx: StrategyContext) -> IterationSchedule:
+        """Compile one optimizer step into executor steps."""
+
+    # -- shared helpers ------------------------------------------------------
+    def compute_model(self, ctx: StrategyContext) -> GpuComputeModel:
+        gpu_spec = ctx.cluster.nodes[0].spec.gpu
+        return GpuComputeModel(gpu_spec, self.calibration.gemm_efficiency)
+
+    def model_parallel_degree(self, ctx: StrategyContext) -> int:
+        """GPUs sharing one model replica (1 except for Megatron-LM)."""
+        return 1
+
+    def layer_timings(self, ctx: StrategyContext) -> LayerTimings:
+        """Kernel durations for this rank's share of one layer.
+
+        The per-iteration FLOPs of the whole job are fixed by the token
+        count; a rank computes ``1 / (dp x mp)`` of them.
+        """
+        compute = self.compute_model(ctx)
+        mp = self.model_parallel_degree(ctx)
+        dp = self.data_parallel_degree(ctx)
+        if dp * mp != ctx.world_size:
+            raise ConfigurationError(
+                f"dp ({dp}) x mp ({mp}) must equal world size "
+                f"({ctx.world_size})"
+            )
+        # forward_flops is for one micro-batch (one DP rank's tokens).
+        # With dp x mp = world, each rank's share of the job's FLOPs
+        # always equals exactly one micro-batch's worth: a pure-DP rank
+        # computes its own micro-batch; a model-parallel rank computes
+        # 1/mp of dp micro-batches x (world/dp)/... = the same total.
+        fwd = forward_flops(ctx.model, ctx.training.micro_batch_per_gpu)
+        layer_fwd_flops = (
+            (fwd.attention_gemm + fwd.attention_scores + fwd.mlp)
+            / ctx.model.num_layers
+        )
+        head_flops = fwd.lm_head
+        gemm_fraction = 0.92
+        fwd_layer = compute.gemm_time(layer_fwd_flops * gemm_fraction)
+        elementwise = compute.memory_bound_time(
+            # bias+gelu+dropout+layernorm traffic: ~16 streamed bytes per
+            # activation element of the ffn width.
+            16.0
+            * ctx.training.micro_batch_per_gpu
+            * ctx.model.seq_length
+            * ctx.model.ffn_hidden
+        )
+        return LayerTimings(
+            fwd_layer=fwd_layer,
+            bwd_layer=2.0 * fwd_layer,
+            recompute_layer=fwd_layer if ctx.training.activation_recompute else 0.0,
+            head_fwd=compute.gemm_time(head_flops),
+            head_bwd=2.0 * compute.gemm_time(head_flops),
+            elementwise_layer=elementwise,
+        )
+
+    def base_gpu_plan(self, ctx: StrategyContext, *, tensor_parallel: int = 1,
+                      pipeline_parallel: int = 1) -> MemoryPlan:
+        """Activations + framework buffers common to every strategy."""
+        plan = MemoryPlan()
+        plan.add_gpu("activations", activation_memory_per_gpu(
+            ctx.model, ctx.training,
+            tensor_parallel=tensor_parallel,
+            pipeline_parallel=pipeline_parallel,
+        ))
+        dp = self.data_parallel_degree(ctx)
+        plan.add_gpu("framework_buffers", self.calibration.gpu_buffer_bytes
+                     + self.calibration.gpu_buffer_bytes_per_dp / dp)
+        return plan
+
+    def host_base_plan(self, plan: MemoryPlan, ctx: StrategyContext) -> None:
+        """Charge the per-node host baseline, split across ranks."""
+        per_rank = (
+            calibration.HOST_BASE_BYTES_PER_NODE
+            * ctx.cluster.num_nodes
+            / ctx.world_size
+        )
+        plan.add_cpu("host_baseline", per_rank)
+
+    # -- cosmetics -----------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def gemm_step(duration: float, name: str) -> ComputeStep:
+    return ComputeStep(KernelKind.GEMM, duration, name)
+
+
+def elementwise_step(duration: float, name: str) -> ComputeStep:
+    return ComputeStep(KernelKind.ELEMENTWISE, duration, name)
+
+
+def optimizer_step(duration: float, name: str = "adam") -> ComputeStep:
+    return ComputeStep(KernelKind.OPTIMIZER, duration, name)

@@ -1,0 +1,364 @@
+"""DeepSpeed ZeRO strategies: stages 1-3, ZeRO-Offload, ZeRO-Infinity.
+
+One parameterized strategy covers the whole family (paper Table I):
+
+* **ZeRO-1** partitions optimizer states; gradients still all-reduce like
+  DDP, and the updated fp16 parameters are all-gathered after the step.
+* **ZeRO-2** additionally partitions gradients: backward emits Reduce
+  operations toward each partition's owner (the paper's Fig. 5 shows
+  Reduce replacing All-Reduce).
+* **ZeRO-3** additionally partitions parameters: every layer's weights are
+  all-gathered just-in-time before its GEMMs (with one-layer prefetch) and
+  re-gathered during backward, plus reduce-scatter for gradients — the
+  50 % communication-volume increase ZeRO's authors advertise.
+* **ZeRO-Offload** moves the fp32 optimizer partition (and the gradient
+  partitions feeding it) to host DRAM and runs CPU Adam there.
+* **ZeRO-Infinity** pushes the optimizer partition — and optionally the
+  fp16 parameters — to an NVMe swap volume, staged through host DRAM.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..collectives.primitives import CollectiveKind
+from .. import calibration
+from ..errors import ConfigurationError
+from ..model.params import count_parameters
+from ..model.states import (
+    OffloadTarget,
+    PARAM_BYTES,
+    ZeroStage,
+    validate_offload,
+    zero_states,
+)
+from ..runtime.kernels import KernelKind
+from .schedule import (
+    CollectiveStep,
+    CommunicatorSpec,
+    ComputeStep,
+    CpuWorkStep,
+    HostTransferStep,
+    IterationSchedule,
+    Location,
+    Step,
+    WaitForStep,
+    WaitPendingStep,
+    layer_chunks,
+    uniform_schedule,
+)
+from .strategy import (
+    MemoryPlan,
+    StrategyContext,
+    TrainingStrategy,
+    elementwise_step,
+    gemm_step,
+    optimizer_step,
+)
+
+_STAGE_CALIBRATION = {
+    ZeroStage.OPTIMIZER: calibration.ZERO1,
+    ZeroStage.GRADIENTS: calibration.ZERO2,
+    ZeroStage.PARAMETERS: calibration.ZERO3,
+}
+
+
+class ZeroStrategy(TrainingStrategy):
+    """DeepSpeed ZeRO at a given stage with optional offload targets."""
+
+    def __init__(self, stage: ZeroStage, *,
+                 optimizer_target: OffloadTarget = OffloadTarget.NONE,
+                 parameter_target: OffloadTarget = OffloadTarget.NONE) -> None:
+        if stage not in _STAGE_CALIBRATION:
+            raise ConfigurationError(
+                "ZeroStrategy requires stage 1, 2, or 3 (stage 0 is DDP)"
+            )
+        validate_offload(stage, optimizer_target=optimizer_target,
+                         parameter_target=parameter_target)
+        super().__init__(_STAGE_CALIBRATION[stage])
+        self.stage = stage
+        self.optimizer_target = optimizer_target
+        self.parameter_target = parameter_target
+        self.name = f"zero{int(stage)}{self._suffix()}"
+        self.display_name = f"ZeRO-{int(stage)}{self._display_suffix()}"
+
+    def _suffix(self) -> str:
+        parts = []
+        if self.optimizer_target is not OffloadTarget.NONE:
+            parts.append(f"_opt_{self.optimizer_target.value}")
+        if self.parameter_target is not OffloadTarget.NONE:
+            parts.append(f"_param_{self.parameter_target.value}")
+        return "".join(parts)
+
+    def _display_suffix(self) -> str:
+        if self.parameter_target is OffloadTarget.NVME:
+            return " (2xNVME opt+param)" if self.optimizer_target is OffloadTarget.NVME else " (param NVME)"
+        if self.optimizer_target is OffloadTarget.NVME:
+            return " (NVME)"
+        if self.optimizer_target is OffloadTarget.CPU:
+            return " (CPU)"
+        return ""
+
+    # -- properties -------------------------------------------------------------
+    @property
+    def offloads(self) -> bool:
+        return self.optimizer_target is not OffloadTarget.NONE
+
+    @property
+    def uses_nvme(self) -> bool:
+        return (
+            self.optimizer_target is OffloadTarget.NVME
+            or self.parameter_target is OffloadTarget.NVME
+        )
+
+    def data_parallel_degree(self, ctx: StrategyContext) -> int:
+        return ctx.world_size
+
+    # -- memory -------------------------------------------------------------------
+    def memory_plan(self, ctx: StrategyContext) -> MemoryPlan:
+        dp = self.data_parallel_degree(ctx)
+        params = ctx.total_params
+        placement = zero_states(
+            params, self.stage, dp,
+            optimizer_target=self.optimizer_target,
+            parameter_target=self.parameter_target,
+        )
+        plan = self.base_gpu_plan(ctx)
+        if self.offloads:
+            # Offloaded runs swap the big bucket pools for pinned slabs.
+            plan.gpu["framework_buffers"] = calibration.OFFLOAD_GPU_BUFFER_BYTES
+        plan.add_gpu("parameters", placement.gpu_params)
+        plan.add_gpu("gradients", placement.gpu_grads)
+        plan.add_gpu("optimizer_states", placement.gpu_optimizer)
+        plan.add_cpu("parameters", placement.cpu_params)
+        plan.add_cpu("gradients", placement.cpu_grads)
+        plan.add_cpu("optimizer_states", placement.cpu_optimizer)
+        if self.optimizer_target is OffloadTarget.CPU:
+            plan.add_cpu(
+                "pinned_buffers",
+                calibration.CPU_OFFLOAD_PINNED_BYTES_PER_PARAM * params / dp,
+            )
+        elif self.optimizer_target is OffloadTarget.NVME:
+            plan.add_cpu("nvme_staging", calibration.NVME_STAGING_SLAB_BYTES)
+        if self.parameter_target is OffloadTarget.NVME:
+            plan.add_cpu("param_staging",
+                         calibration.NVME_PARAM_STAGING_SLAB_BYTES)
+        plan.add_nvme("optimizer_states",
+                      placement.nvme_optimizer * calibration.NVME_MEDIA_OVERPROVISION)
+        plan.add_nvme("parameters",
+                      placement.nvme_params * calibration.NVME_MEDIA_OVERPROVISION)
+        self.host_base_plan(plan, ctx)
+        return plan
+
+    # -- schedule -------------------------------------------------------------------
+    def build_schedule(self, ctx: StrategyContext) -> IterationSchedule:
+        dp = self.data_parallel_degree(ctx)
+        timings = self.layer_timings(ctx)
+        breakdown = count_parameters(ctx.model)
+        layer_param_bytes = PARAM_BYTES * breakdown.per_layer
+        embed_param_bytes = PARAM_BYTES * (
+            breakdown.embedding + breakdown.position_embedding
+            + breakdown.final_layernorm
+        )
+        total_param_bytes = PARAM_BYTES * ctx.total_params
+        partition_params = ctx.total_params / dp
+
+        steps: List[Step] = []
+        num_layers = ctx.model.num_layers
+        params_on_gpu = self.parameter_target is OffloadTarget.NONE
+        chunks = layer_chunks(num_layers)
+
+        # ---- forward ------------------------------------------------------
+        if self.stage.partitions_parameters:
+            first_start, first_count = chunks[0]
+            self._emit_param_gather(steps, "fwd", first_start,
+                                    layer_param_bytes * first_count, dp,
+                                    op_count=first_count)
+        for index, (start, count) in enumerate(chunks):
+            if self.stage.partitions_parameters:
+                steps.append(WaitForStep(key=f"ag_fwd_l{start}"))
+                if index + 1 < len(chunks):
+                    nxt_start, nxt_count = chunks[index + 1]
+                    self._emit_param_gather(steps, "fwd", nxt_start,
+                                            layer_param_bytes * nxt_count, dp,
+                                            op_count=nxt_count)
+            steps.append(gemm_step(timings.fwd_layer * count,
+                                   f"fwd_l{start}+{count}"))
+            steps.append(elementwise_step(timings.elementwise_layer * count,
+                                          f"fwd_ew_l{start}+{count}"))
+        steps.append(gemm_step(timings.head_fwd, "lm_head_fwd"))
+        steps.append(gemm_step(timings.head_bwd, "lm_head_bwd"))
+
+        # ---- backward ------------------------------------------------------
+        for start, count in reversed(chunks):
+            if self.stage.partitions_parameters:
+                self._emit_param_gather(steps, "bwd", start,
+                                        layer_param_bytes * count, dp,
+                                        blocking=True, op_count=count)
+            if timings.recompute_layer:
+                steps.append(gemm_step(timings.recompute_layer * count,
+                                       f"recompute_l{start}+{count}"))
+            steps.append(gemm_step(timings.bwd_layer * count,
+                                   f"bwd_l{start}+{count}"))
+            steps.append(self._gradient_collective(
+                f"l{start}", layer_param_bytes * count, op_count=count
+            ))
+            if self.offloads:
+                steps.append(HostTransferStep(
+                    name=f"grad_offload_l{start}",
+                    src=Location.GPU,
+                    dst=Location.DRAM,
+                    payload_bytes=layer_param_bytes * count / dp,
+                    blocking=False,
+                ))
+        steps.append(self._gradient_collective("emb", embed_param_bytes))
+        steps.append(WaitPendingStep(name="gradient_sync"))
+
+        # ---- optimizer ------------------------------------------------------
+        steps.extend(self._optimizer_steps(ctx, partition_params))
+
+        # ---- parameter refresh ----------------------------------------------
+        if not self.stage.partitions_parameters:
+            # ZeRO-1/2: all-gather the updated fp16 parameters.
+            if self.offloads:
+                steps.append(HostTransferStep(
+                    name="updated_params_to_gpu",
+                    src=Location.DRAM,
+                    dst=Location.GPU,
+                    payload_bytes=total_param_bytes / dp,
+                    blocking=True,
+                ))
+            steps.append(CollectiveStep(
+                key="allgather_updated_params",
+                comm="dp",
+                kind=CollectiveKind.ALL_GATHER,
+                payload_bytes=total_param_bytes,
+                blocking=True,
+            ))
+        elif self.offloads and params_on_gpu:
+            # ZeRO-3 with GPU-resident parameters: refresh the local
+            # partition from the host-side optimizer output.
+            steps.append(HostTransferStep(
+                name="updated_params_to_gpu",
+                src=Location.DRAM,
+                dst=Location.GPU,
+                payload_bytes=total_param_bytes / dp,
+                blocking=True,
+            ))
+
+        steps.append(ComputeStep(
+            KernelKind.ELEMENTWISE,
+            calibration.OFFLOAD_FIXED_OVERHEAD_S if self.offloads
+            else self.calibration.fixed_overhead_s,
+            "host_overhead",
+        ))
+        ranks = list(range(ctx.world_size))
+        return uniform_schedule(
+            ranks, steps, {"dp": CommunicatorSpec("dp", [ranks])},
+        )
+
+    # -- schedule fragments ----------------------------------------------------
+    def _emit_param_gather(self, steps: List[Step], phase: str, layer: int,
+                           chunk_param_bytes: float, dp: int,
+                           *, blocking: bool = False,
+                           op_count: int = 1) -> None:
+        """Fetch + all-gather one layer chunk's parameters (ZeRO-3 family)."""
+        if self.parameter_target is OffloadTarget.NVME:
+            steps.append(HostTransferStep(
+                name=f"param_swap_in_{phase}_l{layer}",
+                src=Location.NVME,
+                dst=Location.DRAM,
+                payload_bytes=chunk_param_bytes / dp,
+                blocking=True,
+            ))
+        if self.parameter_target is not OffloadTarget.NONE:
+            steps.append(HostTransferStep(
+                name=f"param_to_gpu_{phase}_l{layer}",
+                src=Location.DRAM,
+                dst=Location.GPU,
+                payload_bytes=chunk_param_bytes / dp,
+                blocking=True,
+            ))
+        steps.append(CollectiveStep(
+            key=f"ag_{phase}_l{layer}",
+            comm="dp",
+            kind=CollectiveKind.ALL_GATHER,
+            payload_bytes=chunk_param_bytes,
+            blocking=blocking,
+            op_count=op_count,
+        ))
+
+    def _gradient_collective(self, label: str, payload_bytes: float,
+                             *, op_count: int = 1) -> CollectiveStep:
+        """Backward gradient synchronization for one layer chunk."""
+        if self.stage.partitions_parameters:
+            kind = CollectiveKind.REDUCE_SCATTER
+        elif self.stage.partitions_gradients:
+            kind = CollectiveKind.REDUCE
+        else:
+            kind = CollectiveKind.ALL_REDUCE
+        return CollectiveStep(
+            key=f"grad_sync_{label}",
+            comm="dp",
+            kind=kind,
+            payload_bytes=payload_bytes,
+            blocking=False,
+            op_count=op_count,
+        )
+
+    def _optimizer_steps(self, ctx: StrategyContext,
+                         partition_params: float) -> List[Step]:
+        steps: List[Step] = []
+        if self.optimizer_target is OffloadTarget.NONE:
+            compute = self.compute_model(ctx)
+            steps.append(optimizer_step(
+                compute.optimizer_time(partition_params), "adam_partition"
+            ))
+            return steps
+        if self.optimizer_target is OffloadTarget.NVME:
+            steps.append(HostTransferStep(
+                name="optimizer_swap_in",
+                src=Location.NVME,
+                dst=Location.DRAM,
+                payload_bytes=(
+                    calibration.NVME_SWAP_READ_BYTES_PER_PARAM
+                    * partition_params
+                ),
+                blocking=True,
+            ))
+        steps.append(CpuWorkStep(name="cpu_adam", num_params=partition_params))
+        if self.optimizer_target is OffloadTarget.NVME:
+            steps.append(HostTransferStep(
+                name="optimizer_swap_out",
+                src=Location.DRAM,
+                dst=Location.NVME,
+                payload_bytes=(
+                    calibration.NVME_SWAP_WRITE_BYTES_PER_PARAM
+                    * partition_params
+                ),
+                blocking=True,
+            ))
+        if self.parameter_target is OffloadTarget.NVME:
+            steps.append(HostTransferStep(
+                name="updated_params_swap_out",
+                src=Location.DRAM,
+                dst=Location.NVME,
+                payload_bytes=PARAM_BYTES * partition_params,
+                blocking=True,
+            ))
+        return steps
+
+
+def zero1() -> ZeroStrategy:
+    """ZeRO-1: optimizer-state partitioning."""
+    return ZeroStrategy(ZeroStage.OPTIMIZER)
+
+
+def zero2() -> ZeroStrategy:
+    """ZeRO-2: optimizer + gradient partitioning."""
+    return ZeroStrategy(ZeroStage.GRADIENTS)
+
+
+def zero3() -> ZeroStrategy:
+    """ZeRO-3: full model-state partitioning."""
+    return ZeroStrategy(ZeroStage.PARAMETERS)

@@ -1,0 +1,18 @@
+"""Runtime layer: kernel models and the schedule executor.
+
+``Executor``/``ExecutionResult`` are exposed lazily: the executor imports
+the telemetry layer, which itself needs :mod:`repro.runtime.kernels`, so
+an eager re-export here would create an import cycle.
+"""
+
+from .kernels import GpuComputeModel, KernelKind
+
+__all__ = ["ExecutionResult", "Executor", "GpuComputeModel", "KernelKind"]
+
+
+def __getattr__(name):
+    if name in ("Executor", "ExecutionResult"):
+        from . import executor
+
+        return getattr(executor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

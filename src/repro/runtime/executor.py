@@ -1,0 +1,330 @@
+"""Schedule executor: runs a strategy's iteration schedule on the DES.
+
+One simulated process per GPU rank interprets the strategy's
+:mod:`~repro.parallel.schedule` steps:
+
+* compute steps advance the rank's clock (the GPU is busy);
+* collective steps rendezvous all ranks of the group, then run as flows
+  through the :class:`~repro.collectives.nccl.NcclCommunicator`;
+* host transfers and NVMe I/O become flows over the topology, so PCIe,
+  xGMI, DRAM, and NVMe ledgers fill in automatically;
+* CPU optimizer work charges the socket's DRAM channels.
+
+The run produces iteration times, a Fig.-5-style :class:`Timeline`, and
+fully populated per-link bandwidth ledgers — everything the paper's
+experiments need in a single pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..collectives.nccl import NcclCommunicator
+from ..collectives.primitives import CollectiveOp
+from .. import calibration
+from ..errors import ConfigurationError, SimulationError
+from ..hardware.cluster import Cluster
+from ..hardware.cpu import CPU_ADAM_BYTES_PER_PARAM, cpu_adam_step_time
+from ..hardware.nvme import Raid0Volume
+from ..hardware.serdes import TrafficProfile
+from ..parallel.schedule import (
+    CollectiveStep,
+    ComputeStep,
+    CpuWorkStep,
+    HostTransferStep,
+    IdleStep,
+    IterationSchedule,
+    Location,
+    WaitForStep,
+    WaitPendingStep,
+)
+from ..sim.engine import BaseEvent, Engine
+from ..sim.flows import FlowNetwork
+from ..telemetry.timeline import Lane, Timeline
+from .kernels import KernelKind
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one simulated training run produced."""
+
+    iteration_times: List[float]
+    timeline: Timeline
+    total_time: float
+
+    @property
+    def mean_iteration_time(self) -> float:
+        if not self.iteration_times:
+            return 0.0
+        return sum(self.iteration_times) / len(self.iteration_times)
+
+
+class _CollectiveGate:
+    """Rendezvous for one keyed collective across its group's ranks."""
+
+    def __init__(self, executor: "Executor", comm: NcclCommunicator,
+                 op: CollectiveOp, kernel: KernelKind,
+                 group: List[int], launch_count: int = 1) -> None:
+        self.executor = executor
+        self.comm = comm
+        self.op = op
+        self.kernel = kernel
+        self.group = group
+        self.launch_count = launch_count
+        self.arrived = 0
+        self.event = executor.engine.event()
+
+    def arrive(self) -> BaseEvent:
+        self.arrived += 1
+        if self.arrived > len(self.group):
+            raise SimulationError("more arrivals than group members")
+        if self.arrived == len(self.group):
+            started_at = self.executor.engine.now
+            inner = self.comm.run(self.op, launch_count=self.launch_count)
+            inner.add_callback(lambda _ev: self._finish(started_at))
+        return self.event
+
+    def _finish(self, started_at: float) -> None:
+        now = self.executor.engine.now
+        for rank in self.group:
+            self.executor.timeline.record(
+                rank, Lane.COMMUNICATION, self.kernel, str(self.op.kind),
+                started_at, now,
+            )
+        self.event.succeed(None)
+
+
+class Executor:
+    """Runs an :class:`IterationSchedule` on a cluster for N iterations."""
+
+    def __init__(self, cluster: Cluster, schedule: IterationSchedule, *,
+                 traffic_profile: TrafficProfile = TrafficProfile.BURSTY,
+                 swap_volumes: Optional[Dict[int, Raid0Volume]] = None,
+                 internode_rate_efficiency: float = 0.35) -> None:
+        schedule.validate()
+        self.cluster = cluster
+        self.schedule = schedule
+        self.traffic_profile = traffic_profile
+        self.swap_volumes = swap_volumes or {}
+        self.engine = Engine()
+        self.network = FlowNetwork(self.engine)
+        self.timeline = Timeline()
+        self._gates: Dict[Tuple[str, int, str], _CollectiveGate] = {}
+        self._keyed_events: Dict[Tuple[int, str], BaseEvent] = {}
+        self._communicators = self._build_communicators(internode_rate_efficiency)
+
+    # -- setup ---------------------------------------------------------------
+    def _build_communicators(
+        self, internode_rate_efficiency: float
+    ) -> Dict[Tuple[str, int], NcclCommunicator]:
+        comms: Dict[Tuple[str, int], NcclCommunicator] = {}
+        for name, spec in self.schedule.communicators.items():
+            for index, group in enumerate(spec.groups):
+                comms[(name, index)] = NcclCommunicator(
+                    self.cluster, self.engine, self.network, group,
+                    profile=self.traffic_profile,
+                    internode_rate_efficiency=internode_rate_efficiency,
+                )
+        return comms
+
+    # -- run -------------------------------------------------------------------
+    def run(self, num_iterations: int) -> ExecutionResult:
+        if num_iterations < 1:
+            raise ConfigurationError("need at least one iteration")
+        iteration_times: List[float] = []
+
+        def driver():
+            for iteration in range(num_iterations):
+                started = self.engine.now
+                processes = [
+                    self.engine.process(
+                        self._rank_process(rank, iteration),
+                        name=f"rank{rank}/it{iteration}",
+                    )
+                    for rank in self.schedule.ranks
+                ]
+                yield self.engine.all_of(processes)
+                iteration_times.append(self.engine.now - started)
+
+        self.engine.process(driver(), name="driver")
+        total = self.engine.run()
+        return ExecutionResult(
+            iteration_times=iteration_times,
+            timeline=self.timeline,
+            total_time=total,
+        )
+
+    # -- per-rank interpretation ------------------------------------------------
+    def _rank_process(self, rank: int, iteration: int):
+        pending: List[BaseEvent] = []
+        for step in self.schedule.steps_by_rank[rank]:
+            if isinstance(step, ComputeStep):
+                start = self.engine.now
+                yield self.engine.timeout(step.duration)
+                self.timeline.record(rank, Lane.COMPUTE, step.kind, step.name,
+                                     start, self.engine.now)
+            elif isinstance(step, IdleStep):
+                start = self.engine.now
+                yield self.engine.timeout(step.duration)
+                self.timeline.record(rank, Lane.COMPUTE, KernelKind.IDLE,
+                                     step.name, start, self.engine.now)
+            elif isinstance(step, CollectiveStep):
+                event = self._join_collective(rank, iteration, step)
+                self._keyed_events[(rank, self._iter_key(iteration, step.key))] = event
+                if step.blocking:
+                    start = self.engine.now
+                    yield event
+                    self._record_idle(rank, start, step.key)
+                else:
+                    pending.append(event)
+            elif isinstance(step, WaitPendingStep):
+                if pending:
+                    start = self.engine.now
+                    yield self.engine.all_of(pending)
+                    pending = []
+                    self._record_idle(rank, start, step.name)
+            elif isinstance(step, WaitForStep):
+                event = self._keyed_events.get(
+                    (rank, self._iter_key(iteration, step.key))
+                )
+                if event is None:
+                    raise SimulationError(
+                        f"rank {rank} waits for unknown key {step.key!r}"
+                    )
+                if not event.triggered:
+                    start = self.engine.now
+                    yield event
+                    self._record_idle(rank, start, step.key)
+                if event in pending:
+                    pending.remove(event)
+            elif isinstance(step, HostTransferStep):
+                events = self._host_transfer(rank, step)
+                if step.blocking:
+                    start = self.engine.now
+                    yield self.engine.all_of(events)
+                    kind = (
+                        KernelKind.NVME_IO
+                        if Location.NVME in (step.src, step.dst)
+                        else KernelKind.HOST_TRANSFER
+                    )
+                    self.timeline.record(rank, Lane.HOST_IO, kind, step.name,
+                                         start, self.engine.now)
+                    self._record_idle(rank, start, step.name)
+                else:
+                    pending.extend(events)
+            elif isinstance(step, CpuWorkStep):
+                start = self.engine.now
+                duration = self._cpu_work_duration(rank, step)
+                yield self.engine.timeout(duration)
+                self._record_cpu_work(rank, step, start, self.engine.now)
+            else:  # pragma: no cover - exhaustive over the IR
+                raise SimulationError(f"unknown step type {type(step).__name__}")
+        if pending:
+            start = self.engine.now
+            yield self.engine.all_of(pending)
+            self._record_idle(rank, start, "drain_pending")
+
+    # -- step helpers -------------------------------------------------------------
+    @staticmethod
+    def _iter_key(iteration: int, key: str) -> str:
+        return f"it{iteration}/{key}"
+
+    def _record_idle(self, rank: int, start: float, name: str) -> None:
+        now = self.engine.now
+        if now > start:
+            self.timeline.record(rank, Lane.COMPUTE, KernelKind.IDLE,
+                                 f"wait:{name}", start, now)
+
+    def _join_collective(self, rank: int, iteration: int,
+                         step: CollectiveStep) -> BaseEvent:
+        spec = self.schedule.communicators[step.comm]
+        group_index, group = spec.group_of(rank)
+        gate_key = (step.comm, group_index, self._iter_key(iteration, step.key))
+        gate = self._gates.get(gate_key)
+        if gate is None:
+            comm = self._communicators[(step.comm, group_index)]
+            op = CollectiveOp(step.kind, step.payload_bytes, comm.size)
+            gate = _CollectiveGate(self, comm, op, step.kernel_kind, group,
+                                   launch_count=step.op_count)
+            self._gates[gate_key] = gate
+        return gate.arrive()
+
+    def _host_transfer(self, rank: int, step: HostTransferStep) -> List[BaseEvent]:
+        gpu = self.cluster.gpu(rank).name
+        dram = self.cluster.dram_for_rank(rank).name
+        topology = self.cluster.topology
+
+        def endpoint(loc: Location) -> Optional[str]:
+            if loc is Location.GPU:
+                return gpu
+            if loc is Location.DRAM:
+                return dram
+            return None  # NVMe resolves per stripe member
+
+        src = endpoint(step.src)
+        dst = endpoint(step.dst)
+        if src is not None and dst is not None:
+            route = topology.route(src, dst)
+            return [self.network.transfer(route, step.payload_bytes,
+                                          profile=self.traffic_profile,
+                                          label=step.name)]
+        # One endpoint is the rank's NVMe swap volume: stripe the payload
+        # across member drives, capping each flow at the drive's media
+        # bandwidth under the aio layer.
+        volume = self.swap_volumes.get(rank)
+        if volume is None:
+            raise ConfigurationError(
+                f"rank {rank} performs NVMe I/O but has no swap volume"
+            )
+        reading = step.src is Location.NVME
+        per_member = step.payload_bytes / len(volume.drives)
+        events = []
+        for drive in volume.drives:
+            if reading:
+                route = topology.route(drive.device.name, dram)
+                media = drive.spec.nand_read_bandwidth * calibration.AIO_EFFICIENCY
+            else:
+                route = topology.route(dram, drive.device.name)
+                media = drive.spec.nand_write_bandwidth * calibration.AIO_EFFICIENCY
+            # The drive's NAND media, not its PCIe x4 link, bounds
+            # sustained swap traffic; scale the flow's pool consumption so
+            # aggregate throughput stays at media rate no matter how many
+            # ranks swap against the drive concurrently.
+            pcie_link = route.links[0] if reading else route.links[-1]
+            multiplier = max(1.0, pcie_link.capacity_per_direction / media)
+            events.append(
+                self.network.transfer(route, per_member,
+                                      profile=self.traffic_profile,
+                                      weight_multiplier=multiplier,
+                                      label=step.name)
+            )
+        return events
+
+    def _ranks_per_socket(self, rank: int) -> int:
+        """How many ranks' CPU work shares this rank's socket DRAM."""
+        node = self.cluster.node_of_rank(rank)
+        socket = self.cluster.gpu(rank).socket_index
+        return max(1, sum(
+            1 for gpu in node.gpus if gpu.socket_index == socket
+        ))
+
+    def _cpu_work_duration(self, rank: int, step: CpuWorkStep) -> float:
+        cpu_spec = self.cluster.nodes[0].spec.cpu
+        base = cpu_adam_step_time(step.num_params, cpu_spec)
+        sharing = self._ranks_per_socket(rank)
+        return base * sharing / calibration.CPU_ADAM_SHARE_EFFICIENCY
+
+    def _record_cpu_work(self, rank: int, step: CpuWorkStep,
+                         start: float, end: float) -> None:
+        self.timeline.record(rank, Lane.HOST_IO, KernelKind.CPU_OPTIMIZER,
+                             step.name, start, end)
+        self.timeline.record(rank, Lane.COMPUTE, KernelKind.IDLE,
+                             f"wait:{step.name}", start, end)
+        # Charge the streamed optimizer bytes to the socket's DRAM channels.
+        node = self.cluster.node_of_rank(rank)
+        socket = self.cluster.gpu(rank).socket_index or 0
+        link = self.cluster.topology.link_between(
+            node.cpus[socket].name, node.drams[socket].name
+        )
+        link.ledger.record(start, end, step.num_params * CPU_ADAM_BYTES_PER_PARAM)

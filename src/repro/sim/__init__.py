@@ -1,0 +1,16 @@
+"""Discrete-event simulation kernel and fluid-flow transfer network."""
+
+from .engine import AllOf, AnyOf, BaseEvent, Engine, Process, SimEvent, Timeout
+from .flows import Flow, FlowNetwork
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BaseEvent",
+    "Engine",
+    "Flow",
+    "FlowNetwork",
+    "Process",
+    "SimEvent",
+    "Timeout",
+]

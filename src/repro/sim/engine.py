@@ -1,0 +1,214 @@
+"""Discrete-event simulation kernel.
+
+A minimal, dependency-free engine in the style of SimPy: *processes* are
+Python generators that ``yield`` awaitable events — :class:`Timeout`,
+manually-triggered :class:`SimEvent`, :class:`AllOf`/:class:`AnyOf`
+combinators, or other processes.  The engine advances a virtual clock and
+resumes processes as their awaited events fire.
+
+The training executor (:mod:`repro.runtime.executor`) runs one process per
+GPU rank plus helper processes for offload engines; the fluid-flow network
+(:mod:`repro.sim.flows`) schedules flow-completion events on the same
+engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+class BaseEvent:
+    """Something a process can wait on.
+
+    An event fires at most once; at that point its ``value`` becomes
+    available and all registered callbacks run.  Processes register
+    themselves as callbacks when they yield an event.
+    """
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: List[Callable[["BaseEvent"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "BaseEvent":
+        """Fire the event now, delivering ``value`` to waiters."""
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+        return self
+
+    def add_callback(self, callback: Callable[["BaseEvent"], None]) -> None:
+        if self.triggered:
+            # Fire-and-forget: deliver immediately on the current turn.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class SimEvent(BaseEvent):
+    """A bare event triggered explicitly by simulation code."""
+
+
+class Timeout(BaseEvent):
+    """An event that fires ``delay`` seconds after creation."""
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        super().__init__(engine)
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        self.delay = delay
+        engine.schedule_at(engine.now + delay, self.succeed, value)
+
+
+class AllOf(BaseEvent):
+    """Fires when every child event has fired; value is the list of values."""
+
+    def __init__(self, engine: "Engine", events: Iterable[BaseEvent]) -> None:
+        super().__init__(engine)
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            engine.schedule_at(engine.now, self.succeed, [])
+            return
+        for event in self._children:
+            event.add_callback(self._child_fired)
+
+    def _child_fired(self, _event: BaseEvent) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self.triggered:
+            self.succeed([child.value for child in self._children])
+
+
+class AnyOf(BaseEvent):
+    """Fires when the first child event fires; value is that child's value."""
+
+    def __init__(self, engine: "Engine", events: Iterable[BaseEvent]) -> None:
+        super().__init__(engine)
+        children = list(events)
+        if not children:
+            raise SimulationError("AnyOf requires at least one event")
+        for event in children:
+            event.add_callback(self._child_fired)
+
+    def _child_fired(self, event: BaseEvent) -> None:
+        if not self.triggered:
+            self.succeed(event.value)
+
+
+ProcessGenerator = Generator[BaseEvent, Any, Any]
+
+
+class Process(BaseEvent):
+    """A running generator-based process.
+
+    The process's generator yields events; when an awaited event fires the
+    generator is resumed with the event's value.  The Process itself is an
+    event that fires with the generator's return value, so processes can
+    wait on each other.
+    """
+
+    def __init__(self, engine: "Engine", generator: ProcessGenerator,
+                 name: str = "") -> None:
+        super().__init__(engine)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        engine.schedule_at(engine.now, self._resume, None)
+
+    def _resume(self, send_value: Any) -> None:
+        try:
+            target = self.generator.send(send_value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, BaseEvent):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, not an event"
+            )
+        target.add_callback(lambda event: self._resume(event.value))
+
+
+class Engine:
+    """The event loop: a priority queue of (time, seq, callback)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    # -- scheduling primitives -------------------------------------------------
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    *args: Any) -> None:
+        if time < self.now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {self.now}"
+            )
+        heapq.heappush(
+            self._queue,
+            (max(time, self.now), next(self._counter), lambda: callback(*args)),
+        )
+
+    # -- user-facing factories ------------------------------------------------
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> SimEvent:
+        return SimEvent(self)
+
+    def all_of(self, events: Iterable[BaseEvent]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[BaseEvent]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        return Process(self, generator, name)
+
+    # -- execution ---------------------------------------------------------------
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled callback, or None when idle."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Run the single next callback, advancing the clock to it."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        time, _seq, callback = heapq.heappop(self._queue)
+        self.now = time
+        self._processed += 1
+        callback()
+
+    def run(self, until: Optional[float] = None,
+            max_events: int = 50_000_000) -> float:
+        """Drain the queue (optionally stopping at simulated time ``until``).
+
+        Returns the final simulated time.  ``max_events`` guards against
+        runaway schedules.
+        """
+        budget = max_events
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return self.now
+            if budget <= 0:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at t={self.now}"
+                )
+            self.step()
+            budget -= 1
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now

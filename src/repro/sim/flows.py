@@ -1,0 +1,255 @@
+"""Fluid-flow transfer network with weighted max-min fair sharing.
+
+Transfers are *flows*: a byte count streaming over a
+:class:`~repro.hardware.topology.Route`.  Concurrent flows share link
+capacity by weighted max-min fairness, recomputed whenever a flow starts or
+finishes (the standard fluid approximation for congestion-controlled
+fabrics such as NVLink, PCIe, and RoCE with PFC).
+
+SerDes contention (Section III-C4 of the paper) enters as a *consumption
+weight*: a flow whose route is derated to fraction ``d`` consumes ``1/d``
+units of pool capacity per delivered byte, so a contended path attains
+``d x`` the link bandwidth whether one flow or many use it — matching the
+stress-test observation that four kernels together reach only ~47-52 % of
+theoretical.
+
+Every settled interval is recorded into each traversed link's
+:class:`~repro.hardware.link.BandwidthLedger`, which is where the paper's
+Table IV statistics and Figs. 9/10/12 time-series come from.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import SimulationError
+from ..hardware.link import Link
+from ..hardware.topology import Route
+from ..hardware.serdes import TrafficProfile
+from .engine import BaseEvent, Engine, SimEvent
+
+#: Pools are per link and per direction; half-duplex links share pool 0.
+PoolKey = Tuple[Link, int]
+
+
+class Flow:
+    """One in-flight transfer."""
+
+    _ids = itertools.count()
+
+    def __init__(self, route: Route, num_bytes: float, *,
+                 profile: TrafficProfile, cap: Optional[float],
+                 label: str = "", weight_multiplier: float = 1.0) -> None:
+        if weight_multiplier < 1.0:
+            raise SimulationError("weight_multiplier must be >= 1")
+        self.id = next(Flow._ids)
+        self.route = route
+        self.label = label
+        self.profile = profile
+        self.bytes_total = float(num_bytes)
+        self.bytes_remaining = float(num_bytes)
+        derate = route.bandwidth(profile)
+        bottleneck = (
+            min(link.capacity_per_direction for link in route.links)
+            if route.links else float("inf")
+        )
+        #: extra pool capacity consumed per delivered byte (>= 1).
+        #: ``weight_multiplier`` models protocol inefficiency (e.g. NCCL's
+        #: proxy path over RoCE): the aggregate attainable rate over a pool
+        #: scales down by the multiplier no matter how many flows pile on.
+        self.weight = (
+            bottleneck / derate * weight_multiplier if route.links else 1.0
+        )
+        #: hard per-flow rate ceiling: the derated route bandwidth, further
+        #: clamped by any caller-supplied cap (e.g. NVMe media bandwidth).
+        self.cap = derate if cap is None else min(derate, cap)
+        self.rate = 0.0
+        self.completion: Optional[SimEvent] = None
+        self.started_at: Optional[float] = None
+
+    #: residues below this are floating-point dust, not real payload
+    EPSILON_BYTES = 1e-3
+
+    @property
+    def done(self) -> bool:
+        return self.bytes_remaining <= self.EPSILON_BYTES
+
+
+class FlowNetwork:
+    """Shares link capacity among active flows and completes them in order."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._active: Set[Flow] = set()
+        self._generation = 0
+        self._last_update = engine.now
+        self.completed_flows = 0
+        self.total_bytes_moved = 0.0
+
+    # -- public API -------------------------------------------------------------
+    def transfer(self, route: Route, num_bytes: float, *,
+                 profile: TrafficProfile = TrafficProfile.BURSTY,
+                 cap: Optional[float] = None,
+                 label: str = "",
+                 weight_multiplier: float = 1.0) -> BaseEvent:
+        """Start a transfer; returns an event fired at completion.
+
+        The flow begins streaming after the route's end-to-end latency.
+        Zero-byte or loopback transfers complete after just the latency.
+        """
+        event = self.engine.event()
+        if num_bytes <= 0 or route.is_loopback:
+            delay = 0.0 if route.is_loopback else route.latency()
+            self.engine.schedule_at(self.engine.now + delay, event.succeed, None)
+            return event
+        flow = Flow(route, num_bytes, profile=profile, cap=cap, label=label,
+                    weight_multiplier=weight_multiplier)
+        flow.completion = event
+        self.engine.schedule_at(
+            self.engine.now + route.latency(), self._activate, flow
+        )
+        return event
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def settle(self) -> None:
+        """Account in-flight transfers up to the current simulated time.
+
+        Ledger records are normally written when flows start or finish;
+        open-ended measurements (the stress tests run flows that outlive
+        the measurement window) call this before reading the ledgers.
+        """
+        self._settle()
+
+    # -- internals -----------------------------------------------------------------
+    def _activate(self, flow: Flow) -> None:
+        flow.started_at = self.engine.now
+        self._settle()
+        self._active.add(flow)
+        self._reallocate()
+
+    def _settle(self) -> None:
+        """Account bytes moved since the last change at the current rates."""
+        now = self.engine.now
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            for flow in self._active:
+                moved = min(flow.rate * elapsed, flow.bytes_remaining)
+                if moved > 0:
+                    # Absorb floating-point dust: crediting rate x elapsed
+                    # can undershoot the true remainder by ~1 ulp, which
+                    # would otherwise strand a nanobyte whose completion
+                    # time rounds to zero clock advance.
+                    if flow.bytes_remaining - moved <= Flow.EPSILON_BYTES:
+                        moved = flow.bytes_remaining
+                    flow.bytes_remaining -= moved
+                    self.total_bytes_moved += moved
+                    flow.route.record(now - elapsed, now, moved)
+        self._last_update = now
+
+    def _reallocate(self) -> None:
+        """Weighted max-min fair rates, then schedule the next completion."""
+        self._generation += 1
+        finished = [flow for flow in self._active if flow.done]
+        for flow in finished:
+            self._active.discard(flow)
+            self.completed_flows += 1
+            assert flow.completion is not None
+            flow.completion.succeed(None)
+        if not self._active:
+            return
+        self._compute_rates()
+        self._schedule_next_completion()
+
+    def _compute_rates(self) -> None:
+        pools: Dict[PoolKey, float] = {}
+        pool_members: Dict[PoolKey, List[Flow]] = {}
+        for flow in self._active:
+            for key in self._pool_keys(flow.route):
+                if key not in pools:
+                    link = key[0]
+                    pools[key] = link.capacity_per_direction
+                pool_members.setdefault(key, []).append(flow)
+        rates = {flow: 0.0 for flow in self._active}
+        unfrozen = set(self._active)
+        guard = len(self._active) + len(pools) + 4
+        while unfrozen and guard > 0:
+            guard -= 1
+            delta = min(
+                (flow.cap - rates[flow] for flow in unfrozen),
+                default=float("inf"),
+            )
+            limiting_pools: List[PoolKey] = []
+            for key, remaining in pools.items():
+                members = [f for f in pool_members[key] if f in unfrozen]
+                if not members:
+                    continue
+                weight_sum = sum(f.weight for f in members)
+                share = remaining / weight_sum
+                if share < delta - 1e-15:
+                    delta = share
+                    limiting_pools = [key]
+                elif abs(share - delta) <= 1e-15:
+                    limiting_pools.append(key)
+            if delta == float("inf"):
+                break
+            delta = max(delta, 0.0)
+            for flow in unfrozen:
+                rates[flow] += delta
+            for key in pools:
+                members = [f for f in pool_members[key] if f in unfrozen]
+                pools[key] -= delta * sum(f.weight for f in members)
+            newly_frozen = {
+                flow for flow in unfrozen if rates[flow] >= flow.cap - 1e-9
+            }
+            for key in limiting_pools:
+                newly_frozen.update(
+                    f for f in pool_members[key] if f in unfrozen
+                )
+            if not newly_frozen:
+                break
+            unfrozen -= newly_frozen
+        for flow, rate in rates.items():
+            flow.rate = rate
+
+    def _schedule_next_completion(self) -> None:
+        soonest = float("inf")
+        for flow in self._active:
+            if flow.rate > 0:
+                soonest = min(soonest, flow.bytes_remaining / flow.rate)
+        if soonest == float("inf"):
+            raise SimulationError(
+                "active flows exist but none has a positive rate"
+            )
+        # Guarantee measurable clock advance even for residual payloads.
+        soonest = max(soonest, 1e-12)
+        generation = self._generation
+        self.engine.schedule_at(
+            self.engine.now + soonest, self._on_completion_check, generation
+        )
+
+    def _on_completion_check(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # superseded by a newer allocation epoch
+        self._settle()
+        self._reallocate()
+
+    @staticmethod
+    def _pool_keys(route: Route) -> List[PoolKey]:
+        """Per-direction pool keys for every link along the route."""
+        keys: List[PoolKey] = []
+        cursor = route.source
+        for link in route.links:
+            if link.endpoint_a == cursor:
+                direction = 0
+                cursor = link.endpoint_b
+            else:
+                direction = 1
+                cursor = link.endpoint_a
+            if not link.spec.duplex:
+                direction = 0
+            keys.append((link, direction))
+        return keys

@@ -1,0 +1,29 @@
+"""Inter-node latency and bandwidth stress tests (paper Section III-C)."""
+
+from .bandwidth_test import (
+    StressResult,
+    TestKind,
+    full_stress_suite,
+    run_stress_test,
+)
+from .perftest import (
+    MESSAGE_SIZES,
+    LatencySample,
+    SocketPlacement,
+    Verb,
+    latency_sweep,
+    measure_latency,
+)
+
+__all__ = [
+    "LatencySample",
+    "MESSAGE_SIZES",
+    "SocketPlacement",
+    "StressResult",
+    "TestKind",
+    "Verb",
+    "full_stress_suite",
+    "latency_sweep",
+    "measure_latency",
+    "run_stress_test",
+]

@@ -1,0 +1,146 @@
+"""Inter-node bandwidth stress tests (paper Fig. 4).
+
+Reproduces Section III-C's methodology on the simulator:
+
+* **CPU-RoCE** — four perftest kernel instances, two per socket, each
+  streaming bidirectionally between the two nodes' DRAM.  Same-socket
+  uses the socket-local NIC; cross-socket forces the peer NIC over xGMI.
+* **GPU-RoCE** — four instances, one per GPU, using GPUDirect RDMA so the
+  NIC DMAs GPU memory directly (no DRAM traffic, as the paper observes).
+
+Each test runs the flows on the DES for a fixed duration, then reports
+average and peak attained bandwidth per interconnect class from the link
+ledgers — the quantities plotted in Fig. 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from ..hardware.cluster import Cluster
+from ..hardware.link import LinkClass
+from ..hardware.serdes import TrafficProfile
+from ..hardware.topology import Route
+from ..sim.engine import Engine
+from ..sim.flows import FlowNetwork
+from ..telemetry.bandwidth import BandwidthMonitor, BandwidthStats
+from .perftest import SocketPlacement
+
+
+class TestKind(enum.Enum):
+    CPU_ROCE = "cpu_roce"
+    GPU_ROCE = "gpu_roce"
+
+
+@dataclass(frozen=True)
+class StressResult:
+    """Fig. 4 panel: per-class average/peak attained bandwidth."""
+
+    kind: TestKind
+    placement: SocketPlacement
+    duration: float
+    stats: Dict[LinkClass, BandwidthStats]
+
+    @property
+    def roce_average_gbps(self) -> float:
+        return self.stats[LinkClass.ROCE].average_gbps
+
+    def attained_fraction(self, theoretical_bidirectional: float = 50e9) -> float:
+        """Attained fraction of theoretical RoCE bandwidth (per NIC pair).
+
+        The paper quotes 93 % same-socket CPU, 47 % cross-socket CPU,
+        52 % / 42 % for GPU-RoCE.
+        """
+        per_nic = self.stats[LinkClass.ROCE].average / 2.0  # two NICs
+        return per_nic / theoretical_bidirectional
+
+
+def _cpu_routes(cluster: Cluster, placement: SocketPlacement) -> List[Route]:
+    """Four kernel instances, two per socket (Section III-C2)."""
+    routes = []
+    topology = cluster.topology
+    for socket in (0, 1):
+        src = cluster.nodes[0].dram_name(socket)
+        dst = cluster.nodes[1].dram_name(socket)
+        if placement is SocketPlacement.SAME_SOCKET:
+            nic = socket
+        else:
+            nic = 1 - socket
+        waypoints = [cluster.nodes[0].nic_name(nic),
+                     cluster.nodes[1].nic_name(nic)]
+        route = topology.route_via(src, dst, waypoints)
+        routes.extend([route, route])  # two instances per socket
+    return routes
+
+
+def _gpu_routes(cluster: Cluster, placement: SocketPlacement) -> List[Route]:
+    """Four kernel instances, one per GPU (Section III-C3)."""
+    routes = []
+    topology = cluster.topology
+    for local_rank in range(cluster.gpus_per_node):
+        gpu_src = cluster.nodes[0].gpus[local_rank]
+        gpu_dst = cluster.nodes[1].gpus[local_rank]
+        socket = gpu_src.socket_index or 0
+        nic = socket if placement is SocketPlacement.SAME_SOCKET else 1 - socket
+        waypoints = [cluster.nodes[0].nic_name(nic),
+                     cluster.nodes[1].nic_name(nic)]
+        routes.append(topology.route_via(gpu_src.name, gpu_dst.name, waypoints))
+    return routes
+
+
+def run_stress_test(cluster: Cluster, kind: TestKind,
+                    placement: SocketPlacement, *,
+                    duration: float = 10.0) -> StressResult:
+    """Stream bidirectional traffic for ``duration`` simulated seconds."""
+    if cluster.num_nodes < 2:
+        raise ConfigurationError("the stress test needs two nodes")
+    if duration <= 0:
+        raise ConfigurationError("duration must be positive")
+    cluster.reset()
+    engine = Engine()
+    network = FlowNetwork(engine)
+    if kind is TestKind.CPU_ROCE:
+        routes = _cpu_routes(cluster, placement)
+    else:
+        routes = _gpu_routes(cluster, placement)
+    # Bidirectional streaming: one long-lived flow each way per instance,
+    # sized so it outlives the measurement window.
+    generous = duration * 60e9
+    for route in routes:
+        network.transfer(route, generous, profile=TrafficProfile.SUSTAINED,
+                         label=f"{kind.value}-fwd")
+        network.transfer(_reverse_route(cluster, route), generous,
+                         profile=TrafficProfile.SUSTAINED,
+                         label=f"{kind.value}-rev")
+    engine.run(until=duration)
+    network.settle()
+    monitor = BandwidthMonitor(cluster)
+    stats = monitor.table(0.0, duration)
+    return StressResult(kind=kind, placement=placement, duration=duration,
+                        stats=stats)
+
+
+def _reverse_route(cluster: Cluster, route: Route) -> Route:
+    """The same path traversed in the opposite direction."""
+    sequence = [route.source]
+    cursor = route.source
+    for link in route.links:
+        cursor = link.other_end(cursor)
+        sequence.append(cursor)
+    reverse_inner = list(reversed(sequence[1:-1]))
+    return cluster.topology.route_via(route.destination, route.source,
+                                      reverse_inner)
+
+
+def full_stress_suite(cluster: Cluster, *, duration: float = 10.0
+                      ) -> Dict[Tuple[TestKind, SocketPlacement], StressResult]:
+    """All four Fig. 4 panels."""
+    return {
+        (kind, placement): run_stress_test(cluster, kind, placement,
+                                           duration=duration)
+        for kind in TestKind
+        for placement in SocketPlacement
+    }

@@ -1,0 +1,115 @@
+"""OFED-perftest-style RoCE latency microbenchmarks (paper Fig. 3).
+
+The paper measures one-way latency of channel-semantic SEND and
+memory-semantic RDMA READ / RDMA WRITE between the two nodes for message
+sizes from 2 B to 8 MB, in same-socket (NIC local to the pinned CPU) and
+cross-socket (NIC behind the peer socket's xGMI) placements.
+
+Latency decomposes as ``verb_overhead + route_latency + size / bandwidth``;
+cross-socket routes inherit the SerDes-contention latency inflation from
+:mod:`repro.hardware.serdes` (Fig. 3's ~7x gap below 64 kB).
+RDMA READ pays one extra round trip (request + response); SEND adds the
+receiver's CQ handling.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..hardware.cluster import Cluster
+from ..hardware.serdes import TrafficProfile
+from ..hardware.topology import Route
+from ..units import US
+
+
+class Verb(enum.Enum):
+    """RDMA verbs measured by the paper."""
+
+    SEND = "send"
+    RDMA_READ = "rdma_read"
+    RDMA_WRITE = "rdma_write"
+
+
+#: Per-verb software/NIC overhead added on top of the wire latency:
+#: WRITE is fully offloaded; SEND involves the receive queue; READ is a
+#: round trip initiated by the requester.
+VERB_OVERHEAD = {
+    Verb.SEND: 0.9 * US,
+    Verb.RDMA_READ: 0.4 * US,
+    Verb.RDMA_WRITE: 0.1 * US,
+}
+
+#: Fig. 3's message-size sweep (bytes), 2 B to 8 MB in powers of two.
+MESSAGE_SIZES: Tuple[int, ...] = tuple(2 ** i for i in range(1, 24))
+
+
+class SocketPlacement(enum.Enum):
+    """Whether the test kernel's CPU uses its local or the peer NIC."""
+
+    SAME_SOCKET = "same_socket"
+    CROSS_SOCKET = "cross_socket"
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    verb: Verb
+    placement: SocketPlacement
+    message_bytes: int
+    latency: float
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency / US
+
+
+def _test_route(cluster: Cluster, placement: SocketPlacement) -> Route:
+    """The route perftest traffic takes between the two nodes' DRAM.
+
+    Same-socket pins the kernel on socket 0 using NIC 0 on both ends;
+    cross-socket forces NIC 1 (behind xGMI) on both ends, matching the
+    paper's numactl pinning (Section III-C).
+    """
+    if cluster.num_nodes < 2:
+        raise ConfigurationError("the latency test needs two nodes")
+    src = cluster.nodes[0].dram_name(0)
+    dst = cluster.nodes[1].dram_name(0)
+    if placement is SocketPlacement.SAME_SOCKET:
+        return cluster.topology.route(src, dst)
+    waypoints = [cluster.nodes[0].nic_name(1), cluster.nodes[1].nic_name(1)]
+    return cluster.topology.route_via(src, dst, waypoints)
+
+
+def measure_latency(cluster: Cluster, verb: Verb,
+                    placement: SocketPlacement,
+                    message_bytes: int) -> LatencySample:
+    """One-way latency for one verb/placement/message size."""
+    if message_bytes <= 0:
+        raise ConfigurationError("message size must be positive")
+    route = _test_route(cluster, placement)
+    wire = route.latency()
+    if verb is Verb.RDMA_READ:
+        wire *= 2.0  # request + data response
+    stream = message_bytes / route.bandwidth(TrafficProfile.SUSTAINED)
+    return LatencySample(
+        verb=verb,
+        placement=placement,
+        message_bytes=message_bytes,
+        latency=VERB_OVERHEAD[verb] + wire + stream,
+    )
+
+
+def latency_sweep(cluster: Cluster,
+                  sizes: Sequence[int] = MESSAGE_SIZES
+                  ) -> Dict[Tuple[Verb, SocketPlacement], List[LatencySample]]:
+    """The full Fig. 3 sweep: every verb x placement x size."""
+    results: Dict[Tuple[Verb, SocketPlacement], List[LatencySample]] = {}
+    for verb in Verb:
+        for placement in SocketPlacement:
+            results[(verb, placement)] = [
+                measure_latency(cluster, verb, placement, size)
+                for size in sizes
+            ]
+    return results

@@ -1,0 +1,131 @@
+"""Bandwidth telemetry: per-interconnect-class utilization statistics.
+
+Reconstructs the paper's measurement methodology: hardware counters are
+sampled on a fixed period per interconnect class (DRAM, xGMI, PCIe-GPU,
+PCIe-NVME, PCIe-NIC, NVLink, RoCE), then summarized as average, 90th
+percentile, and peak of the sampled aggregate bidirectional bandwidth
+(Table IV), or plotted as a time series (Figs. 9, 10, 12).
+
+Aggregation is per node: all links of one class in one node are summed per
+sample, matching "aggregate bidirectional per-node bandwidth utilization".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..hardware.cluster import Cluster
+from ..hardware.link import Link, LinkClass
+
+#: Default counter sampling period; AMD uProf / nvidia-smi class tooling
+#: polls on the order of a few hundred milliseconds to a second, which is
+#: why the paper's "peak" columns sit close to the averages — short
+#: bursts smear across a sampling bin.
+DEFAULT_SAMPLE_PERIOD = 0.25
+
+#: nvidia-smi's NVLink counters are per GPU *port*: a byte crossing one
+#: link is counted at both GPU endpoints, so the paper's per-node NVLink
+#: aggregates are twice the wire bytes.  Every other class is counted at
+#: a single endpoint (the NIC, the root port, the memory controller).
+NVLINK_PORT_COUNT_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class BandwidthStats:
+    """Average / 90th percentile / peak, in bytes per second."""
+
+    average: float
+    p90: float
+    peak: float
+
+    @property
+    def average_gbps(self) -> float:
+        return self.average / 1e9
+
+    @property
+    def p90_gbps(self) -> float:
+        return self.p90 / 1e9
+
+    @property
+    def peak_gbps(self) -> float:
+        return self.peak / 1e9
+
+    @staticmethod
+    def from_samples(samples: Sequence[float]) -> "BandwidthStats":
+        if len(samples) == 0:
+            return BandwidthStats(0.0, 0.0, 0.0)
+        arr = np.asarray(samples, dtype=float)
+        return BandwidthStats(
+            average=float(arr.mean()),
+            p90=float(np.percentile(arr, 90)),
+            peak=float(arr.max()),
+        )
+
+
+class BandwidthMonitor:
+    """Samples link ledgers into per-class, per-node utilization series."""
+
+    def __init__(self, cluster: Cluster,
+                 sample_period: float = DEFAULT_SAMPLE_PERIOD) -> None:
+        if sample_period <= 0:
+            raise ConfigurationError("sample period must be positive")
+        self.cluster = cluster
+        self.sample_period = sample_period
+
+    # -- link grouping -----------------------------------------------------------
+    def links_for(self, link_class: LinkClass,
+                  node_index: Optional[int] = None) -> List[Link]:
+        """All links of a class, optionally restricted to one node.
+
+        RoCE links attach NIC<->switch; they are attributed to the NIC's
+        node.  Node attribution uses the link name prefix (``nodeN/``).
+        """
+        links = self.cluster.topology.links_of_class(link_class)
+        if node_index is None:
+            return links
+        prefix = f"node{node_index}/"
+        return [link for link in links if link.name.startswith(prefix)]
+
+    # -- sampling -------------------------------------------------------------------
+    def series(self, link_class: LinkClass, start: float, end: float, *,
+               node_index: Optional[int] = 0) -> np.ndarray:
+        """Aggregate bidirectional bytes/s sampled over [start, end).
+
+        Defaults to node 0 (the paper reports per-node aggregates; both
+        nodes are symmetric under SPMD training).
+        """
+        if end <= start:
+            raise ConfigurationError("sampling window must have positive width")
+        num = max(1, int(round((end - start) / self.sample_period)))
+        total = np.zeros(num)
+        for link in self.links_for(link_class, node_index):
+            total += np.asarray(link.ledger.sample(start, end, num))
+        if link_class is LinkClass.NVLINK:
+            total *= NVLINK_PORT_COUNT_FACTOR
+        return total
+
+    def stats(self, link_class: LinkClass, start: float, end: float, *,
+              node_index: Optional[int] = 0) -> BandwidthStats:
+        return BandwidthStats.from_samples(
+            self.series(link_class, start, end, node_index=node_index)
+        )
+
+    def table(self, start: float, end: float, *,
+              node_index: Optional[int] = 0,
+              classes: Optional[Iterable[LinkClass]] = None
+              ) -> Dict[LinkClass, BandwidthStats]:
+        """One Table IV row: stats for every interconnect class."""
+        if classes is None:
+            classes = [
+                LinkClass.DRAM, LinkClass.XGMI, LinkClass.PCIE_GPU,
+                LinkClass.PCIE_NVME, LinkClass.PCIE_NIC, LinkClass.NVLINK,
+                LinkClass.ROCE,
+            ]
+        return {
+            cls: self.stats(cls, start, end, node_index=node_index)
+            for cls in classes
+        }

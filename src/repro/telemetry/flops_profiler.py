@@ -1,0 +1,82 @@
+"""Compute-throughput profiler (DeepSpeed Flops Profiler analog).
+
+The paper measures throughput with the DeepSpeed Flops Profiler: model
+FLOPs executed per iteration divided by iteration wall time, summed over
+the job.  :class:`FlopsProfiler` does the same from the analytic FLOP
+model and the executor's measured iteration times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..model.config import ModelConfig, TrainingConfig
+from ..model.flops import iteration_flops
+from ..units import to_tflops
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Job-level throughput summary."""
+
+    flops_per_iteration: float
+    mean_iteration_time: float
+    iteration_times: Sequence[float]
+
+    @property
+    def flops_per_second(self) -> float:
+        if self.mean_iteration_time <= 0:
+            return 0.0
+        return self.flops_per_iteration / self.mean_iteration_time
+
+    @property
+    def tflops(self) -> float:
+        """The paper's headline metric, TFLOP/s across the job."""
+        return to_tflops(self.flops_per_second)
+
+    @property
+    def jitter(self) -> float:
+        """Coefficient of variation across measured iterations."""
+        arr = np.asarray(self.iteration_times, dtype=float)
+        if len(arr) < 2 or arr.mean() == 0:
+            return 0.0
+        return float(arr.std() / arr.mean())
+
+
+class FlopsProfiler:
+    """Accumulates iteration timings for one training configuration."""
+
+    def __init__(self, model: ModelConfig, training: TrainingConfig,
+                 num_gpus: int, *, warmup_iterations: int = 0) -> None:
+        if num_gpus < 1:
+            raise ConfigurationError("num_gpus must be >= 1")
+        if warmup_iterations < 0:
+            raise ConfigurationError("warmup must be non-negative")
+        self.flops_per_iteration = iteration_flops(model, training, num_gpus)
+        self.warmup_iterations = warmup_iterations
+        self._times: List[float] = []
+
+    def record_iteration(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise ConfigurationError("iteration time must be positive")
+        self._times.append(seconds)
+
+    @property
+    def measured_times(self) -> List[float]:
+        """Iteration times past the warmup window (the paper discards the
+        first four iterations)."""
+        return self._times[self.warmup_iterations:]
+
+    def report(self) -> ThroughputReport:
+        times = self.measured_times
+        if not times:
+            raise ConfigurationError("no measured iterations after warmup")
+        return ThroughputReport(
+            flops_per_iteration=self.flops_per_iteration,
+            mean_iteration_time=float(np.mean(times)),
+            iteration_times=tuple(times),
+        )

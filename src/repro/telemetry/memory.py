@@ -1,0 +1,67 @@
+"""Memory-usage telemetry (free / nvidia-smi / df analogs).
+
+Summarizes the cluster's memory pools into the composition figures the
+paper reports: total GPU / CPU / NVMe usage and per-label breakdowns
+(Figs. 11-b and 13-c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..hardware.cluster import Cluster
+from ..hardware.devices import DeviceKind
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Cluster-wide memory usage snapshot, bytes."""
+
+    gpu_used: float
+    cpu_used: float
+    nvme_used: float
+    gpu_by_label: Dict[str, float]
+    cpu_by_label: Dict[str, float]
+    nvme_by_label: Dict[str, float]
+
+    @property
+    def total_used(self) -> float:
+        return self.gpu_used + self.cpu_used + self.nvme_used
+
+    def composition(self) -> Dict[str, float]:
+        """Fractions by tier, as plotted in Fig. 11-b."""
+        total = self.total_used
+        if total <= 0:
+            return {"gpu": 0.0, "cpu": 0.0, "nvme": 0.0}
+        return {
+            "gpu": self.gpu_used / total,
+            "cpu": self.cpu_used / total,
+            "nvme": self.nvme_used / total,
+        }
+
+
+def snapshot(cluster: Cluster) -> MemoryReport:
+    """Read every memory pool in the cluster (the paper's measurement
+    moment: steady state during training)."""
+    tiers = {
+        DeviceKind.GPU: ({}, 0.0),
+        DeviceKind.DRAM: ({}, 0.0),
+        DeviceKind.NVME: ({}, 0.0),
+    }
+    totals = {kind: 0.0 for kind in tiers}
+    labels: Dict[DeviceKind, Dict[str, float]] = {kind: {} for kind in tiers}
+    for device in cluster.topology.devices:
+        if device.kind not in tiers or device.memory is None:
+            continue
+        totals[device.kind] += device.memory.used_bytes
+        for label, used in device.memory.usage_by_label().items():
+            labels[device.kind][label] = labels[device.kind].get(label, 0.0) + used
+    return MemoryReport(
+        gpu_used=totals[DeviceKind.GPU],
+        cpu_used=totals[DeviceKind.DRAM],
+        nvme_used=totals[DeviceKind.NVME],
+        gpu_by_label=labels[DeviceKind.GPU],
+        cpu_by_label=labels[DeviceKind.DRAM],
+        nvme_by_label=labels[DeviceKind.NVME],
+    )

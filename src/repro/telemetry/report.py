@@ -1,0 +1,93 @@
+"""ASCII table/plot rendering for experiment outputs.
+
+Benches print their reproduction of each paper table/figure through these
+helpers so the output is directly comparable with the published artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..hardware.link import LinkClass
+from .bandwidth import BandwidthStats
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 *, title: str = "") -> str:
+    """A fixed-width ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0.00"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def bandwidth_row(stats: Dict[LinkClass, BandwidthStats]) -> List[float]:
+    """Flatten a Table-IV row: avg/p90/peak for each class, in GB/s."""
+    out: List[float] = []
+    for cls in (LinkClass.DRAM, LinkClass.XGMI, LinkClass.PCIE_GPU,
+                LinkClass.PCIE_NVME, LinkClass.PCIE_NIC, LinkClass.NVLINK,
+                LinkClass.ROCE):
+        s = stats.get(cls, BandwidthStats(0, 0, 0))
+        out.extend([s.average_gbps, s.p90_gbps, s.peak_gbps])
+    return out
+
+
+BANDWIDTH_HEADERS: List[str] = [
+    f"{cls} {stat}"
+    for cls in ("DRAM", "xGMI", "PCIe-GPU", "PCIe-NVME", "PCIe-NIC",
+                "NVLink", "RoCE")
+    for stat in ("avg", "p90", "peak")
+]
+
+
+def sparkline(values: Sequence[float], *, width: int = 80,
+              height_chars: str = " .:-=+*#%@") -> str:
+    """A one-line utilization sparkline for time-series figures."""
+    if len(values) == 0:
+        return ""
+    arr = np.asarray(values, dtype=float)
+    if len(arr) > width:
+        # Downsample by averaging whole bins.
+        bins = np.array_split(arr, width)
+        arr = np.asarray([b.mean() for b in bins])
+    peak = arr.max()
+    if peak <= 0:
+        return " " * len(arr)
+    levels = len(height_chars) - 1
+    chars = [height_chars[int(round(v / peak * levels))] for v in arr]
+    return "".join(chars)
+
+
+def series_block(label: str, values: Sequence[float], *, width: int = 80) -> str:
+    """A labelled sparkline with its peak annotated (Figs. 9/10/12 style)."""
+    arr = np.asarray(values, dtype=float)
+    peak = arr.max() if len(arr) else 0.0
+    avg = arr.mean() if len(arr) else 0.0
+    return (
+        f"{label:>10} |{sparkline(values, width=width)}| "
+        f"avg {avg / 1e9:6.2f} GB/s  peak {peak / 1e9:6.2f} GB/s"
+    )

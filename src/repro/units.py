@@ -1,0 +1,98 @@
+"""Units and physical constants used throughout the simulator.
+
+The simulator's canonical units are:
+
+* time      — seconds (float)
+* data size — bytes (float; fractional bytes are fine for rate math)
+* bandwidth — bytes per second
+* compute   — floating-point operations (FLOPs) and FLOP/s
+
+Helpers here convert the paper's units (GBps, GT/s, TFLOP/s, microseconds)
+into canonical units and back.  "GB" follows the paper's convention of
+10**9 bytes for bandwidth figures and memory-capacity marketing numbers;
+"GiB" (2**30) is available where binary sizes matter.
+"""
+
+from __future__ import annotations
+
+# --- data sizes -----------------------------------------------------------
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+
+KIB = 2**10
+MIB = 2**20
+GIB = 2**30
+TIB = 2**40
+
+# --- time ------------------------------------------------------------------
+SECOND = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+
+# --- bandwidth -------------------------------------------------------------
+GBPS = GB  # bytes/second per "GBps" in the paper
+MBPS = MB
+
+# --- compute ---------------------------------------------------------------
+GFLOPS = 1e9
+TFLOPS = 1e12
+
+# --- datatype sizes (bytes per element) -------------------------------------
+FP16_BYTES = 2
+BF16_BYTES = 2
+FP32_BYTES = 4
+FP64_BYTES = 8
+ADAM_STATE_BYTES_FP32 = 12  # fp32 master weights + momentum + variance
+
+
+def gbps(value: float) -> float:
+    """Convert a bandwidth expressed in GB/s into bytes/s."""
+    return value * GBPS
+
+
+def to_gbps(bytes_per_second: float) -> float:
+    """Convert bytes/s into GB/s for reporting."""
+    return bytes_per_second / GBPS
+
+
+def tflops(value: float) -> float:
+    """Convert TFLOP/s into FLOP/s."""
+    return value * TFLOPS
+
+
+def to_tflops(flops_per_second: float) -> float:
+    """Convert FLOP/s into TFLOP/s for reporting."""
+    return flops_per_second / TFLOPS
+
+
+def gib(value: float) -> float:
+    """Convert GiB into bytes."""
+    return value * GIB
+
+
+def to_gb(num_bytes: float) -> float:
+    """Convert bytes into decimal GB for reporting."""
+    return num_bytes / GB
+
+
+def usec(value: float) -> float:
+    """Convert microseconds into seconds."""
+    return value * US
+
+
+def to_usec(seconds: float) -> float:
+    """Convert seconds into microseconds for reporting."""
+    return seconds / US
+
+
+def billion(value: float) -> float:
+    """Express a count given in billions (e.g. model parameters)."""
+    return value * 1e9
+
+
+def to_billion(count: float) -> float:
+    """Convert a raw count into billions for reporting."""
+    return count / 1e9

@@ -1,0 +1,18 @@
+"""Training workload: synthetic corpus, tokenizer, dataset, loader."""
+
+from .corpus import Article, SyntheticCorpus
+from .dataset import LmDataset
+from .loader import DistributedBatchLoader
+from .tokenizer import EOS_TOKEN, PAD_TOKEN, SPECIAL_TOKENS, UNK_TOKEN, Tokenizer
+
+__all__ = [
+    "Article",
+    "DistributedBatchLoader",
+    "EOS_TOKEN",
+    "LmDataset",
+    "PAD_TOKEN",
+    "SPECIAL_TOKENS",
+    "SyntheticCorpus",
+    "Tokenizer",
+    "UNK_TOKEN",
+]

@@ -1,0 +1,56 @@
+"""Language-model dataset: tokenized corpus packed into fixed windows.
+
+Documents are tokenized, joined with EOS separators, and chunked into
+``seq_length``-token samples — the standard GPT-2 pre-training packing
+the paper's training scripts use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .corpus import SyntheticCorpus
+from .tokenizer import Tokenizer
+
+
+class LmDataset:
+    """Fixed-window language-modelling samples over a token stream."""
+
+    def __init__(self, tokens: Sequence[int], seq_length: int) -> None:
+        if seq_length < 2:
+            raise ConfigurationError("seq_length must be at least 2")
+        if len(tokens) < seq_length:
+            raise ConfigurationError(
+                f"token stream ({len(tokens)}) shorter than one window "
+                f"({seq_length})"
+            )
+        self._tokens = np.asarray(tokens, dtype=np.int64)
+        self.seq_length = seq_length
+
+    @classmethod
+    def from_corpus(cls, corpus: SyntheticCorpus, tokenizer: Tokenizer, *,
+                    num_articles: int, seq_length: int) -> "LmDataset":
+        tokens: List[int] = []
+        for article in corpus.articles(num_articles):
+            tokens.extend(tokenizer.encode(article.text, add_eos=True))
+        return cls(tokens, seq_length)
+
+    def __len__(self) -> int:
+        return len(self._tokens) // self.seq_length
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        start = index * self.seq_length
+        return self._tokens[start:start + self.seq_length]
+
+    @property
+    def total_tokens(self) -> int:
+        return len(self) * self.seq_length
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for index in range(len(self)):
+            yield self[index]

@@ -1,0 +1,62 @@
+"""Distributed batch loader (DistributedSampler analog).
+
+Shards a dataset across data-parallel ranks and yields per-rank
+micro-batches of shape ``(micro_batch, seq_length)`` — the data-side
+counterpart of the per-GPU batch size 16 the paper fixes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .dataset import LmDataset
+
+
+class DistributedBatchLoader:
+    """Round-robin sharded, optionally shuffled micro-batch iterator."""
+
+    def __init__(self, dataset: LmDataset, *, micro_batch: int, rank: int,
+                 world_size: int, shuffle: bool = True, seed: int = 0) -> None:
+        if world_size < 1:
+            raise ConfigurationError("world_size must be >= 1")
+        if not 0 <= rank < world_size:
+            raise ConfigurationError("rank out of range")
+        if micro_batch < 1:
+            raise ConfigurationError("micro_batch must be >= 1")
+        self.dataset = dataset
+        self.micro_batch = micro_batch
+        self.rank = rank
+        self.world_size = world_size
+        self.shuffle = shuffle
+        self.seed = seed
+        self.epoch = 0
+
+    def set_epoch(self, epoch: int) -> None:
+        """Reshuffle deterministically per epoch (DistributedSampler API)."""
+        self.epoch = epoch
+
+    def _rank_indices(self) -> List[int]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            rng = np.random.default_rng((self.seed, self.epoch))
+            rng.shuffle(indices)
+        # Drop the ragged tail so every rank sees the same batch count.
+        usable = (len(indices) // (self.world_size * self.micro_batch)
+                  * self.world_size * self.micro_batch)
+        indices = indices[:usable]
+        return list(indices[self.rank::self.world_size])
+
+    @property
+    def batches_per_epoch(self) -> int:
+        return len(self.dataset) // (self.world_size * self.micro_batch)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        mine = self._rank_indices()
+        for start in range(0, len(mine), self.micro_batch):
+            chunk = mine[start:start + self.micro_batch]
+            if len(chunk) < self.micro_batch:
+                break
+            yield np.stack([self.dataset[i] for i in chunk])

@@ -1,0 +1,105 @@
+"""Word-piece tokenizer for the synthetic corpus.
+
+A small trainable tokenizer standing in for GPT-2's BPE: the vocabulary
+is learned from corpus frequency (most frequent whole words, then
+character fallback), capped at the model's vocabulary size.  It is
+deterministic, reversible on its own output, and fast enough for the
+examples and tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List
+
+from ..errors import ConfigurationError
+
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+EOS_TOKEN = "<eos>"
+SPECIAL_TOKENS = (PAD_TOKEN, UNK_TOKEN, EOS_TOKEN)
+
+
+class Tokenizer:
+    """Frequency-trained word tokenizer with character-level fallback."""
+
+    def __init__(self, vocab: Dict[str, int]) -> None:
+        for token in SPECIAL_TOKENS:
+            if token not in vocab:
+                raise ConfigurationError(f"vocab is missing {token!r}")
+        self._token_to_id = dict(vocab)
+        self._id_to_token = {i: t for t, i in vocab.items()}
+        if len(self._id_to_token) != len(self._token_to_id):
+            raise ConfigurationError("vocab ids must be unique")
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def train(cls, texts: Iterable[str], *, vocab_size: int = 8192) -> "Tokenizer":
+        """Learn a vocabulary from raw text."""
+        if vocab_size < len(SPECIAL_TOKENS) + 64:
+            raise ConfigurationError("vocab_size too small")
+        counts: Counter = Counter()
+        chars: Counter = Counter()
+        for text in texts:
+            for word in text.lower().split():
+                word = word.strip(".,;:!?\"'()")
+                if word:
+                    counts[word] += 1
+                    chars.update(word)
+        vocab: Dict[str, int] = {t: i for i, t in enumerate(SPECIAL_TOKENS)}
+        for ch, _ in chars.most_common():
+            if len(vocab) >= vocab_size:
+                break
+            key = f"#{ch}"
+            if key not in vocab:
+                vocab[key] = len(vocab)
+        for word, _ in counts.most_common():
+            if len(vocab) >= vocab_size:
+                break
+            if word not in vocab:
+                vocab[word] = len(vocab)
+        return cls(vocab)
+
+    # -- properties ------------------------------------------------------------
+    @property
+    def vocab_size(self) -> int:
+        return len(self._token_to_id)
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK_TOKEN]
+
+    @property
+    def eos_id(self) -> int:
+        return self._token_to_id[EOS_TOKEN]
+
+    # -- coding ------------------------------------------------------------------
+    def encode(self, text: str, *, add_eos: bool = False) -> List[int]:
+        ids: List[int] = []
+        for word in text.lower().split():
+            word = word.strip(".,;:!?\"'()")
+            if not word:
+                continue
+            token_id = self._token_to_id.get(word)
+            if token_id is not None:
+                ids.append(token_id)
+                continue
+            # character fallback
+            for ch in word:
+                ids.append(self._token_to_id.get(f"#{ch}", self.unk_id))
+        if add_eos:
+            ids.append(self.eos_id)
+        return ids
+
+    def decode(self, ids: Iterable[int]) -> str:
+        parts: List[str] = []
+        for token_id in ids:
+            token = self._id_to_token.get(int(token_id), UNK_TOKEN)
+            if token in (PAD_TOKEN, EOS_TOKEN):
+                continue
+            parts.append(token[1:] if token.startswith("#") else token)
+        return " ".join(parts)

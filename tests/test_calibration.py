@@ -1,0 +1,72 @@
+"""Sanity of the calibration constants and their documented relations."""
+
+import pytest
+
+from repro import calibration
+
+
+STRATEGY_CALS = {
+    "DDP": calibration.DDP,
+    "MEGATRON": calibration.MEGATRON,
+    "ZERO1": calibration.ZERO1,
+    "ZERO2": calibration.ZERO2,
+    "ZERO3": calibration.ZERO3,
+}
+
+
+class TestStrategyCalibrations:
+    @pytest.mark.parametrize("name,cal", STRATEGY_CALS.items())
+    def test_efficiencies_are_fractions(self, name, cal):
+        assert 0.0 < cal.gemm_efficiency <= 1.0
+        assert 0.0 < cal.internode_efficiency <= 1.0
+
+    @pytest.mark.parametrize("name,cal", STRATEGY_CALS.items())
+    def test_overheads_non_negative(self, name, cal):
+        assert cal.fixed_overhead_s >= 0
+        assert cal.gpu_buffer_bytes >= 0
+        assert cal.gpu_buffer_bytes_per_dp >= 0
+
+    def test_zero2_has_highest_gemm_efficiency(self):
+        """Fig. 7-a: ZeRO-2 is the fastest DeepSpeed stage."""
+        assert (calibration.ZERO2.gemm_efficiency
+                > calibration.ZERO1.gemm_efficiency)
+        assert (calibration.ZERO2.gemm_efficiency
+                > calibration.ZERO3.gemm_efficiency)
+
+    def test_megatron_sustains_higher_internode_fraction(self):
+        """Large pipelined all-reduces beat bucketed partition traffic."""
+        for zero in (calibration.ZERO1, calibration.ZERO2,
+                     calibration.ZERO3):
+            assert (calibration.MEGATRON.internode_efficiency
+                    > zero.internode_efficiency)
+
+
+class TestGlobalConstants:
+    def test_fractions(self):
+        assert 0 < calibration.CPU_ADAM_SHARE_EFFICIENCY <= 1
+        assert 0 < calibration.PINNED_MEMORY_FRACTION < 1
+        assert 0 < calibration.AIO_EFFICIENCY <= 1
+        assert calibration.MEGATRON_BUBBLE_FRACTION < 0.5
+
+    def test_nvme_swap_symmetric(self):
+        assert (calibration.NVME_SWAP_READ_BYTES_PER_PARAM
+                == calibration.NVME_SWAP_WRITE_BYTES_PER_PARAM)
+
+    def test_param_offload_reads_twice_per_pass(self):
+        # fp16 weights fetched for forward and backward = 2 x 2 B.
+        assert calibration.NVME_PARAM_READ_BYTES_PER_PARAM == 4.0
+        assert calibration.NVME_PARAM_WRITE_BYTES_PER_PARAM == 2.0
+
+    def test_pinned_labels_match_plan_labels(self):
+        assert calibration.PINNED_LABELS == {
+            "pinned_buffers", "nvme_staging", "param_staging"
+        }
+
+    def test_ddp_extra_bytes_breakdown(self):
+        # fp32 gradient working copy + fp16 reducer bucket mirror.
+        assert calibration.DDP_EXTRA_BYTES_PER_PARAM == 6.0
+
+    def test_host_background_is_small(self):
+        """Background traffic must stay an order below the real signals."""
+        assert calibration.HOST_BACKGROUND_DRAM_BYTES_PER_S < 5e9
+        assert calibration.HOST_BACKGROUND_XGMI_BYTES_PER_S < 1e9

@@ -1,0 +1,81 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--strategy", "ddp"])
+        assert args.command == "run"
+        args = parser.parse_args(["search", "--nodes", "2"])
+        assert args.command == "search"
+        args = parser.parse_args(["experiment", "fig1"])
+        assert args.id == "fig1"
+
+    def test_unknown_strategy_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--strategy", "nope"])
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "fig99"])
+
+
+class TestRun:
+    def test_json_output(self, capsys):
+        code = main(["run", "--strategy", "zero2", "--size", "0.7",
+                     "--iterations", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["strategy"] == "zero2"
+        assert payload["tflops"] > 0
+        assert payload["memory_gb"]["gpu"] > 0
+
+    def test_table_output(self, capsys):
+        code = main(["run", "--strategy", "ddp", "--size", "0.7",
+                     "--iterations", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TFLOP/s" in out
+        assert "NVLink" in out
+
+    def test_oversized_model_reports_error(self, capsys):
+        code = main(["run", "--strategy", "ddp", "--size", "30",
+                     "--iterations", "2"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSearch:
+    def test_search_json(self, capsys):
+        code = main(["search", "--strategy", "ddp", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["max_billions"] == pytest.approx(1.57, rel=0.05)
+
+    def test_search_nvme_strategy_builds_placement_cluster(self, capsys):
+        code = main(["search", "--strategy", "zero3_opt_nvme",
+                     "--placement", "B", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["max_billions"] > 10
+
+
+class TestExperiment:
+    def test_experiment_prints_table(self, capsys):
+        code = main(["experiment", "table1"])
+        assert code == 0
+        assert "ZeRO stage" in capsys.readouterr().out
+
+    def test_experiment_json_rows(self, capsys):
+        code = main(["experiment", "fig1", "--json"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"series"' in out

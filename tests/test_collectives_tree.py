@@ -1,0 +1,134 @@
+"""Tree-algorithm collectives and the ring/tree AUTO heuristic."""
+
+import pytest
+
+from repro.collectives import (
+    Algorithm,
+    CollectiveKind,
+    CollectiveOp,
+    NcclCommunicator,
+    TREE_PAYLOAD_THRESHOLD,
+    choose_algorithm,
+    tree_depth,
+    tree_edges,
+    tree_step_count,
+)
+from repro.errors import ConfigurationError
+from repro.hardware import dual_node_cluster, single_node_cluster
+from repro.sim.engine import Engine
+from repro.sim.flows import FlowNetwork
+
+
+class TestChooseAlgorithm:
+    def test_explicit_choices_respected(self):
+        assert choose_algorithm(Algorithm.RING, CollectiveKind.ALL_REDUCE,
+                                10.0) is Algorithm.RING
+        assert choose_algorithm(Algorithm.TREE, CollectiveKind.ALL_REDUCE,
+                                1e9) is Algorithm.TREE
+
+    def test_auto_picks_tree_for_small_payloads(self):
+        assert choose_algorithm(Algorithm.AUTO, CollectiveKind.ALL_REDUCE,
+                                1024) is Algorithm.TREE
+        assert choose_algorithm(Algorithm.AUTO, CollectiveKind.ALL_REDUCE,
+                                100e6) is Algorithm.RING
+
+    def test_threshold_boundary(self):
+        assert choose_algorithm(Algorithm.AUTO, CollectiveKind.ALL_REDUCE,
+                                TREE_PAYLOAD_THRESHOLD) is Algorithm.TREE
+        assert choose_algorithm(Algorithm.AUTO, CollectiveKind.ALL_REDUCE,
+                                TREE_PAYLOAD_THRESHOLD + 1) is Algorithm.RING
+
+    def test_gather_scatter_always_ring(self):
+        for kind in (CollectiveKind.ALL_GATHER,
+                     CollectiveKind.REDUCE_SCATTER,
+                     CollectiveKind.SEND_RECV):
+            assert choose_algorithm(Algorithm.TREE, kind,
+                                    10.0) is Algorithm.RING
+
+
+class TestTreeShape:
+    def test_depth(self):
+        assert tree_depth(1) == 0
+        assert tree_depth(2) == 1
+        assert tree_depth(8) == 3
+        assert tree_depth(9) == 4
+
+    def test_depth_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            tree_depth(0)
+
+    def test_edges_form_a_tree(self):
+        order = tuple(range(8))
+        edges = tree_edges(order)
+        assert len(edges) == 7  # n - 1
+        children = [child for child, _parent in edges]
+        assert len(set(children)) == 7  # every non-root exactly once
+        assert 0 not in children        # rank 0 is the root
+
+    def test_steps(self):
+        assert tree_step_count(CollectiveKind.ALL_REDUCE, 8) == 6
+        assert tree_step_count(CollectiveKind.BROADCAST, 8) == 3
+
+
+class TestTreeExecution:
+    def run_collective(self, cluster, payload, algorithm):
+        engine = Engine()
+        network = FlowNetwork(engine)
+        comm = NcclCommunicator(cluster, engine, network,
+                                list(range(cluster.num_gpus)))
+        op = CollectiveOp(CollectiveKind.ALL_REDUCE, payload,
+                          cluster.num_gpus)
+        comm.run(op, algorithm=algorithm)
+        return engine.run()
+
+    def test_tree_beats_ring_for_small_internode_payloads(self):
+        cluster = dual_node_cluster()
+        ring = self.run_collective(cluster, 64e3, Algorithm.RING)
+        tree = self.run_collective(cluster, 64e3, Algorithm.TREE)
+        assert tree < ring
+
+    def test_ring_beats_tree_for_large_payloads(self):
+        cluster = dual_node_cluster()
+        ring = self.run_collective(cluster, 64e6, Algorithm.RING)
+        tree = self.run_collective(cluster, 64e6, Algorithm.TREE)
+        assert ring < tree
+
+    def test_auto_matches_the_better_choice_at_extremes(self):
+        cluster = dual_node_cluster()
+        small_auto = self.run_collective(cluster, 64e3, Algorithm.AUTO)
+        small_tree = self.run_collective(cluster, 64e3, Algorithm.TREE)
+        assert small_auto == pytest.approx(small_tree, rel=1e-6)
+        big_auto = self.run_collective(cluster, 64e6, Algorithm.AUTO)
+        big_ring = self.run_collective(cluster, 64e6, Algorithm.RING)
+        assert big_auto == pytest.approx(big_ring, rel=1e-6)
+
+    def test_tree_charges_edge_traffic(self):
+        cluster = single_node_cluster()
+        cluster.reset()
+        engine = Engine()
+        network = FlowNetwork(engine)
+        comm = NcclCommunicator(cluster, engine, network, [0, 1, 2, 3])
+        payload = 4e6
+        comm.run(CollectiveOp(CollectiveKind.ALL_REDUCE, payload, 4),
+                 algorithm=Algorithm.TREE)
+        engine.run()
+        total = sum(l.ledger.total_bytes
+                    for l in cluster.topology.links
+                    if l.link_class.value == "NVLink")
+        # 3 edges x 2 x payload (reduce up + broadcast down).
+        assert total == pytest.approx(3 * 2 * payload, rel=1e-6)
+
+
+class TestEstimateConsistency:
+    def test_estimate_mirrors_auto_selection(self):
+        """estimate() and run() must agree on the schedule for a payload."""
+        cluster = dual_node_cluster()
+        for payload in (64e3, 8e6):
+            engine = Engine()
+            network = FlowNetwork(engine)
+            comm = NcclCommunicator(cluster, engine, network, list(range(8)))
+            estimate = comm.estimate(
+                CollectiveOp(CollectiveKind.ALL_REDUCE, payload, 8))
+            comm.run(CollectiveOp(CollectiveKind.ALL_REDUCE, payload, 8))
+            actual = engine.run()
+            assert actual == pytest.approx(estimate, rel=0.5)

@@ -1,0 +1,106 @@
+"""High-level runner: metrics, memory application, pinned ceiling."""
+
+import pytest
+
+from repro import calibration
+from repro.core.runner import apply_memory_plan, plan_only, run_training
+from repro.core.search import model_for_billions
+from repro.errors import ConfigurationError, OutOfMemoryError
+from repro.hardware import single_node_cluster
+from repro.hardware.link import LinkClass
+from repro.model import paper_model
+from repro.parallel import DdpStrategy, zero2, zero2_cpu_offload
+from repro.parallel.strategy import MemoryPlan
+
+
+@pytest.fixture()
+def cluster():
+    c = single_node_cluster()
+    c.reset()
+    return c
+
+
+class TestRunTraining:
+    def test_metrics_bundle(self, cluster):
+        metrics = run_training(cluster, DdpStrategy(), paper_model(4),
+                               iterations=3)
+        assert metrics.strategy_name == "ddp"
+        assert metrics.num_gpus == 4
+        assert metrics.tflops > 0
+        assert metrics.iteration_time > 0
+        assert len(metrics.execution.iteration_times) == 3
+        assert metrics.billions_of_parameters == pytest.approx(
+            0.3, abs=0.2)
+
+    def test_warmup_excluded_from_window(self, cluster):
+        metrics = run_training(cluster, DdpStrategy(), paper_model(4),
+                               iterations=3, warmup_iterations=1)
+        start, end = metrics.measurement_window
+        assert start > 0
+        assert end == pytest.approx(metrics.execution.total_time)
+
+    def test_iterations_must_exceed_warmup(self, cluster):
+        with pytest.raises(ConfigurationError):
+            run_training(cluster, DdpStrategy(), paper_model(2),
+                         iterations=1, warmup_iterations=1)
+
+    def test_memory_snapshot_reflects_plan(self, cluster):
+        metrics = run_training(cluster, DdpStrategy(), paper_model(4),
+                               iterations=2)
+        assert metrics.memory.gpu_used > 0
+        assert "parameters" in metrics.memory.gpu_by_label
+
+    def test_bandwidth_table_has_nvlink_traffic(self, cluster):
+        metrics = run_training(cluster, zero2(), paper_model(8),
+                               iterations=3)
+        assert metrics.bandwidth[LinkClass.NVLINK].average > 0
+        assert metrics.bandwidth[LinkClass.ROCE].average == 0  # one node
+
+    def test_oom_on_oversized_model(self, cluster):
+        with pytest.raises(OutOfMemoryError):
+            run_training(cluster, DdpStrategy(), paper_model(100),
+                         iterations=2)
+
+    def test_deterministic_between_runs(self, cluster):
+        a = run_training(cluster, zero2(), paper_model(8), iterations=3)
+        b = run_training(cluster, zero2(), paper_model(8), iterations=3)
+        assert a.iteration_time == pytest.approx(b.iteration_time)
+
+
+class TestPlanOnly:
+    def test_plan_only_fills_pools_without_simulating(self, cluster):
+        report = plan_only(cluster, zero2(), paper_model(8))
+        assert report.gpu_used > 0
+
+    def test_plan_only_raises_on_oom(self, cluster):
+        with pytest.raises(OutOfMemoryError):
+            plan_only(cluster, DdpStrategy(), paper_model(60))
+
+
+class TestApplyMemoryPlan:
+    def test_nvme_plan_without_volume_rejected(self, cluster):
+        plan = MemoryPlan(nvme={"swap": 1e9})
+        with pytest.raises(ConfigurationError):
+            apply_memory_plan(cluster, plan)
+
+    def test_pinned_ceiling_enforced(self, cluster):
+        socket_dram = cluster.dram_for_rank(0).memory.capacity_bytes
+        over = socket_dram * calibration.PINNED_MEMORY_FRACTION / 2 * 1.01
+        plan = MemoryPlan(cpu={"pinned_buffers": over})
+        with pytest.raises(OutOfMemoryError) as err:
+            apply_memory_plan(cluster, plan)
+        assert "pinned" in str(err.value)
+
+    def test_unpinned_labels_ignore_ceiling(self, cluster):
+        socket_dram = cluster.dram_for_rank(0).memory.capacity_bytes
+        big = socket_dram * 0.45  # x2 ranks/socket = 90 % of the pool
+        plan = MemoryPlan(cpu={"optimizer_states": big})
+        apply_memory_plan(cluster, plan)  # must not raise
+
+
+class TestOffloadRun:
+    def test_cpu_offload_populates_host_memory(self, cluster):
+        metrics = run_training(cluster, zero2_cpu_offload(),
+                               model_for_billions(1.4), iterations=2)
+        assert metrics.memory.cpu_used > 50e9
+        assert metrics.bandwidth[LinkClass.DRAM].average > 0

@@ -1,0 +1,67 @@
+"""Run-level invariant validation."""
+
+import pytest
+
+from repro.core.runner import run_training
+from repro.core.search import model_for_billions
+from repro.core.validate import ValidationReport, validate_run
+from repro.errors import SimulationError
+from repro.hardware import dual_node_cluster, single_node_cluster
+from repro.parallel import (
+    DdpStrategy,
+    MegatronStrategy,
+    pipeline_1f1b,
+    zero2,
+    zero2_cpu_offload,
+    zero3,
+    zero3_nvme_optimizer,
+)
+
+
+@pytest.mark.parametrize("factory", [
+    DdpStrategy, MegatronStrategy, zero2, zero3, pipeline_1f1b,
+])
+def test_single_node_runs_validate(factory):
+    cluster = single_node_cluster()
+    metrics = run_training(cluster, factory(), model_for_billions(0.7),
+                           iterations=2)
+    report = validate_run(cluster, metrics)
+    assert report.ok, report.details
+
+
+@pytest.mark.parametrize("factory", [DdpStrategy, zero3])
+def test_dual_node_runs_validate(factory):
+    cluster = dual_node_cluster()
+    metrics = run_training(cluster, factory(), model_for_billions(0.7),
+                           iterations=2)
+    report = validate_run(cluster, metrics)
+    assert report.ok, report.details
+
+
+def test_offload_runs_validate():
+    cluster = single_node_cluster()
+    metrics = run_training(cluster, zero2_cpu_offload(),
+                           model_for_billions(1.4), iterations=2)
+    assert validate_run(cluster, metrics).ok
+
+
+def test_nvme_runs_validate():
+    cluster = single_node_cluster()
+    metrics = run_training(cluster, zero3_nvme_optimizer(),
+                           model_for_billions(1.4), iterations=2)
+    assert validate_run(cluster, metrics).ok
+
+
+class TestReport:
+    def test_raise_on_failure(self):
+        report = ValidationReport()
+        report.record("good", True)
+        report.record("bad", False, "boom")
+        assert not report.ok
+        with pytest.raises(SimulationError, match="boom"):
+            report.raise_on_failure()
+
+    def test_ok_report_does_not_raise(self):
+        report = ValidationReport()
+        report.record("good", True)
+        report.raise_on_failure()

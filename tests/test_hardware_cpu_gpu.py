@@ -1,0 +1,110 @@
+"""CPU, GPU, and NIC device models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cpu import (
+    CPU_ADAM_BYTES_PER_PARAM,
+    CpuSpec,
+    cpu_adam_step_time,
+    make_cpu,
+    make_dram,
+)
+from repro.hardware.devices import DeviceKind
+from repro.hardware.gpu import GpuSpec, make_gpu
+from repro.hardware.nic import NicSpec, SwitchSpec, make_nic, make_switch
+
+
+class TestCpuSpec:
+    def test_dram_bandwidth_aggregates_channels(self):
+        spec = CpuSpec()
+        assert spec.dram_bandwidth == pytest.approx(8 * 25.6e9)
+
+    def test_effective_bandwidth_applies_efficiency(self):
+        spec = CpuSpec()
+        assert spec.effective_dram_bandwidth < spec.dram_bandwidth
+
+    def test_peak_flops(self):
+        spec = CpuSpec()
+        assert spec.peak_flops == pytest.approx(64 * 32e9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CpuSpec(cores=0)
+        with pytest.raises(ConfigurationError):
+            CpuSpec(dram_efficiency=0.0)
+
+
+class TestCpuAdam:
+    def test_time_scales_with_params(self):
+        spec = CpuSpec()
+        t1 = cpu_adam_step_time(1e9, spec)
+        t2 = cpu_adam_step_time(2e9, spec)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_dram_bound_for_typical_sizes(self):
+        spec = CpuSpec()
+        t = cpu_adam_step_time(1e9, spec)
+        dram_bound = 1e9 * CPU_ADAM_BYTES_PER_PARAM / spec.effective_dram_bandwidth
+        assert t == pytest.approx(dram_bound)
+
+    def test_zero_params_is_zero_time(self):
+        assert cpu_adam_step_time(0.0, CpuSpec()) == 0.0
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cpu_adam_step_time(-1.0, CpuSpec())
+
+
+class TestCpuDramDevices:
+    def test_cpu_hub_has_no_memory(self):
+        cpu = make_cpu("n/cpu0", node_index=0, socket_index=0)
+        assert cpu.kind is DeviceKind.CPU
+        assert cpu.memory is None
+
+    def test_dram_holds_socket_capacity(self):
+        dram = make_dram("n/dram0", node_index=0, socket_index=0)
+        assert dram.kind is DeviceKind.DRAM
+        assert dram.memory.capacity_bytes == pytest.approx(512e9)
+
+
+class TestGpu:
+    def test_usable_memory_excludes_reservation(self):
+        spec = GpuSpec()
+        assert spec.usable_memory_bytes == pytest.approx(40e9 - 2.5e9)
+
+    def test_a100_peak(self):
+        assert GpuSpec().peak_fp16_flops == pytest.approx(312e12)
+
+    def test_make_gpu_attaches_pool_and_spec(self):
+        gpu = make_gpu("n/gpu0", node_index=0, socket_index=0)
+        assert gpu.memory.capacity_bytes == pytest.approx(37.5e9)
+        assert gpu.spec.nvlink_ports == 12
+
+    def test_reservation_cannot_exceed_capacity(self):
+        with pytest.raises(ConfigurationError):
+            GpuSpec(memory_bytes=2e9, reserved_bytes=3e9)
+
+
+class TestNicAndSwitch:
+    def test_nic_wire_rate(self):
+        spec = NicSpec()
+        assert spec.wire_bandwidth_per_direction == pytest.approx(25e9)
+
+    def test_nic_validation(self):
+        with pytest.raises(ConfigurationError):
+            NicSpec(efficiency=0.0)
+
+    def test_make_nic(self):
+        nic = make_nic("n/nic0", node_index=0, socket_index=0)
+        assert nic.kind is DeviceKind.NIC
+        assert nic.spec.supports_gpudirect
+
+    def test_switch(self):
+        switch = make_switch("switch0")
+        assert switch.kind is DeviceKind.SWITCH
+        assert switch.spec.ports == 32
+
+    def test_switch_validation(self):
+        with pytest.raises(ConfigurationError):
+            SwitchSpec(ports=0)

@@ -1,0 +1,116 @@
+"""XE8545 node assembly and cluster wiring (paper Fig. 2, Table II)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.hardware import (
+    Cluster,
+    ClusterSpec,
+    LinkClass,
+    NodeSpec,
+    dual_node_cluster,
+    nvme_placement_node_spec,
+    paper_node_spec,
+    single_node_cluster,
+)
+
+
+@pytest.fixture(scope="module")
+def dual():
+    return dual_node_cluster()
+
+
+class TestNodeInventory:
+    def test_two_sockets(self, dual):
+        node = dual.nodes[0]
+        assert len(node.cpus) == 2
+        assert len(node.drams) == 2
+
+    def test_four_gpus_split_across_sockets(self, dual):
+        node = dual.nodes[0]
+        sockets = [gpu.socket_index for gpu in node.gpus]
+        assert sockets == [0, 0, 1, 1]
+
+    def test_two_nics_one_per_socket(self, dual):
+        node = dual.nodes[0]
+        assert [nic.socket_index for nic in node.nics] == [0, 1]
+        assert node.nic_for_socket(1).name == "node0/nic1"
+
+    def test_baseline_nvme_layout(self, dual):
+        node = dual.nodes[0]
+        sockets = [d.device.socket_index for d in node.nvme_drives]
+        assert sockets == [0, 1, 1]  # OS drive + two scratch
+        assert len(node.scratch_drives) == 2
+
+    def test_nvlink_mesh_is_all_to_all(self, dual):
+        links = [l for l in dual.topology.links_of_class(LinkClass.NVLINK)
+                 if l.name.startswith("node0/")]
+        assert len(links) == 6  # C(4,2) GPU pairs
+        assert all(link.count == 4 for link in links)
+
+    def test_dram_channels(self, dual):
+        link = dual.topology.link_between("node0/cpu0", "node0/dram0")
+        assert link.count == 8
+        assert not link.spec.duplex
+
+    def test_xgmi_links(self, dual):
+        link = dual.topology.link_between("node0/cpu0", "node0/cpu1")
+        assert link.count == 3
+        assert link.link_class is LinkClass.XGMI
+
+    def test_memory_totals(self, dual):
+        node = dual.nodes[0]
+        # 4x 40 GB GPUs minus framework reservation.
+        assert node.total_gpu_memory() == pytest.approx(4 * 37.5e9)
+        assert node.total_host_memory() == pytest.approx(1024e9)
+
+    def test_gpu_socket_mapping(self):
+        spec = paper_node_spec()
+        assert [spec.gpu_socket(i) for i in range(4)] == [0, 0, 1, 1]
+
+
+class TestClusterWiring:
+    def test_single_node_has_no_switch(self):
+        cluster = single_node_cluster()
+        assert cluster.switch is None
+        assert cluster.topology.links_of_class(LinkClass.ROCE) == []
+
+    def test_dual_node_roce_links(self, dual):
+        roce = dual.topology.links_of_class(LinkClass.ROCE)
+        assert len(roce) == 4  # 2 NICs x 2 nodes
+
+    def test_rank_mapping(self, dual):
+        assert dual.gpu(0).name == "node0/gpu0"
+        assert dual.gpu(5).name == "node1/gpu1"
+        assert dual.num_gpus == 8
+
+    def test_rank_out_of_range(self, dual):
+        with pytest.raises(TopologyError):
+            dual.gpu(8)
+        with pytest.raises(TopologyError):
+            dual.node_of_rank(-1)
+
+    def test_dram_for_rank_follows_socket(self, dual):
+        assert dual.dram_for_rank(0).name == "node0/dram0"
+        assert dual.dram_for_rank(3).name == "node0/dram1"
+        assert dual.dram_for_rank(6).name == "node1/dram1"
+
+    def test_reset_clears_everything(self, dual):
+        dual.gpu(0).memory.allocate("x", 1e9)
+        route = dual.topology.route("node0/gpu0", "node0/gpu1")
+        route.record(0.0, 1.0, 1e9)
+        dual.reset()
+        assert dual.gpu(0).memory.used_bytes == 0.0
+        assert all(len(l.ledger) == 0 for l in dual.topology.links)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(num_nodes=0)
+
+    def test_placement_node_spec(self):
+        spec = nvme_placement_node_spec((0, 0, 1, 1))
+        assert spec.nvme_sockets == (0, 0, 0, 1, 1)
+
+    def test_bad_nvme_socket_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec(nvme_sockets=(0, 2))

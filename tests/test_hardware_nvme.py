@@ -1,0 +1,134 @@
+"""NVMe drive cache model and RAID0 volumes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.nvme import NvmeDrive, NvmeSpec, Raid0Volume
+
+
+def small_spec(**overrides):
+    base = dict(dram_cache_bytes=1e9, cache_write_bandwidth=4e9,
+                nand_write_bandwidth=1e9, cache_read_bandwidth=6e9,
+                nand_read_bandwidth=3e9, command_latency=0.0)
+    base.update(overrides)
+    return NvmeSpec(**base)
+
+
+class TestCacheRegimes:
+    def test_burst_within_cache_is_fast(self):
+        drive = NvmeDrive("d", small_spec())
+        t = drive.write_time(1e9)  # exactly the cache size
+        assert t == pytest.approx(1e9 / 4e9)
+
+    def test_overflow_hits_nand_speed(self):
+        drive = NvmeDrive("d", small_spec())
+        t = drive.write_time(3e9)
+        expected = 1e9 / 4e9 + 2e9 / 1e9
+        assert t == pytest.approx(expected)
+
+    def test_cache_fill_persists_across_bursts(self):
+        drive = NvmeDrive("d", small_spec())
+        drive.write_time(1e9)             # fills the cache
+        t = drive.write_time(1e9)          # all NAND now
+        assert t == pytest.approx(1.0)
+
+    def test_drain_restores_headroom(self):
+        drive = NvmeDrive("d", small_spec())
+        drive.write_time(1e9)
+        drive.drain_cache(1.0)  # 1 GB drains at 1 GB/s NAND
+        t = drive.write_time(1e9)
+        assert t == pytest.approx(0.25)
+
+    def test_reset_cache(self):
+        drive = NvmeDrive("d", small_spec())
+        drive.write_time(1e9)
+        drive.reset_cache()
+        assert drive.write_time(1e9) == pytest.approx(0.25)
+
+    def test_read_cached_fraction(self):
+        drive = NvmeDrive("d", small_spec())
+        t_cold = drive.read_time(3e9)
+        t_warm = drive.read_time(3e9, cached_fraction=1.0)
+        assert t_warm < t_cold
+
+    def test_command_latency_floor(self):
+        drive = NvmeDrive("d", small_spec(command_latency=90e-6))
+        assert drive.write_time(1.0) >= 90e-6
+
+    def test_negative_bytes_rejected(self):
+        drive = NvmeDrive("d", small_spec())
+        with pytest.raises(ConfigurationError):
+            drive.write_time(-1.0)
+        with pytest.raises(ConfigurationError):
+            drive.read_time(-1.0)
+
+    def test_bad_cached_fraction_rejected(self):
+        drive = NvmeDrive("d", small_spec())
+        with pytest.raises(ConfigurationError):
+            drive.read_time(1.0, cached_fraction=1.5)
+
+
+class TestSustainedBandwidth:
+    def test_pure_read_and_write(self):
+        drive = NvmeDrive("d", small_spec())
+        assert drive.sustained_bandwidth(read_fraction=1.0) == pytest.approx(3e9)
+        assert drive.sustained_bandwidth(read_fraction=0.0) == pytest.approx(1e9)
+
+    def test_mixed_is_harmonic(self):
+        drive = NvmeDrive("d", small_spec())
+        mixed = drive.sustained_bandwidth(read_fraction=0.5)
+        assert mixed == pytest.approx(1.0 / (0.5 / 3e9 + 0.5 / 1e9))
+
+    def test_mixed_between_extremes(self):
+        drive = NvmeDrive("d", small_spec())
+        mixed = drive.sustained_bandwidth(read_fraction=0.5)
+        assert 1e9 < mixed < 3e9
+
+
+class TestRaid0:
+    def make_volume(self, n, sockets=None):
+        sockets = sockets or [1] * n
+        drives = [NvmeDrive(f"d{i}", small_spec(), socket_index=sockets[i])
+                  for i in range(n)]
+        return Raid0Volume("md0", drives)
+
+    def test_bandwidth_aggregates(self):
+        vol = self.make_volume(2)
+        assert vol.sustained_bandwidth(read_fraction=1.0) == pytest.approx(6e9)
+
+    def test_striped_write_time_halves(self):
+        one = self.make_volume(1)
+        two = self.make_volume(2)
+        payload = 4e9
+        assert two.write_time(payload) < one.write_time(payload)
+
+    def test_capacity(self):
+        vol = self.make_volume(2)
+        assert vol.capacity_bytes == pytest.approx(2 * 3.2e12)
+
+    def test_socket_span_detection(self):
+        local = self.make_volume(2, sockets=[1, 1])
+        spanning = self.make_volume(2, sockets=[0, 1])
+        assert not local.spans_sockets
+        assert spanning.spans_sockets
+
+    def test_empty_volume_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Raid0Volume("md0", [])
+
+    def test_reset_clears_member_caches(self):
+        vol = self.make_volume(2)
+        vol.write_time(4e9)
+        vol.reset()
+        # After reset the first GB per member is cache-speed again.
+        assert vol.write_time(2e9) == pytest.approx(0.25)
+
+
+class TestSpecValidation:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(nand_write_bandwidth=0.0)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(capacity_bytes=-1.0)

@@ -1,0 +1,128 @@
+"""The EPYC IOD SerDes contention model — the paper's core hypothesis."""
+
+import pytest
+
+from repro.hardware import dual_node_cluster
+from repro.hardware.link import Link, LinkClass, LinkSpec
+from repro.hardware.serdes import (
+    SerdesContentionModel,
+    TrafficProfile,
+    disabled_contention_model,
+    route_crosses_socket,
+    serdes_joints,
+)
+
+
+def link_of(cls):
+    return Link(f"test/{cls.value}",
+                LinkSpec(link_class=cls, bandwidth_per_direction=10e9,
+                         latency=1e-6), "a", "b")
+
+
+class TestJointCounting:
+    def test_no_joints_on_single_link(self):
+        assert serdes_joints([link_of(LinkClass.PCIE_GPU)]) == 0
+
+    def test_dram_to_pcie_is_uncontended(self):
+        route = [link_of(LinkClass.DRAM), link_of(LinkClass.PCIE_NIC)]
+        assert serdes_joints(route) == 0
+
+    def test_pcie_to_pcie_is_one_joint(self):
+        route = [link_of(LinkClass.PCIE_GPU), link_of(LinkClass.PCIE_NIC)]
+        assert serdes_joints(route) == 1
+
+    def test_pcie_xgmi_pcie_is_two_joints(self):
+        route = [link_of(LinkClass.PCIE_GPU), link_of(LinkClass.XGMI),
+                 link_of(LinkClass.PCIE_NIC)]
+        assert serdes_joints(route) == 2
+
+    def test_roce_hops_break_joints(self):
+        route = [link_of(LinkClass.PCIE_NIC), link_of(LinkClass.ROCE),
+                 link_of(LinkClass.PCIE_NIC)]
+        assert serdes_joints(route) == 0
+
+    def test_nvlink_never_counts(self):
+        route = [link_of(LinkClass.NVLINK), link_of(LinkClass.NVLINK)]
+        assert serdes_joints(route) == 0
+
+
+class TestDerate:
+    def test_uncontended_route_full_speed(self):
+        model = SerdesContentionModel()
+        route = [link_of(LinkClass.DRAM), link_of(LinkClass.PCIE_NIC)]
+        assert model.derate(route) == 1.0
+
+    def test_sustained_worse_than_bursty(self):
+        model = SerdesContentionModel()
+        route = [link_of(LinkClass.PCIE_GPU), link_of(LinkClass.PCIE_NIC)]
+        sustained = model.derate(route, TrafficProfile.SUSTAINED)
+        bursty = model.derate(route, TrafficProfile.BURSTY)
+        assert sustained < bursty < 1.0
+
+    def test_more_joints_derate_more(self):
+        model = SerdesContentionModel()
+        one = [link_of(LinkClass.PCIE_GPU), link_of(LinkClass.PCIE_NIC)]
+        two = [link_of(LinkClass.PCIE_GPU), link_of(LinkClass.XGMI),
+               link_of(LinkClass.PCIE_NIC)]
+        assert model.derate(two) < model.derate(one)
+
+    def test_disabled_model_never_derates(self):
+        model = disabled_contention_model()
+        route = [link_of(LinkClass.PCIE_GPU), link_of(LinkClass.XGMI),
+                 link_of(LinkClass.PCIE_NIC)]
+        assert model.derate(route) == 1.0
+        assert model.latency_factor(route) == 1.0
+
+    def test_latency_inflates_only_when_contended(self):
+        model = SerdesContentionModel()
+        clean = [link_of(LinkClass.DRAM), link_of(LinkClass.PCIE_NIC)]
+        dirty = [link_of(LinkClass.PCIE_GPU), link_of(LinkClass.PCIE_NIC)]
+        assert model.latency_factor(clean) == 1.0
+        assert model.latency_factor(dirty) > 4.0
+
+
+class TestPaperCalibration:
+    """Fig. 4's attained fractions fall out of the built topology."""
+
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        return dual_node_cluster()
+
+    def test_same_socket_cpu_roce_attains_93_percent(self, cluster):
+        route = cluster.topology.route("node0/dram0", "node1/dram0")
+        fraction = route.bandwidth(TrafficProfile.SUSTAINED) / 25e9
+        assert fraction == pytest.approx(0.93, abs=0.02)
+
+    def test_cross_socket_cpu_roce_attains_about_half(self, cluster):
+        route = cluster.topology.route_via(
+            "node0/dram0", "node1/dram0", ["node0/nic1", "node1/nic1"]
+        )
+        fraction = route.bandwidth(TrafficProfile.SUSTAINED) / 25e9
+        assert 0.40 <= fraction <= 0.55  # paper: 47 %
+
+    def test_gpu_roce_same_socket_attains_about_half(self, cluster):
+        route = cluster.topology.route("node0/gpu0", "node1/gpu0")
+        fraction = route.bandwidth(TrafficProfile.SUSTAINED) / 25e9
+        assert 0.42 <= fraction <= 0.58  # paper: 52 %
+
+    def test_gpu_roce_cross_socket_is_worst(self, cluster):
+        same = cluster.topology.route("node0/gpu0", "node1/gpu0")
+        cross = cluster.topology.route_via(
+            "node0/gpu0", "node1/gpu0", ["node0/nic1", "node1/nic1"]
+        )
+        assert (cross.bandwidth(TrafficProfile.SUSTAINED)
+                < same.bandwidth(TrafficProfile.SUSTAINED))
+
+    def test_cross_socket_latency_about_seven_times(self, cluster):
+        same = cluster.topology.route("node0/dram0", "node1/dram0")
+        cross = cluster.topology.route_via(
+            "node0/dram0", "node1/dram0", ["node0/nic1", "node1/nic1"]
+        )
+        ratio = cross.latency() / same.latency()
+        assert 5.0 <= ratio <= 9.0  # paper: ~7x
+
+
+class TestRouteCrossesSocket:
+    def test_detects_xgmi(self):
+        assert route_crosses_socket([link_of(LinkClass.XGMI)])
+        assert not route_crosses_socket([link_of(LinkClass.PCIE_GPU)])

@@ -1,0 +1,160 @@
+"""Integration: the paper's headline findings reproduce end-to-end.
+
+These are the claims from the paper's abstract and "major insights"
+(Section I), checked against full simulated training runs.  Tolerances
+are loose — the simulator targets shape, not testbed-exact numbers.
+"""
+
+import pytest
+
+from repro.core.runner import run_training
+from repro.core.search import max_model_size, model_for_billions
+from repro.hardware import dual_node_cluster, single_node_cluster
+from repro.hardware.link import LinkClass
+from repro.model.config import paper_model
+from repro.parallel import (
+    DdpStrategy,
+    MegatronStrategy,
+    zero1,
+    zero2,
+    zero2_cpu_offload,
+    zero3,
+    zero3_nvme_optimizer_params,
+)
+
+
+def throughput_at_max(cluster, strategy, iterations=3):
+    search = max_model_size(cluster, strategy)
+    metrics = run_training(cluster, strategy, paper_model(search.max_layers),
+                           iterations=iterations)
+    return search, metrics
+
+
+@pytest.fixture(scope="module")
+def single_results():
+    cluster = single_node_cluster()
+    return {
+        name: throughput_at_max(cluster, factory())
+        for name, factory in [("ddp", DdpStrategy), ("megatron", MegatronStrategy),
+                              ("zero1", zero1), ("zero2", zero2),
+                              ("zero3", zero3)]
+    }
+
+
+@pytest.fixture(scope="module")
+def dual_results():
+    cluster = dual_node_cluster()
+    return {
+        name: throughput_at_max(cluster, factory())
+        for name, factory in [("ddp", DdpStrategy), ("megatron", MegatronStrategy),
+                              ("zero1", zero1), ("zero2", zero2),
+                              ("zero3", zero3)]
+    }
+
+
+class TestSingleNodeInsights:
+    def test_ddp_fastest_but_smallest(self, single_results):
+        ddp_search, ddp_metrics = single_results["ddp"]
+        for name in ("megatron", "zero1", "zero3"):
+            search, metrics = single_results[name]
+            assert ddp_metrics.tflops > metrics.tflops
+            assert search.max_parameters > 2.5 * ddp_search.max_parameters
+
+    def test_megatron_fits_about_4x_ddp(self, single_results):
+        ddp_search, _ = single_results["ddp"]
+        meg_search, _ = single_results["megatron"]
+        ratio = meg_search.max_parameters / ddp_search.max_parameters
+        assert 3.0 <= ratio <= 4.5  # paper: "almost four times"
+
+    def test_zero3_fits_about_20pct_more_than_megatron(self, single_results):
+        meg, _ = single_results["megatron"]
+        z3, _ = single_results["zero3"]
+        ratio = z3.max_parameters / meg.max_parameters
+        assert 1.1 <= ratio <= 1.4  # paper: 20 % larger
+
+    def test_zero_sizes_bracket_megatron(self, single_results):
+        """Paper: ZeRO fits 0.8x-1.2x the Megatron-LM size."""
+        meg, _ = single_results["megatron"]
+        for name in ("zero1", "zero2", "zero3"):
+            search, _ = single_results[name]
+            assert 0.75 <= search.max_parameters / meg.max_parameters <= 1.3
+
+    def test_zero2_is_single_node_sweet_spot(self, single_results):
+        _, z2 = single_results["zero2"]
+        _, meg = single_results["megatron"]
+        assert z2.tflops > 1.3 * meg.tflops  # paper: 58 % higher
+
+    def test_megatron_nvlink_about_3x_ddp(self, single_results):
+        _, ddp = single_results["ddp"]
+        _, meg = single_results["megatron"]
+        ratio = (meg.bandwidth[LinkClass.NVLINK].average
+                 / ddp.bandwidth[LinkClass.NVLINK].average)
+        assert 2.0 <= ratio <= 4.5  # paper: ~300 % more
+
+    def test_throughputs_match_paper_within_20pct(self, single_results):
+        paper = {"ddp": 438, "megatron": 331, "zero1": 391, "zero2": 524,
+                 "zero3": 381}
+        for name, (search, metrics) in single_results.items():
+            assert metrics.tflops == pytest.approx(paper[name], rel=0.20)
+
+
+class TestDualNodeInsights:
+    def test_megatron_collapses_across_nodes(self, dual_results):
+        _, ddp = dual_results["ddp"]
+        _, meg = dual_results["megatron"]
+        assert meg.tflops < 0.3 * ddp.tflops  # paper: 0.19x
+
+    def test_zero_beats_megatron_3x_or_more(self, dual_results):
+        _, meg = dual_results["megatron"]
+        for name in ("zero1", "zero2", "zero3"):
+            _, metrics = dual_results[name]
+            assert metrics.tflops > 2.8 * meg.tflops  # paper: 3.26-3.78x
+
+    def test_megatron_fits_about_8x_ddp(self, dual_results):
+        ddp, _ = dual_results["ddp"]
+        meg, _ = dual_results["megatron"]
+        ratio = meg.max_parameters / ddp.max_parameters
+        assert 6.0 <= ratio <= 9.0  # paper: eight times
+
+    def test_ddp_size_unchanged_by_second_node(self, dual_results,
+                                               single_results):
+        assert (dual_results["ddp"][0].max_parameters
+                == single_results["ddp"][0].max_parameters)
+
+    def test_zero3_keeps_throughput_while_doubling_model(self,
+                                                         dual_results,
+                                                         single_results):
+        single_search, single_metrics = single_results["zero3"]
+        dual_search, dual_metrics = dual_results["zero3"]
+        assert dual_search.max_parameters > 1.7 * single_search.max_parameters
+        assert dual_metrics.tflops > 0.9 * single_metrics.tflops
+
+    def test_throughputs_match_paper_within_25pct(self, dual_results):
+        paper = {"ddp": 640, "megatron": 121, "zero1": 395, "zero2": 424,
+                 "zero3": 458}
+        for name, (search, metrics) in dual_results.items():
+            assert metrics.tflops == pytest.approx(paper[name], rel=0.25)
+
+
+class TestOffloadInsights:
+    def test_consolidation_beats_dual_node_megatron(self, dual_results):
+        """Paper: ZeRO-Offload on one node gives ~1.58x dual Megatron."""
+        _, meg_dual = dual_results["megatron"]
+        cluster = single_node_cluster()
+        metrics = run_training(cluster, zero2_cpu_offload(),
+                               model_for_billions(11.4), iterations=3)
+        assert metrics.tflops > 1.3 * meg_dual.tflops
+
+    def test_infinity_fits_6x_megatron_single_node(self, single_results):
+        meg, _ = single_results["megatron"]
+        cluster = single_node_cluster()
+        search = max_model_size(cluster, zero3_nvme_optimizer_params())
+        assert search.max_parameters > 5 * meg.max_parameters
+
+    def test_zero2_offload_fits_about_3x_single_node_megatron(
+            self, single_results):
+        meg, _ = single_results["megatron"]
+        cluster = single_node_cluster()
+        search = max_model_size(cluster, zero2_cpu_offload())
+        ratio = search.max_parameters / meg.max_parameters
+        assert 2.0 <= ratio <= 3.2  # paper: "almost three times"

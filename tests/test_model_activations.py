@@ -1,0 +1,76 @@
+"""Activation-memory model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model import (
+    TrainingConfig,
+    activation_bytes_per_layer,
+    activation_memory_per_gpu,
+    checkpoint_boundary_bytes,
+    paper_model,
+)
+
+
+class TestPerLayer:
+    def test_standard_estimate(self):
+        m = paper_model(1)
+        t = TrainingConfig()
+        expected = 256 * 16 * 2048 * (34.0 + 5.0 * 16 * 256 / 2048)
+        assert activation_bytes_per_layer(m, t) == pytest.approx(expected)
+
+    def test_tensor_parallel_shards_most(self):
+        m = paper_model(1)
+        t = TrainingConfig()
+        full = activation_bytes_per_layer(m, t)
+        sharded = activation_bytes_per_layer(m, t, tensor_parallel=4)
+        assert sharded < full
+        assert sharded > full / 4  # LayerNorm inputs replicate
+
+    def test_invalid_tp(self):
+        with pytest.raises(ConfigurationError):
+            activation_bytes_per_layer(paper_model(1), TrainingConfig(),
+                                       tensor_parallel=0)
+
+
+class TestCheckpointBoundary:
+    def test_boundary_is_one_fp16_activation(self):
+        m = paper_model(1)
+        t = TrainingConfig()
+        assert checkpoint_boundary_bytes(m, t) == pytest.approx(
+            2 * 256 * 16 * 2048
+        )
+
+
+class TestPerGpu:
+    def test_recompute_is_much_smaller(self):
+        m = paper_model(26)
+        full = activation_memory_per_gpu(
+            m, TrainingConfig(activation_recompute=False))
+        checkpointed = activation_memory_per_gpu(m, TrainingConfig())
+        assert checkpointed < full / 5
+
+    def test_recompute_scales_with_depth(self):
+        t = TrainingConfig()
+        small = activation_memory_per_gpu(paper_model(10), t)
+        large = activation_memory_per_gpu(paper_model(100), t)
+        assert large > small
+
+    def test_paper_scale_1p4b(self):
+        """~10 GB without recompute at 1.4 B (what pins DDP to 1.4 B)."""
+        m = paper_model(26)
+        full = activation_memory_per_gpu(
+            m, TrainingConfig(activation_recompute=False))
+        assert 8e9 < full < 12e9
+
+    def test_pipeline_multiplies_in_flight(self):
+        m = paper_model(8)
+        t = TrainingConfig()
+        single = activation_memory_per_gpu(m, t, pipeline_parallel=1)
+        piped = activation_memory_per_gpu(m, t, pipeline_parallel=4)
+        assert piped > single / 2  # local layers shrink but stages stack
+
+    def test_invalid_pp(self):
+        with pytest.raises(ConfigurationError):
+            activation_memory_per_gpu(paper_model(1), TrainingConfig(),
+                                      pipeline_parallel=0)

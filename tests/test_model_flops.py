@@ -1,0 +1,80 @@
+"""Per-iteration FLOP accounting."""
+
+import pytest
+
+from repro.model import (
+    TrainingConfig,
+    flops_factor,
+    forward_flops,
+    iteration_flops,
+    paper_model,
+)
+
+
+class TestForwardFlops:
+    def test_components_positive(self):
+        fwd = forward_flops(paper_model(4), 16)
+        assert fwd.attention_gemm > 0
+        assert fwd.attention_scores > 0
+        assert fwd.mlp > 0
+        assert fwd.lm_head > 0
+
+    def test_total_is_sum(self):
+        fwd = forward_flops(paper_model(4), 16)
+        assert fwd.forward_total == pytest.approx(
+            fwd.attention_gemm + fwd.attention_scores + fwd.mlp + fwd.lm_head
+        )
+
+    def test_scales_linearly_with_batch(self):
+        f1 = forward_flops(paper_model(4), 8).forward_total
+        f2 = forward_flops(paper_model(4), 16).forward_total
+        assert f2 == pytest.approx(2 * f1)
+
+    def test_transformer_scales_with_layers(self):
+        f1 = forward_flops(paper_model(4), 16)
+        f2 = forward_flops(paper_model(8), 16)
+        assert f2.mlp == pytest.approx(2 * f1.mlp)
+        assert f2.lm_head == pytest.approx(f1.lm_head)  # depth-independent
+
+    def test_mlp_dominates_attention_scores_at_short_seq(self):
+        # seq 256 << 6h: dense GEMMs dominate, as the paper's Fig. 5 shows.
+        fwd = forward_flops(paper_model(8), 16)
+        assert fwd.mlp > 10 * fwd.attention_scores
+
+    def test_approximate_6nd_rule(self):
+        """Forward ~ 2 * params * tokens for the transformer core."""
+        model = paper_model(48)
+        fwd = forward_flops(model, 16)
+        tokens = 16 * model.seq_length
+        from repro.model import count_parameters
+        core = count_parameters(model).transformer
+        approx = 2.0 * core * tokens
+        body = fwd.attention_gemm + fwd.mlp
+        assert body == pytest.approx(approx, rel=0.05)
+
+
+class TestIterationFlops:
+    def test_recompute_adds_a_forward(self):
+        model = paper_model(8)
+        with_rc = iteration_flops(model, TrainingConfig(), 4)
+        without = iteration_flops(
+            model, TrainingConfig(activation_recompute=False), 4)
+        assert with_rc > without
+        assert with_rc / without < 4 / 3 + 0.01
+
+    def test_scales_with_gpus(self):
+        model = paper_model(8)
+        f4 = iteration_flops(model, TrainingConfig(), 4)
+        f8 = iteration_flops(model, TrainingConfig(), 8)
+        assert f8 == pytest.approx(2 * f4)
+
+    def test_flops_factor(self):
+        assert flops_factor(TrainingConfig()) == 4.0
+        assert flops_factor(TrainingConfig(activation_recompute=False)) == 3.0
+
+    def test_paper_magnitude(self):
+        """~185 TFLOP per iteration for 1.4 B on four GPUs (consistent
+        with 438 TFLOP/s at 0.42 s iterations, Fig. 5/7)."""
+        model = paper_model(26)
+        flops = iteration_flops(model, TrainingConfig(), 4)
+        assert flops == pytest.approx(185e12, rel=0.05)

@@ -1,0 +1,92 @@
+"""Parameter counting for the GPT-2-like model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model import (
+    ModelConfig,
+    count_parameters,
+    layer_parameters,
+    layers_for_target_params,
+    paper_model,
+    total_parameters,
+)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        m = paper_model(26)
+        assert m.hidden_size == 2048
+        assert m.num_heads == 16
+        assert m.seq_length == 256
+        assert m.max_position_embeddings == 1024
+
+    def test_head_dim(self):
+        assert paper_model(1).head_dim == 128
+
+    def test_ffn_hidden(self):
+        assert paper_model(1).ffn_hidden == 4 * 2048
+
+    def test_with_layers(self):
+        m = paper_model(4).with_layers(8)
+        assert m.num_layers == 8
+        assert m.hidden_size == 2048
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(num_layers=0)
+        with pytest.raises(ConfigurationError):
+            ModelConfig(num_layers=1, hidden_size=100, num_heads=16)
+        with pytest.raises(ConfigurationError):
+            ModelConfig(num_layers=1, seq_length=4096)
+
+
+class TestCounts:
+    def test_layer_parameters_formula(self):
+        m = paper_model(1)
+        h = m.hidden_size
+        assert layer_parameters(m) == 12 * h * h + 13 * h
+
+    def test_paper_sizes(self):
+        """The paper's model-size grid maps onto layer counts."""
+        assert total_parameters(paper_model(26)) == pytest.approx(1.4e9, rel=0.02)
+        assert total_parameters(paper_model(107)) == pytest.approx(5.5e9, rel=0.01)
+        assert total_parameters(paper_model(225)) == pytest.approx(11.4e9, rel=0.01)
+        assert total_parameters(paper_model(660)) == pytest.approx(33.3e9, rel=0.01)
+
+    def test_breakdown_sums_to_total(self):
+        breakdown = count_parameters(paper_model(10))
+        assert breakdown.total == total_parameters(paper_model(10))
+
+    def test_monotone_in_layers(self):
+        sizes = [total_parameters(paper_model(n)) for n in (1, 2, 4, 8)]
+        assert sizes == sorted(sizes)
+        deltas = [b - a for a, b in zip(sizes, sizes[1:])]
+        assert deltas[0] == pytest.approx(layer_parameters(paper_model(1)))
+
+    def test_tied_embeddings_no_lm_head(self):
+        breakdown = count_parameters(paper_model(2))
+        assert breakdown.lm_head == 0
+
+    def test_untied_adds_head(self):
+        m = ModelConfig(num_layers=2, tied_embeddings=False)
+        breakdown = count_parameters(m)
+        assert breakdown.lm_head == m.vocab_size * m.hidden_size
+
+
+class TestLayersForTarget:
+    @pytest.mark.parametrize("billions,expected_layers", [
+        (1.4, 26), (5.49, 107), (11.4, 225), (33.3, 660),
+    ])
+    def test_round_trip(self, billions, expected_layers):
+        layers = layers_for_target_params(paper_model(1), billions * 1e9)
+        assert layers == expected_layers
+
+    def test_result_meets_target(self):
+        for billions in (0.7, 2.9, 8.5, 20.6):
+            layers = layers_for_target_params(paper_model(1), billions * 1e9)
+            assert total_parameters(paper_model(layers)) >= billions * 1e9
+            assert total_parameters(paper_model(layers - 1)) < billions * 1e9
+
+    def test_tiny_target_gives_one_layer(self):
+        assert layers_for_target_params(paper_model(1), 1.0) == 1

@@ -1,0 +1,177 @@
+"""Model-state partitioning and the Table I capability matrix."""
+
+import pytest
+
+from repro.errors import CapabilityError, ConfigurationError
+from repro.model.states import (
+    GRAD_BYTES,
+    OPTIM_BYTES,
+    PARAM_BYTES,
+    TOTAL_STATE_BYTES,
+    OffloadTarget,
+    ZeroStage,
+    model_parallel_states,
+    replicated_states,
+    validate_offload,
+    zero_states,
+)
+
+P = 1e9  # one billion parameters
+
+
+class TestByteConstants:
+    def test_mixed_precision_is_16_bytes(self):
+        assert TOTAL_STATE_BYTES == 16.0
+        assert PARAM_BYTES == 2.0
+        assert GRAD_BYTES == 2.0
+        assert OPTIM_BYTES == 12.0
+
+
+class TestReplicated:
+    def test_ddp_holds_everything(self):
+        placement = replicated_states(P)
+        assert placement.gpu_total == pytest.approx(16 * P)
+        assert placement.cpu_total == 0.0
+        assert placement.nvme_total == 0.0
+
+
+class TestModelParallel:
+    def test_split_by_degree(self):
+        placement = model_parallel_states(P, 4)
+        assert placement.gpu_total == pytest.approx(4 * P)
+
+    def test_degree_one_is_replicated(self):
+        assert (model_parallel_states(P, 1).gpu_total
+                == replicated_states(P).gpu_total)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ConfigurationError):
+            model_parallel_states(P, 0)
+
+
+class TestZeroStages:
+    def test_stage1_partitions_optimizer_only(self):
+        placement = zero_states(P, ZeroStage.OPTIMIZER, 4)
+        assert placement.gpu_params == pytest.approx(2 * P)
+        assert placement.gpu_grads == pytest.approx(2 * P)
+        assert placement.gpu_optimizer == pytest.approx(3 * P)
+
+    def test_stage2_also_partitions_gradients(self):
+        placement = zero_states(P, ZeroStage.GRADIENTS, 4)
+        assert placement.gpu_grads == pytest.approx(0.5 * P)
+
+    def test_stage3_partitions_everything(self):
+        placement = zero_states(P, ZeroStage.PARAMETERS, 4)
+        assert placement.gpu_total == pytest.approx(4 * P)
+
+    def test_paper_memory_reduction_claims(self):
+        """ZeRO's published limits: 4x (stage 1), 8x (stage 2), and
+        linear-in-DP (stage 3) memory reduction as DP grows."""
+        dp = 4096
+        base = replicated_states(P).gpu_total
+        z1 = zero_states(P, ZeroStage.OPTIMIZER, dp).gpu_total
+        z2 = zero_states(P, ZeroStage.GRADIENTS, dp).gpu_total
+        z3 = zero_states(P, ZeroStage.PARAMETERS, dp).gpu_total
+        assert base / z1 == pytest.approx(4.0, rel=0.01)
+        assert base / z2 == pytest.approx(8.0, rel=0.01)
+        assert base / z3 == pytest.approx(dp, rel=0.01)
+
+    def test_dp_one_is_no_partitioning(self):
+        placement = zero_states(P, ZeroStage.PARAMETERS, 1)
+        assert placement.gpu_total == pytest.approx(16 * P)
+
+    def test_invalid_dp(self):
+        with pytest.raises(ConfigurationError):
+            zero_states(P, ZeroStage.OPTIMIZER, 0)
+
+
+class TestOffloadPlacement:
+    def test_cpu_offload_moves_optimizer(self):
+        placement = zero_states(P, ZeroStage.GRADIENTS, 4,
+                                optimizer_target=OffloadTarget.CPU)
+        assert placement.gpu_optimizer == 0.0
+        assert placement.cpu_optimizer == pytest.approx(3 * P)
+
+    def test_cpu_offload_moves_gradients_host_side(self):
+        placement = zero_states(P, ZeroStage.GRADIENTS, 4,
+                                optimizer_target=OffloadTarget.CPU)
+        assert placement.gpu_grads == 0.0
+        assert placement.cpu_grads == pytest.approx(2 * 0.5 * P)
+
+    def test_stage1_offload_keeps_gradient_backlog_on_gpu(self):
+        placement = zero_states(P, ZeroStage.OPTIMIZER, 4,
+                                optimizer_target=OffloadTarget.CPU)
+        assert placement.gpu_grads == pytest.approx(0.75 * 2 * P)
+
+    def test_nvme_offload_places_optimizer_on_nvme(self):
+        placement = zero_states(P, ZeroStage.PARAMETERS, 4,
+                                optimizer_target=OffloadTarget.NVME)
+        assert placement.nvme_optimizer == pytest.approx(3 * P)
+        assert placement.gpu_optimizer == 0.0
+
+    def test_param_nvme_offload(self):
+        placement = zero_states(P, ZeroStage.PARAMETERS, 4,
+                                optimizer_target=OffloadTarget.NVME,
+                                parameter_target=OffloadTarget.NVME)
+        assert placement.nvme_params == pytest.approx(0.5 * P)
+        assert placement.gpu_params == 0.0
+
+
+class TestCapabilityMatrix:
+    """Paper Table I."""
+
+    def test_stage1_supports_cpu_optimizer_only(self):
+        stage = ZeroStage.OPTIMIZER
+        assert stage.supports_offload("optimizer", OffloadTarget.CPU)
+        assert not stage.supports_offload("optimizer", OffloadTarget.NVME)
+        assert not stage.supports_offload("parameter", OffloadTarget.CPU)
+
+    def test_stage2_matches_stage1_offload(self):
+        stage = ZeroStage.GRADIENTS
+        assert stage.supports_offload("optimizer", OffloadTarget.CPU)
+        assert not stage.supports_offload("parameter", OffloadTarget.NVME)
+
+    def test_stage3_supports_everything(self):
+        stage = ZeroStage.PARAMETERS
+        for component in ("optimizer", "parameter"):
+            for target in OffloadTarget:
+                assert stage.supports_offload(component, target)
+
+    def test_validate_offload_raises_capability_error(self):
+        with pytest.raises(CapabilityError):
+            validate_offload(ZeroStage.OPTIMIZER,
+                             optimizer_target=OffloadTarget.NVME,
+                             parameter_target=OffloadTarget.NONE)
+        with pytest.raises(CapabilityError):
+            validate_offload(ZeroStage.GRADIENTS,
+                             optimizer_target=OffloadTarget.NONE,
+                             parameter_target=OffloadTarget.CPU)
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZeroStage.PARAMETERS.supports_offload("banana", OffloadTarget.CPU)
+
+    def test_stage_predicates(self):
+        assert not ZeroStage.DISABLED.partitions_optimizer
+        assert ZeroStage.OPTIMIZER.partitions_optimizer
+        assert not ZeroStage.OPTIMIZER.partitions_gradients
+        assert ZeroStage.GRADIENTS.partitions_gradients
+        assert not ZeroStage.GRADIENTS.partitions_parameters
+        assert ZeroStage.PARAMETERS.partitions_parameters
+
+
+class TestConservation:
+    @pytest.mark.parametrize("stage", [ZeroStage.OPTIMIZER,
+                                       ZeroStage.GRADIENTS,
+                                       ZeroStage.PARAMETERS])
+    @pytest.mark.parametrize("dp", [1, 2, 4, 8])
+    def test_no_offload_conserves_16_bytes_per_param_per_replica(self, stage, dp):
+        placement = zero_states(P, stage, dp)
+        partitioned = 0.0
+        if stage.partitions_optimizer:
+            partitioned += OPTIM_BYTES * P * (1 - 1 / dp)
+        if stage.partitions_gradients:
+            partitioned += GRAD_BYTES * P * (1 - 1 / dp)
+        if stage.partitions_parameters:
+            partitioned += PARAM_BYTES * P * (1 - 1 / dp)
+        assert placement.total == pytest.approx(16 * P - partitioned)

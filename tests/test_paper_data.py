@@ -1,0 +1,61 @@
+"""Internal consistency of the transcribed paper data."""
+
+import pytest
+
+from repro.core.search import PAPER_SIZE_GRID
+from repro.experiments import paper_data
+from repro.experiments.common import ALL_STRATEGIES
+
+
+class TestTableV:
+    def test_all_sizes_on_grid(self):
+        for config, cells in paper_data.TABLE_V.items():
+            for size in cells:
+                assert size in PAPER_SIZE_GRID, (config, size)
+
+    def test_configs_are_known_strategies(self):
+        for config in paper_data.TABLE_V:
+            assert config in ALL_STRATEGIES
+
+    def test_max_sizes_match_fig6_and_fig13(self):
+        assert max(paper_data.TABLE_V["ddp"]) == \
+            paper_data.ACHIEVED_SIZE_SINGLE_NODE_B["ddp"]
+        assert max(paper_data.TABLE_V["megatron"]) == \
+            paper_data.ACHIEVED_SIZE_SINGLE_NODE_B["megatron"]
+        assert max(paper_data.TABLE_V["zero3"]) == \
+            paper_data.ACHIEVED_SIZE_SINGLE_NODE_B["zero3"]
+        assert max(paper_data.TABLE_V["zero3_opt_nvme"]) == \
+            paper_data.PLACEMENT_MODEL_B
+
+
+class TestCrossReferences:
+    def test_fig7_covers_fig6_strategies(self):
+        assert (set(paper_data.THROUGHPUT_SINGLE_NODE)
+                == set(paper_data.ACHIEVED_SIZE_SINGLE_NODE_B))
+        assert (set(paper_data.THROUGHPUT_DUAL_NODE)
+                == set(paper_data.ACHIEVED_SIZE_DUAL_NODE_B))
+
+    def test_dual_node_always_fits_at_least_single(self):
+        for name, single in paper_data.ACHIEVED_SIZE_SINGLE_NODE_B.items():
+            assert paper_data.ACHIEVED_SIZE_DUAL_NODE_B[name] >= single
+
+    def test_table_vi_keys(self):
+        assert set(paper_data.TABLE_VI) == set("ABCDEFG")
+        for cells in paper_data.TABLE_VI.values():
+            assert {"tflops", "xgmi_avg", "pcie_nvme_avg"} <= set(cells)
+
+    def test_iteration_times_cover_fig5_configs(self):
+        from repro.experiments.fig05_timeline import CONFIGS
+        assert set(CONFIGS) == set(paper_data.ITERATION_TIME_1P4B_S)
+
+    def test_consolidation_throughput_consistent_with_fig7(self):
+        assert (paper_data.CONSOLIDATION_THROUGHPUT["megatron_dual"]
+                == paper_data.THROUGHPUT_DUAL_NODE["megatron"])
+
+    def test_stress_fractions_in_unit_interval(self):
+        for value in paper_data.STRESS_ATTAINED_FRACTION.values():
+            assert 0.0 < value <= 1.0
+
+    def test_nvlink_peaks_exceed_averages(self):
+        for avg, peak in paper_data.NVLINK_SINGLE_NODE.values():
+            assert peak >= avg

@@ -1,0 +1,117 @@
+"""Hybrid TP x ZeRO strategy (extension)."""
+
+import pytest
+
+from repro.collectives import CollectiveKind
+from repro.errors import ConfigurationError
+from repro.hardware import dual_node_cluster, single_node_cluster
+from repro.model import TrainingConfig, ZeroStage, paper_model
+from repro.parallel import hybrid_tp_zero1, hybrid_tp_zero2, zero1
+from repro.parallel.hybrid import HybridTpZeroStrategy
+from repro.parallel.schedule import CollectiveStep
+from repro.parallel.strategy import StrategyContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return StrategyContext(dual_node_cluster(), paper_model(26),
+                           TrainingConfig())
+
+
+class TestConstruction:
+    def test_stage3_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HybridTpZeroStrategy(zero_stage=ZeroStage.PARAMETERS)
+
+    def test_names(self):
+        assert hybrid_tp_zero1().name == "hybrid_tp_zero1"
+        assert hybrid_tp_zero2().name == "hybrid_tp_zero2"
+
+
+class TestDegrees:
+    def test_tp_within_node_dp_across(self, ctx):
+        strategy = hybrid_tp_zero1()
+        assert strategy.model_parallel_degree(ctx) == 4
+        assert strategy.data_parallel_degree(ctx) == 2
+
+    def test_single_node_degenerates_to_pure_tp(self):
+        ctx1 = StrategyContext(single_node_cluster(), paper_model(8),
+                               TrainingConfig())
+        strategy = hybrid_tp_zero1()
+        assert strategy.data_parallel_degree(ctx1) == 1
+        assert strategy.model_parallel_degree(ctx1) == 4
+
+
+class TestMemory:
+    def test_tp_shard_divides_states(self, ctx):
+        plan = hybrid_tp_zero1().memory_plan(ctx)
+        # params/grads sharded by mp=4, optimizer further by dp=2.
+        assert plan.gpu["parameters"] == pytest.approx(
+            2 * ctx.total_params / 4)
+        assert plan.gpu["gradients"] == pytest.approx(
+            2 * ctx.total_params / 4)
+        assert plan.gpu["optimizer_states"] == pytest.approx(
+            12 * ctx.total_params / 8)
+
+    def test_zero2_also_partitions_gradients(self, ctx):
+        plan = hybrid_tp_zero2().memory_plan(ctx)
+        assert plan.gpu["gradients"] == pytest.approx(
+            2 * ctx.total_params / 8)
+
+    def test_hybrid_fits_more_than_pure_zero1(self, ctx):
+        hybrid_plan = hybrid_tp_zero1().memory_plan(ctx)
+        zero_plan = zero1().memory_plan(ctx)
+
+        def states(plan):
+            return (plan.gpu["parameters"] + plan.gpu["gradients"]
+                    + plan.gpu["optimizer_states"])
+
+        assert states(hybrid_plan) < states(zero_plan)
+
+
+class TestSchedule:
+    def test_two_communicators(self, ctx):
+        schedule = hybrid_tp_zero1().build_schedule(ctx)
+        schedule.validate()
+        assert set(schedule.communicators) == {"tp", "dp"}
+        tp = schedule.communicators["tp"]
+        dp = schedule.communicators["dp"]
+        assert tp.groups == [[0, 1, 2, 3], [4, 5, 6, 7]]
+        assert dp.groups == [[0, 4], [1, 5], [2, 6], [3, 7]]
+
+    def test_tp_blocking_dp_overlapped(self, ctx):
+        schedule = hybrid_tp_zero1().build_schedule(ctx)
+        for step in schedule.steps_by_rank[0]:
+            if isinstance(step, CollectiveStep):
+                if step.comm == "tp":
+                    assert step.blocking
+                elif step.kind is not CollectiveKind.ALL_GATHER:
+                    assert not step.blocking
+
+    def test_zero2_variant_reduces(self, ctx):
+        schedule = hybrid_tp_zero2().build_schedule(ctx)
+        dp_kinds = {step.kind for step in schedule.steps_by_rank[0]
+                    if isinstance(step, CollectiveStep)
+                    and step.comm == "dp"}
+        assert CollectiveKind.REDUCE in dp_kinds
+
+    def test_zero1_gathers_updated_params(self, ctx):
+        schedule = hybrid_tp_zero1().build_schedule(ctx)
+        collectives = [s for s in schedule.steps_by_rank[0]
+                       if isinstance(s, CollectiveStep) and s.comm == "dp"]
+        assert collectives[-1].kind is CollectiveKind.ALL_GATHER
+
+
+class TestEndToEnd:
+    def test_runs_and_beats_megatron(self):
+        from repro.core.runner import run_training
+        from repro.core.search import model_for_billions
+        from repro.parallel import MegatronStrategy
+
+        cluster = dual_node_cluster()
+        model = model_for_billions(5.5)
+        hybrid = run_training(cluster, hybrid_tp_zero1(), model,
+                              iterations=3)
+        megatron = run_training(cluster, MegatronStrategy(), model,
+                                iterations=3)
+        assert hybrid.tflops > 2 * megatron.tflops

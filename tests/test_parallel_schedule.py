@@ -1,0 +1,123 @@
+"""Schedule IR: step validation, rendezvous consistency, layer chunking."""
+
+import pytest
+
+from repro.collectives import CollectiveKind
+from repro.errors import ConfigurationError
+from repro.parallel.schedule import (
+    CollectiveStep,
+    CommunicatorSpec,
+    ComputeStep,
+    CpuWorkStep,
+    HostTransferStep,
+    IdleStep,
+    IterationSchedule,
+    Location,
+    layer_chunks,
+    uniform_schedule,
+)
+from repro.runtime.kernels import KernelKind
+
+
+class TestSteps:
+    def test_compute_step_rejects_negative_duration(self):
+        with pytest.raises(ConfigurationError):
+            ComputeStep(KernelKind.GEMM, -1.0)
+
+    def test_idle_step_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            IdleStep(-0.1)
+
+    def test_collective_kernel_kind_mapping(self):
+        step = CollectiveStep("k", "dp", CollectiveKind.ALL_REDUCE, 1.0)
+        assert step.kernel_kind is KernelKind.NCCL_ALL_REDUCE
+        step = CollectiveStep("k", "dp", CollectiveKind.REDUCE_SCATTER, 1.0)
+        assert step.kernel_kind is KernelKind.NCCL_REDUCE
+
+    def test_collective_validation(self):
+        with pytest.raises(ConfigurationError):
+            CollectiveStep("k", "dp", CollectiveKind.REDUCE, -1.0)
+        with pytest.raises(ConfigurationError):
+            CollectiveStep("k", "dp", CollectiveKind.REDUCE, 1.0, op_count=0)
+
+    def test_host_transfer_validation(self):
+        with pytest.raises(ConfigurationError):
+            HostTransferStep("t", Location.GPU, Location.GPU, 1.0)
+        with pytest.raises(ConfigurationError):
+            HostTransferStep("t", Location.GPU, Location.DRAM, -1.0)
+
+    def test_cpu_work_validation(self):
+        with pytest.raises(ConfigurationError):
+            CpuWorkStep("adam", -1.0)
+
+
+class TestCommunicatorSpec:
+    def test_group_of(self):
+        spec = CommunicatorSpec("dp", [[0, 1], [2, 3]])
+        assert spec.group_of(0) == (0, [0, 1])
+        assert spec.group_of(3) == (1, [2, 3])
+
+    def test_group_of_missing_rank(self):
+        spec = CommunicatorSpec("dp", [[0, 1]])
+        with pytest.raises(ConfigurationError):
+            spec.group_of(7)
+
+
+class TestScheduleValidation:
+    def test_uniform_schedule_validates(self):
+        ranks = [0, 1]
+        steps = [CollectiveStep("ar", "dp", CollectiveKind.ALL_REDUCE, 1.0)]
+        schedule = uniform_schedule(
+            ranks, steps, {"dp": CommunicatorSpec("dp", [ranks])})
+        schedule.validate()
+
+    def test_unknown_communicator_rejected(self):
+        schedule = uniform_schedule(
+            [0], [CollectiveStep("ar", "mystery", CollectiveKind.REDUCE, 1.0)],
+            {})
+        with pytest.raises(ConfigurationError):
+            schedule.validate()
+
+    def test_partial_rendezvous_rejected(self):
+        steps0 = [CollectiveStep("ar", "dp", CollectiveKind.ALL_REDUCE, 1.0)]
+        schedule = IterationSchedule(
+            steps_by_rank={0: steps0, 1: []},
+            communicators={"dp": CommunicatorSpec("dp", [[0, 1]])},
+        )
+        with pytest.raises(ConfigurationError):
+            schedule.validate()
+
+    def test_ranks_property_sorted(self):
+        schedule = IterationSchedule(steps_by_rank={3: [], 1: [], 2: []})
+        assert schedule.ranks == [1, 2, 3]
+
+
+class TestLayerChunks:
+    def test_few_layers_stay_per_layer(self):
+        chunks = layer_chunks(26, max_chunks=48)
+        assert len(chunks) == 26
+        assert all(count == 1 for _, count in chunks)
+
+    def test_deep_models_are_fused(self):
+        chunks = layer_chunks(660, max_chunks=48)
+        assert len(chunks) == 48
+
+    def test_chunks_partition_exactly(self):
+        for layers in (1, 7, 26, 48, 49, 100, 660):
+            chunks = layer_chunks(layers)
+            assert sum(count for _, count in chunks) == layers
+            cursor = 0
+            for start, count in chunks:
+                assert start == cursor
+                cursor += count
+
+    def test_chunk_sizes_balanced(self):
+        chunks = layer_chunks(100, max_chunks=48)
+        sizes = {count for _, count in chunks}
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            layer_chunks(0)
+        with pytest.raises(ConfigurationError):
+            layer_chunks(10, max_chunks=0)

@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.primitives import (
+    CollectiveKind,
+    ring_step_count,
+    ring_traffic_factor,
+)
+from repro.hardware.link import BandwidthLedger
+from repro.model.config import paper_model
+from repro.model.params import layers_for_target_params, total_parameters
+from repro.model.states import (
+    OffloadTarget,
+    ZeroStage,
+    zero_states,
+)
+from repro.parallel.schedule import layer_chunks
+from repro.sim.engine import Engine
+from repro.workloads.dataset import LmDataset
+from repro.workloads.tokenizer import Tokenizer
+
+
+# --- bandwidth ledger ---------------------------------------------------------
+@given(
+    records=st.lists(
+        st.tuples(
+            st.floats(0.0, 100.0),
+            st.floats(0.001, 50.0),
+            st.floats(1.0, 1e12),
+        ),
+        min_size=1, max_size=20,
+    ),
+    num_bins=st.integers(1, 64),
+)
+@settings(max_examples=60, deadline=None)
+def test_ledger_sampling_conserves_bytes(records, num_bins):
+    """Bytes inside the window equal the integral of the sampled series."""
+    ledger = BandwidthLedger()
+    window_end = 200.0
+    for start, duration, num_bytes in records:
+        ledger.record(start, start + duration, num_bytes)
+    samples = ledger.sample(0.0, window_end, num_bins)
+    bin_width = window_end / num_bins
+    integral = sum(s * bin_width for s in samples)
+    total = ledger.total_bytes
+    assert integral == pytest.approx(total, rel=1e-6)
+
+
+@given(
+    start=st.floats(0.0, 10.0),
+    duration=st.floats(0.01, 10.0),
+    num_bytes=st.floats(1.0, 1e12),
+)
+@settings(max_examples=50, deadline=None)
+def test_ledger_utilization_matches_rate(start, duration, num_bytes):
+    ledger = BandwidthLedger()
+    ledger.record(start, start + duration, num_bytes)
+    mid = start + duration / 2
+    assert ledger.utilization_at(mid) == pytest.approx(num_bytes / duration)
+
+
+# --- ring collectives ---------------------------------------------------------
+@given(n=st.integers(2, 1024))
+@settings(max_examples=50, deadline=None)
+def test_ring_factors_bounded(n):
+    for kind in CollectiveKind:
+        factor = ring_traffic_factor(kind, n)
+        assert 0.0 < factor <= 2.0
+        assert ring_step_count(kind, n) >= 1
+
+
+@given(n=st.integers(2, 1024))
+@settings(max_examples=50, deadline=None)
+def test_all_reduce_equals_gather_plus_scatter(n):
+    ar = ring_traffic_factor(CollectiveKind.ALL_REDUCE, n)
+    ag = ring_traffic_factor(CollectiveKind.ALL_GATHER, n)
+    rs = ring_traffic_factor(CollectiveKind.REDUCE_SCATTER, n)
+    assert ar == pytest.approx(ag + rs)
+
+
+# --- parameter counting ---------------------------------------------------------
+@given(billions=st.floats(0.3, 50.0))
+@settings(max_examples=50, deadline=None)
+def test_layers_for_target_is_minimal(billions):
+    target = billions * 1e9
+    layers = layers_for_target_params(paper_model(1), target)
+    assert total_parameters(paper_model(layers)) >= target
+    if layers > 1:
+        assert total_parameters(paper_model(layers - 1)) < target
+
+
+# --- state partitioning ----------------------------------------------------------
+@given(
+    params=st.floats(1e6, 1e11),
+    dp=st.integers(1, 64),
+    stage=st.sampled_from([ZeroStage.OPTIMIZER, ZeroStage.GRADIENTS,
+                           ZeroStage.PARAMETERS]),
+)
+@settings(max_examples=80, deadline=None)
+def test_zero_partitioning_never_exceeds_replication(params, dp, stage):
+    placement = zero_states(params, stage, dp)
+    assert placement.gpu_total <= 16 * params * (1 + 1e-12)
+    assert placement.gpu_total >= 16 * params / dp * (1 - 1e-12)
+
+
+@given(
+    params=st.floats(1e6, 1e11),
+    dp=st.integers(1, 64),
+)
+@settings(max_examples=50, deadline=None)
+def test_offload_moves_but_never_loses_optimizer_bytes(params, dp):
+    on_gpu = zero_states(params, ZeroStage.PARAMETERS, dp)
+    offloaded = zero_states(params, ZeroStage.PARAMETERS, dp,
+                            optimizer_target=OffloadTarget.NVME)
+    assert offloaded.nvme_optimizer == pytest.approx(on_gpu.gpu_optimizer)
+    assert offloaded.gpu_optimizer == 0.0
+
+
+# --- layer chunking -----------------------------------------------------------------
+@given(layers=st.integers(1, 2000), max_chunks=st.integers(1, 128))
+@settings(max_examples=100, deadline=None)
+def test_layer_chunks_partition(layers, max_chunks):
+    chunks = layer_chunks(layers, max_chunks)
+    assert len(chunks) <= max_chunks
+    assert sum(count for _, count in chunks) == layers
+    cursor = 0
+    for start, count in chunks:
+        assert start == cursor
+        assert count >= 1
+        cursor += count
+
+
+# --- engine ------------------------------------------------------------------------
+@given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_engine_fires_in_time_order(delays):
+    engine = Engine()
+    fired = []
+    for delay in delays:
+        engine.schedule_at(delay, lambda d=delay: fired.append(d))
+    engine.run()
+    assert fired == sorted(fired)
+    assert engine.now == pytest.approx(max(delays))
+
+
+# --- workloads -----------------------------------------------------------------------
+@given(
+    tokens=st.lists(st.integers(0, 1000), min_size=20, max_size=400),
+    seq=st.integers(2, 20),
+)
+@settings(max_examples=50, deadline=None)
+def test_dataset_windows_cover_prefix_exactly(tokens, seq):
+    if len(tokens) < seq:
+        tokens = tokens * (seq // len(tokens) + 1)
+    ds = LmDataset(tokens, seq)
+    flattened = [int(x) for i in range(len(ds)) for x in ds[i]]
+    assert flattened == list(tokens[:len(ds) * seq])
+
+
+@given(words=st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=8),
+    min_size=1, max_size=40,
+))
+@settings(max_examples=50, deadline=None)
+def test_tokenizer_roundtrip_on_trained_words(words):
+    text = " ".join(words)
+    tokenizer = Tokenizer.train([text], vocab_size=4096)
+    decoded = tokenizer.decode(tokenizer.encode(text))
+    assert decoded.split() == text.lower().split()

@@ -1,0 +1,78 @@
+"""Topology rendering and result serialization."""
+
+import json
+
+import pytest
+
+from repro.core.results import (
+    SCHEMA_VERSION,
+    compare_runs,
+    load_metrics_dict,
+    metrics_to_dict,
+    save_metrics,
+)
+from repro.core.runner import run_training
+from repro.core.search import model_for_billions
+from repro.errors import ConfigurationError
+from repro.hardware import dual_node_cluster, single_node_cluster
+from repro.hardware.render import render_cluster, render_node
+from repro.parallel import zero2
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    cluster = single_node_cluster()
+    return run_training(cluster, zero2(), model_for_billions(0.7),
+                        iterations=2)
+
+
+class TestRender:
+    def test_node_render_mentions_all_components(self):
+        cluster = single_node_cluster()
+        out = render_node(cluster.nodes[0])
+        for token in ("cpu0", "cpu1", "gpu0", "gpu3", "nic0", "nvme0",
+                      "NVLink", "xGMI", "DRAM"):
+            assert token in out
+
+    def test_cluster_render_includes_switch(self):
+        out = render_cluster(dual_node_cluster())
+        assert "switch0" in out
+        assert "node0" in out and "node1" in out
+        assert "8 GPUs" in out
+
+    def test_single_node_render_has_no_switch(self):
+        out = render_cluster(single_node_cluster())
+        assert "switch0" not in out
+
+
+class TestSerialization:
+    def test_round_trip(self, metrics, tmp_path):
+        path = save_metrics(metrics, tmp_path / "run.json")
+        payload = load_metrics_dict(path)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["strategy"] == "zero2"
+        assert payload["tflops"] == pytest.approx(metrics.tflops)
+        assert payload["memory_bytes"]["gpu"] > 0
+        assert "NVLink" in payload["bandwidth_gbps"]
+
+    def test_dict_is_json_safe(self, metrics):
+        json.dumps(metrics_to_dict(metrics))  # must not raise
+
+    def test_wrong_schema_rejected(self, metrics, tmp_path):
+        path = tmp_path / "bad.json"
+        payload = metrics_to_dict(metrics)
+        payload["schema_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError):
+            load_metrics_dict(path)
+
+    def test_compare_runs(self):
+        runs = [{"tflops": 100.0, "strategy": "a"},
+                {"tflops": 300.0, "strategy": "b"},
+                {"tflops": 200.0, "strategy": "c"}]
+        ranked = compare_runs(runs)
+        assert [r["strategy"] for r in ranked] == ["b", "c", "a"]
+
+    def test_compare_runs_missing_metric(self):
+        with pytest.raises(ConfigurationError):
+            compare_runs([{"strategy": "a"}])

@@ -1,0 +1,190 @@
+"""The schedule executor on the DES."""
+
+import pytest
+
+from repro.collectives import CollectiveKind
+from repro.errors import ConfigurationError
+from repro.hardware import single_node_cluster
+from repro.hardware.link import LinkClass
+from repro.hardware.nvme import Raid0Volume
+from repro.parallel.schedule import (
+    CollectiveStep,
+    CommunicatorSpec,
+    ComputeStep,
+    CpuWorkStep,
+    HostTransferStep,
+    IdleStep,
+    Location,
+    WaitForStep,
+    WaitPendingStep,
+    uniform_schedule,
+)
+from repro.runtime.executor import Executor
+from repro.runtime.kernels import KernelKind
+from repro.telemetry.timeline import Lane
+
+
+@pytest.fixture()
+def cluster():
+    c = single_node_cluster()
+    c.reset()
+    return c
+
+
+def schedule_of(steps, ranks=(0, 1, 2, 3)):
+    ranks = list(ranks)
+    return uniform_schedule(ranks, steps,
+                            {"dp": CommunicatorSpec("dp", [ranks])})
+
+
+class TestBasics:
+    def test_compute_steps_advance_time(self, cluster):
+        sched = schedule_of([ComputeStep(KernelKind.GEMM, 0.5, "g")])
+        result = Executor(cluster, sched).run(1)
+        assert result.iteration_times == [pytest.approx(0.5)]
+
+    def test_multiple_iterations(self, cluster):
+        sched = schedule_of([ComputeStep(KernelKind.GEMM, 0.25, "g")])
+        result = Executor(cluster, sched).run(4)
+        assert len(result.iteration_times) == 4
+        assert result.total_time == pytest.approx(1.0)
+
+    def test_idle_recorded(self, cluster):
+        sched = schedule_of([IdleStep(0.2, "bubble")])
+        result = Executor(cluster, sched).run(1)
+        idles = result.timeline.records(rank=0, kind=KernelKind.IDLE)
+        assert idles and idles[0].duration == pytest.approx(0.2)
+
+    def test_zero_iterations_rejected(self, cluster):
+        sched = schedule_of([ComputeStep(KernelKind.GEMM, 0.1, "g")])
+        with pytest.raises(ConfigurationError):
+            Executor(cluster, sched).run(0)
+
+
+class TestCollectives:
+    def test_blocking_collective_synchronizes_ranks(self, cluster):
+        # Rank-uniform schedule; collective completes once for the group.
+        sched = schedule_of([
+            ComputeStep(KernelKind.GEMM, 0.1, "g"),
+            CollectiveStep("ar", "dp", CollectiveKind.ALL_REDUCE, 4e9),
+        ])
+        result = Executor(cluster, sched).run(1)
+        comm = result.timeline.records(rank=0, lane=Lane.COMMUNICATION)
+        assert len(comm) == 1
+        assert result.iteration_times[0] > 0.1
+
+    def test_non_blocking_overlaps_with_compute(self, cluster):
+        overlapped = schedule_of([
+            CollectiveStep("ar", "dp", CollectiveKind.ALL_REDUCE, 9e9,
+                           blocking=False),
+            ComputeStep(KernelKind.GEMM, 1.0, "g"),
+            WaitPendingStep(),
+        ])
+        blocking = schedule_of([
+            CollectiveStep("ar", "dp", CollectiveKind.ALL_REDUCE, 9e9,
+                           blocking=True),
+            ComputeStep(KernelKind.GEMM, 1.0, "g"),
+        ])
+        cluster.reset()
+        t_overlap = Executor(cluster, overlapped).run(1).iteration_times[0]
+        cluster.reset()
+        t_block = Executor(cluster, blocking).run(1).iteration_times[0]
+        assert t_overlap < t_block
+
+    def test_wait_for_specific_key(self, cluster):
+        sched = schedule_of([
+            CollectiveStep("prefetch", "dp", CollectiveKind.ALL_GATHER,
+                           4e9, blocking=False),
+            ComputeStep(KernelKind.GEMM, 0.001, "g"),
+            WaitForStep(key="prefetch"),
+            ComputeStep(KernelKind.GEMM, 0.001, "g2"),
+        ])
+        result = Executor(cluster, sched).run(1)
+        assert result.iteration_times[0] > 0.002
+
+    def test_collectives_fill_nvlink_ledger(self, cluster):
+        sched = schedule_of([
+            CollectiveStep("ar", "dp", CollectiveKind.ALL_REDUCE, 4e9),
+        ])
+        Executor(cluster, sched).run(1)
+        nvlink = cluster.topology.links_of_class(LinkClass.NVLINK)
+        assert sum(l.ledger.total_bytes for l in nvlink) > 0
+
+    def test_collective_timeline_attributed_to_all_ranks(self, cluster):
+        sched = schedule_of([
+            CollectiveStep("ar", "dp", CollectiveKind.ALL_REDUCE, 1e9),
+        ])
+        result = Executor(cluster, sched).run(1)
+        for rank in range(4):
+            assert result.timeline.records(rank=rank,
+                                           lane=Lane.COMMUNICATION)
+
+
+class TestHostTransfers:
+    def test_gpu_to_dram_charges_pcie_and_dram(self, cluster):
+        sched = schedule_of([
+            HostTransferStep("offload", Location.GPU, Location.DRAM, 2e9),
+        ])
+        Executor(cluster, sched).run(1)
+        pcie = cluster.topology.links_of_class(LinkClass.PCIE_GPU)
+        dram = cluster.topology.links_of_class(LinkClass.DRAM)
+        assert sum(l.ledger.total_bytes for l in pcie) == pytest.approx(8e9)
+        assert sum(l.ledger.total_bytes for l in dram) == pytest.approx(8e9)
+
+    def test_nvme_transfer_needs_volume(self, cluster):
+        sched = schedule_of([
+            HostTransferStep("swap", Location.DRAM, Location.NVME, 1e9),
+        ])
+        with pytest.raises(ConfigurationError):
+            Executor(cluster, sched).run(1)
+
+    def test_nvme_transfer_with_volume(self, cluster):
+        volume = Raid0Volume("md0", cluster.nodes[0].scratch_drives)
+        volumes = {rank: volume for rank in range(4)}
+        sched = schedule_of([
+            HostTransferStep("swap", Location.DRAM, Location.NVME, 4e9),
+        ])
+        result = Executor(cluster, sched, swap_volumes=volumes).run(1)
+        nvme = cluster.topology.links_of_class(LinkClass.PCIE_NVME)
+        assert sum(l.ledger.total_bytes for l in nvme) == pytest.approx(16e9)
+        # Media-bound: 16 GB over 2 drives at ~1.53 GB/s effective writes.
+        assert result.iteration_times[0] > 3.0
+
+    def test_nvme_read_faster_than_write(self, cluster):
+        volume = Raid0Volume("md0", cluster.nodes[0].scratch_drives)
+        volumes = {rank: volume for rank in range(4)}
+        write = schedule_of([
+            HostTransferStep("w", Location.DRAM, Location.NVME, 4e9)])
+        read = schedule_of([
+            HostTransferStep("r", Location.NVME, Location.DRAM, 4e9)])
+        cluster.reset()
+        t_write = Executor(cluster, write,
+                           swap_volumes=volumes).run(1).iteration_times[0]
+        cluster.reset()
+        t_read = Executor(cluster, read,
+                          swap_volumes=volumes).run(1).iteration_times[0]
+        assert t_read < t_write
+
+
+class TestCpuWork:
+    def test_cpu_adam_blocks_and_charges_dram(self, cluster):
+        sched = schedule_of([CpuWorkStep("adam", 1e9)])
+        result = Executor(cluster, sched).run(1)
+        assert result.iteration_times[0] > 0.1
+        dram = cluster.topology.links_of_class(LinkClass.DRAM)
+        assert sum(l.ledger.total_bytes for l in dram) > 0
+        host_records = result.timeline.records(rank=0, lane=Lane.HOST_IO,
+                                               kind=KernelKind.CPU_OPTIMIZER)
+        assert len(host_records) == 1
+
+    def test_socket_sharing_slows_cpu_adam(self, cluster):
+        # Two ranks share each socket; a lone-rank schedule on rank 0 only
+        # would still pay the sharing factor of its socket population.
+        sched_all = schedule_of([CpuWorkStep("adam", 1e9)])
+        result = Executor(cluster, sched_all).run(1)
+        records = result.timeline.records(rank=0, kind=KernelKind.CPU_OPTIMIZER)
+        from repro import calibration
+        from repro.hardware.cpu import cpu_adam_step_time
+        base = cpu_adam_step_time(1e9, cluster.nodes[0].spec.cpu)
+        expected = base * 2 / calibration.CPU_ADAM_SHARE_EFFICIENCY
+        assert records[0].duration == pytest.approx(expected)

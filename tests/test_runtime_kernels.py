@@ -1,0 +1,71 @@
+"""GPU compute model and kernel taxonomy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.gpu import GpuSpec
+from repro.runtime.kernels import GpuComputeModel, KernelKind
+
+
+@pytest.fixture()
+def model():
+    return GpuComputeModel(GpuSpec(), gemm_efficiency=0.4)
+
+
+class TestGemmTime:
+    def test_scales_linearly(self, model):
+        assert model.gemm_time(2e12) == pytest.approx(2 * model.gemm_time(1e12))
+
+    def test_applies_efficiency(self):
+        full = GpuComputeModel(GpuSpec(), gemm_efficiency=1.0)
+        half = GpuComputeModel(GpuSpec(), gemm_efficiency=0.5)
+        assert half.gemm_time(1e12) == pytest.approx(2 * full.gemm_time(1e12))
+
+    def test_a100_peak_magnitude(self, model):
+        # 312 TFLOP at 40 % efficiency -> one second of work.
+        assert model.gemm_time(0.4 * 312e12) == pytest.approx(1.0)
+
+    def test_negative_flops_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.gemm_time(-1.0)
+
+
+class TestMemoryBound:
+    def test_hbm_bound(self, model):
+        seconds = model.memory_bound_time(1555e9 * 0.7)
+        assert seconds == pytest.approx(1.0)
+
+    def test_optimizer_time_is_32_bytes_per_param(self, model):
+        assert model.optimizer_time(1e9) == pytest.approx(
+            model.memory_bound_time(32e9))
+
+    def test_negative_bytes_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.memory_bound_time(-1.0)
+
+
+class TestValidation:
+    def test_efficiency_bounds(self):
+        with pytest.raises(ConfigurationError):
+            GpuComputeModel(GpuSpec(), gemm_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            GpuComputeModel(GpuSpec(), gemm_efficiency=1.5)
+        with pytest.raises(ConfigurationError):
+            GpuComputeModel(GpuSpec(), gemm_efficiency=0.4,
+                            hbm_efficiency=0.0)
+
+
+class TestKernelKinds:
+    def test_communication_predicate(self):
+        assert KernelKind.NCCL_ALL_REDUCE.is_communication
+        assert KernelKind.HOST_TRANSFER.is_communication
+        assert KernelKind.NVME_IO.is_communication
+        assert not KernelKind.GEMM.is_communication
+        assert not KernelKind.OPTIMIZER.is_communication
+
+    def test_fig5_categories_present(self):
+        values = {k.value for k in KernelKind}
+        for required in ("gemm", "elementwise", "optimizer",
+                         "nccl_all_reduce", "nccl_all_gather",
+                         "nccl_reduce", "nccl_broadcast", "idle"):
+            assert required in values

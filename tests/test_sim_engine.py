@@ -1,0 +1,188 @@
+"""Discrete-event engine: events, timeouts, processes, combinators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import AllOf, AnyOf, Engine
+
+
+class TestTimeouts:
+    def test_clock_advances(self):
+        engine = Engine()
+        engine.timeout(1.5)
+        engine.run()
+        assert engine.now == pytest.approx(1.5)
+
+    def test_ordering_is_fifo_within_same_time(self):
+        engine = Engine()
+        order = []
+        engine.schedule_at(1.0, lambda: order.append("a"))
+        engine.schedule_at(1.0, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b"]
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.timeout(-1.0)
+
+    def test_schedule_in_past_rejected(self):
+        engine = Engine()
+        engine.schedule_at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_run_until_stops_early(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(10.0, lambda: fired.append(1))
+        engine.run(until=5.0)
+        assert not fired
+        assert engine.now == pytest.approx(5.0)
+
+    def test_peek(self):
+        engine = Engine()
+        assert engine.peek() is None
+        engine.schedule_at(3.0, lambda: None)
+        assert engine.peek() == pytest.approx(3.0)
+
+    def test_step_on_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().step()
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def reschedule():
+            engine.schedule_at(engine.now, reschedule)
+
+        engine.schedule_at(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self):
+        engine = Engine()
+        event = engine.event()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        event.succeed("payload")
+        assert seen == ["payload"]
+
+    def test_double_succeed_rejected(self):
+        engine = Engine()
+        event = engine.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_callback_after_trigger_fires_immediately(self):
+        engine = Engine()
+        event = engine.event()
+        event.succeed(42)
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == [42]
+
+
+class TestCombinators:
+    def test_all_of_waits_for_every_child(self):
+        engine = Engine()
+        t1 = engine.timeout(1.0, "a")
+        t2 = engine.timeout(2.0, "b")
+        combined = engine.all_of([t1, t2])
+        done_at = []
+        combined.add_callback(lambda e: done_at.append(engine.now))
+        engine.run()
+        assert done_at == [pytest.approx(2.0)]
+
+    def test_all_of_value_order(self):
+        engine = Engine()
+        t1 = engine.timeout(2.0, "slow")
+        t2 = engine.timeout(1.0, "fast")
+        combined = engine.all_of([t1, t2])
+        engine.run()
+        assert combined.value == ["slow", "fast"]
+
+    def test_all_of_empty_fires_immediately(self):
+        engine = Engine()
+        combined = engine.all_of([])
+        engine.run()
+        assert combined.triggered
+
+    def test_any_of_fires_on_first(self):
+        engine = Engine()
+        t1 = engine.timeout(1.0, "fast")
+        t2 = engine.timeout(5.0, "slow")
+        first = engine.any_of([t1, t2])
+        done_at = []
+        first.add_callback(lambda e: done_at.append((engine.now, e.value)))
+        engine.run()
+        assert done_at[0] == (pytest.approx(1.0), "fast")
+
+    def test_any_of_empty_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.any_of([])
+
+
+class TestProcesses:
+    def test_process_sequences_timeouts(self):
+        engine = Engine()
+        marks = []
+
+        def proc():
+            yield engine.timeout(1.0)
+            marks.append(engine.now)
+            yield engine.timeout(2.0)
+            marks.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert marks == [pytest.approx(1.0), pytest.approx(3.0)]
+
+    def test_process_return_value(self):
+        engine = Engine()
+
+        def proc():
+            yield engine.timeout(1.0)
+            return "done"
+
+        handle = engine.process(proc())
+        engine.run()
+        assert handle.value == "done"
+
+    def test_processes_wait_on_each_other(self):
+        engine = Engine()
+        log = []
+
+        def worker():
+            yield engine.timeout(2.0)
+            return "result"
+
+        def boss():
+            value = yield engine.process(worker())
+            log.append((engine.now, value))
+
+        engine.process(boss())
+        engine.run()
+        assert log == [(pytest.approx(2.0), "result")]
+
+    def test_yielding_non_event_raises(self):
+        engine = Engine()
+
+        def bad():
+            yield 42
+
+        engine.process(bad())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        engine.timeout(1.0)
+        engine.timeout(2.0)
+        engine.run()
+        assert engine.events_processed == 2

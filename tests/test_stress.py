@@ -1,0 +1,126 @@
+"""Stress tests: Fig. 3 latency and Fig. 4 bandwidth reproduction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import dual_node_cluster, single_node_cluster
+from repro.hardware.link import LinkClass
+from repro.stress import (
+    MESSAGE_SIZES,
+    SocketPlacement,
+    TestKind as StressTestKind,
+    Verb,
+    full_stress_suite,
+    latency_sweep,
+    measure_latency,
+    run_stress_test,
+)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return dual_node_cluster()
+
+
+class TestLatency:
+    def test_same_socket_under_six_microseconds(self, cluster):
+        for verb in (Verb.SEND, Verb.RDMA_WRITE):
+            sample = measure_latency(cluster, verb,
+                                     SocketPlacement.SAME_SOCKET, 1024)
+            assert sample.latency_us < 6.5
+
+    def test_cross_socket_under_forty_microseconds(self, cluster):
+        for verb in (Verb.SEND, Verb.RDMA_WRITE):
+            sample = measure_latency(cluster, verb,
+                                     SocketPlacement.CROSS_SOCKET, 1024)
+            assert sample.latency_us < 40.0
+
+    def test_cross_socket_is_several_times_same_socket(self, cluster):
+        same = measure_latency(cluster, Verb.SEND,
+                               SocketPlacement.SAME_SOCKET, 1024)
+        cross = measure_latency(cluster, Verb.SEND,
+                                SocketPlacement.CROSS_SOCKET, 1024)
+        assert cross.latency / same.latency > 4.0
+
+    def test_rdma_read_pays_round_trip(self, cluster):
+        read = measure_latency(cluster, Verb.RDMA_READ,
+                               SocketPlacement.SAME_SOCKET, 1024)
+        write = measure_latency(cluster, Verb.RDMA_WRITE,
+                                SocketPlacement.SAME_SOCKET, 1024)
+        assert read.latency > write.latency
+
+    def test_latency_monotone_in_message_size(self, cluster):
+        previous = 0.0
+        for size in (1024, 64 * 1024, 1024 * 1024, 8 * 1024 * 1024):
+            sample = measure_latency(cluster, Verb.SEND,
+                                     SocketPlacement.SAME_SOCKET, size)
+            assert sample.latency > previous
+            previous = sample.latency
+
+    def test_large_messages_dominated_by_bandwidth(self, cluster):
+        sample = measure_latency(cluster, Verb.SEND,
+                                 SocketPlacement.SAME_SOCKET,
+                                 8 * 1024 * 1024)
+        # 8 MB at ~23 GB/s is ~360 us, far above the base latency.
+        assert sample.latency_us > 100
+
+    def test_sweep_covers_all_cells(self, cluster):
+        sweep = latency_sweep(cluster, sizes=MESSAGE_SIZES[:5])
+        assert len(sweep) == len(Verb) * len(SocketPlacement)
+        for samples in sweep.values():
+            assert len(samples) == 5
+
+    def test_single_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_latency(single_node_cluster(), Verb.SEND,
+                            SocketPlacement.SAME_SOCKET, 1024)
+
+    def test_invalid_size_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            measure_latency(cluster, Verb.SEND,
+                            SocketPlacement.SAME_SOCKET, 0)
+
+
+class TestBandwidthStress:
+    def test_fig4_attained_fractions(self, cluster):
+        suite = full_stress_suite(cluster, duration=2.0)
+        fractions = {
+            key: result.attained_fraction()
+            for key, result in suite.items()
+        }
+        same_cpu = fractions[(StressTestKind.CPU_ROCE, SocketPlacement.SAME_SOCKET)]
+        cross_cpu = fractions[(StressTestKind.CPU_ROCE, SocketPlacement.CROSS_SOCKET)]
+        same_gpu = fractions[(StressTestKind.GPU_ROCE, SocketPlacement.SAME_SOCKET)]
+        cross_gpu = fractions[(StressTestKind.GPU_ROCE, SocketPlacement.CROSS_SOCKET)]
+        assert same_cpu == pytest.approx(0.93, abs=0.03)   # paper 93 %
+        assert cross_cpu == pytest.approx(0.47, abs=0.08)  # paper 47 %
+        assert same_gpu == pytest.approx(0.52, abs=0.08)   # paper 52 %
+        assert cross_gpu == pytest.approx(0.42, abs=0.08)  # paper 42 %
+        assert same_cpu > cross_cpu > cross_gpu
+
+    def test_gpu_roce_bypasses_dram(self, cluster):
+        result = run_stress_test(cluster, StressTestKind.GPU_ROCE,
+                                 SocketPlacement.SAME_SOCKET, duration=1.0)
+        # GPUDirect RDMA: the paper observes no DRAM traffic (Fig. 4-b).
+        assert result.stats[LinkClass.DRAM].average == 0.0
+        assert result.stats[LinkClass.PCIE_GPU].average > 0.0
+
+    def test_cpu_roce_touches_dram(self, cluster):
+        result = run_stress_test(cluster, StressTestKind.CPU_ROCE,
+                                 SocketPlacement.SAME_SOCKET, duration=1.0)
+        assert result.stats[LinkClass.DRAM].average > 0.0
+
+    def test_cross_socket_loads_xgmi(self, cluster):
+        result = run_stress_test(cluster, StressTestKind.CPU_ROCE,
+                                 SocketPlacement.CROSS_SOCKET, duration=1.0)
+        assert result.stats[LinkClass.XGMI].average > 0.0
+
+    def test_single_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_stress_test(single_node_cluster(), StressTestKind.CPU_ROCE,
+                            SocketPlacement.SAME_SOCKET)
+
+    def test_bad_duration_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            run_stress_test(cluster, StressTestKind.CPU_ROCE,
+                            SocketPlacement.SAME_SOCKET, duration=0.0)

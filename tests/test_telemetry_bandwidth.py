@@ -1,0 +1,80 @@
+"""Bandwidth monitor: sampling, per-class grouping, Table IV stats."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import dual_node_cluster, single_node_cluster
+from repro.hardware.link import LinkClass
+from repro.telemetry.bandwidth import BandwidthMonitor, BandwidthStats
+
+
+class TestStats:
+    def test_from_samples(self):
+        stats = BandwidthStats.from_samples([1e9, 2e9, 3e9, 4e9])
+        assert stats.average == pytest.approx(2.5e9)
+        assert stats.peak == pytest.approx(4e9)
+        assert stats.average <= stats.p90 <= stats.peak
+
+    def test_empty_samples(self):
+        stats = BandwidthStats.from_samples([])
+        assert stats.average == stats.p90 == stats.peak == 0.0
+
+    def test_gbps_properties(self):
+        stats = BandwidthStats(2e9, 3e9, 4e9)
+        assert stats.average_gbps == pytest.approx(2.0)
+        assert stats.p90_gbps == pytest.approx(3.0)
+        assert stats.peak_gbps == pytest.approx(4.0)
+
+
+class TestMonitor:
+    @pytest.fixture()
+    def cluster(self):
+        c = single_node_cluster()
+        c.reset()
+        return c
+
+    def test_series_aggregates_class_per_node(self, cluster):
+        monitor = BandwidthMonitor(cluster, sample_period=0.1)
+        # Put 1 GB/s on two different NVLink pairs for one second.
+        for pair in (("node0/gpu0", "node0/gpu1"),
+                     ("node0/gpu2", "node0/gpu3")):
+            route = cluster.topology.route(*pair)
+            route.record(0.0, 1.0, 1e9)
+        series = monitor.series(LinkClass.NVLINK, 0.0, 1.0)
+        assert len(series) == 10
+        # NVLink counters are per GPU port: each wire byte counted twice.
+        assert series[0] == pytest.approx(2 * 2e9)
+
+    def test_node_filter(self):
+        cluster = dual_node_cluster()
+        cluster.reset()
+        route = cluster.topology.route("node1/gpu0", "node1/gpu1")
+        route.record(0.0, 1.0, 5e9)
+        monitor = BandwidthMonitor(cluster)
+        node0 = monitor.stats(LinkClass.NVLINK, 0.0, 1.0, node_index=0)
+        node1 = monitor.stats(LinkClass.NVLINK, 0.0, 1.0, node_index=1)
+        assert node0.average == 0.0
+        assert node1.average == pytest.approx(2 * 5e9)  # port counting
+
+    def test_table_covers_all_classes(self, cluster):
+        monitor = BandwidthMonitor(cluster)
+        table = monitor.table(0.0, 1.0)
+        assert set(table) == {
+            LinkClass.DRAM, LinkClass.XGMI, LinkClass.PCIE_GPU,
+            LinkClass.PCIE_NVME, LinkClass.PCIE_NIC, LinkClass.NVLINK,
+            LinkClass.ROCE,
+        }
+
+    def test_validation(self, cluster):
+        with pytest.raises(ConfigurationError):
+            BandwidthMonitor(cluster, sample_period=0.0)
+        monitor = BandwidthMonitor(cluster)
+        with pytest.raises(ConfigurationError):
+            monitor.series(LinkClass.DRAM, 1.0, 1.0)
+
+    def test_roce_links_attributed_to_nic_node(self):
+        cluster = dual_node_cluster()
+        monitor = BandwidthMonitor(cluster)
+        links = monitor.links_for(LinkClass.ROCE, node_index=0)
+        assert len(links) == 2
+        assert all(link.name.startswith("node0/") for link in links)

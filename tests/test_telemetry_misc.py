@@ -1,0 +1,113 @@
+"""FLOPS profiler, memory snapshots, and report rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import single_node_cluster
+from repro.model import TrainingConfig, paper_model
+from repro.telemetry.flops_profiler import FlopsProfiler
+from repro.telemetry.memory import snapshot
+from repro.telemetry.report import (
+    BANDWIDTH_HEADERS,
+    format_table,
+    series_block,
+    sparkline,
+)
+
+
+class TestFlopsProfiler:
+    def make(self, warmup=0):
+        return FlopsProfiler(paper_model(26), TrainingConfig(), 4,
+                             warmup_iterations=warmup)
+
+    def test_throughput_matches_hand_math(self):
+        profiler = self.make()
+        profiler.record_iteration(0.5)
+        report = profiler.report()
+        assert report.tflops == pytest.approx(
+            report.flops_per_iteration / 0.5 / 1e12)
+
+    def test_warmup_discarded(self):
+        profiler = self.make(warmup=2)
+        for t in (9.0, 9.0, 1.0, 1.0):
+            profiler.record_iteration(t)
+        report = profiler.report()
+        assert report.mean_iteration_time == pytest.approx(1.0)
+
+    def test_no_measurements_raises(self):
+        profiler = self.make(warmup=1)
+        profiler.record_iteration(1.0)
+        with pytest.raises(ConfigurationError):
+            profiler.report()
+
+    def test_jitter(self):
+        profiler = self.make()
+        for t in (1.0, 1.0, 1.0):
+            profiler.record_iteration(t)
+        assert profiler.report().jitter == pytest.approx(0.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            FlopsProfiler(paper_model(1), TrainingConfig(), 0)
+        profiler = self.make()
+        with pytest.raises(ConfigurationError):
+            profiler.record_iteration(0.0)
+
+
+class TestMemorySnapshot:
+    def test_snapshot_by_tier_and_label(self):
+        cluster = single_node_cluster()
+        cluster.reset()
+        cluster.gpu(0).memory.allocate("parameters", 10e9)
+        cluster.dram_for_rank(0).memory.allocate("optimizer_states", 20e9)
+        cluster.nodes[0].nvme_drives[1].memory.allocate("swap", 5e9)
+        report = snapshot(cluster)
+        assert report.gpu_used == pytest.approx(10e9)
+        assert report.cpu_used == pytest.approx(20e9)
+        assert report.nvme_used == pytest.approx(5e9)
+        assert report.gpu_by_label["parameters"] == pytest.approx(10e9)
+        assert report.total_used == pytest.approx(35e9)
+        cluster.reset()
+
+    def test_composition_sums_to_one(self):
+        cluster = single_node_cluster()
+        cluster.reset()
+        cluster.gpu(0).memory.allocate("x", 1e9)
+        comp = snapshot(cluster).composition()
+        assert sum(comp.values()) == pytest.approx(1.0)
+        cluster.reset()
+
+    def test_empty_composition(self):
+        cluster = single_node_cluster()
+        cluster.reset()
+        comp = snapshot(cluster).composition()
+        assert comp == {"gpu": 0.0, "cpu": 0.0, "nvme": 0.0}
+
+
+class TestReport:
+    def test_format_table_aligns_columns(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 33.33]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "|" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_sparkline_peak_uses_top_glyph(self):
+        line = sparkline([0.0, 0.5, 1.0], width=3)
+        assert line[-1] == "@"
+        assert line[0] == " "
+
+    def test_sparkline_downsamples(self):
+        line = sparkline(list(range(1000)), width=10)
+        assert len(line) == 10
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_series_block_annotates_stats(self):
+        block = series_block("NVLink", [1e9, 3e9])
+        assert "avg" in block and "peak" in block and "NVLink" in block
+
+    def test_bandwidth_headers_cover_seven_classes(self):
+        assert len(BANDWIDTH_HEADERS) == 7 * 3

@@ -1,0 +1,53 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_data_size_constants():
+    assert units.KB == 1e3
+    assert units.MB == 1e6
+    assert units.GB == 1e9
+    assert units.TB == 1e12
+
+
+def test_binary_size_constants():
+    assert units.KIB == 1024
+    assert units.MIB == 1024 ** 2
+    assert units.GIB == 1024 ** 3
+    assert units.TIB == 1024 ** 4
+
+
+def test_gbps_roundtrip():
+    assert units.to_gbps(units.gbps(25.0)) == pytest.approx(25.0)
+
+
+def test_tflops_roundtrip():
+    assert units.to_tflops(units.tflops(312.0)) == pytest.approx(312.0)
+
+
+def test_gib_is_binary():
+    assert units.gib(1) == 2 ** 30
+
+
+def test_to_gb_is_decimal():
+    assert units.to_gb(40e9) == pytest.approx(40.0)
+
+
+def test_usec_roundtrip():
+    assert units.to_usec(units.usec(6.0)) == pytest.approx(6.0)
+
+
+def test_billion_roundtrip():
+    assert units.to_billion(units.billion(1.4)) == pytest.approx(1.4)
+
+
+def test_datatype_sizes():
+    assert units.FP16_BYTES == 2
+    assert units.FP32_BYTES == 4
+    assert units.ADAM_STATE_BYTES_FP32 == 12
+
+
+def test_adam_state_is_three_fp32_tensors():
+    assert units.ADAM_STATE_BYTES_FP32 == 3 * units.FP32_BYTES

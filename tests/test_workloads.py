@@ -1,0 +1,176 @@
+"""Synthetic corpus, tokenizer, dataset, and distributed loader."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    DistributedBatchLoader,
+    LmDataset,
+    SyntheticCorpus,
+    Tokenizer,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(lexicon_size=500, seed=7)
+
+
+@pytest.fixture(scope="module")
+def tokenizer(corpus):
+    return Tokenizer.train([corpus.text(20)], vocab_size=1024)
+
+
+class TestCorpus:
+    def test_deterministic_under_seed(self):
+        a = SyntheticCorpus(lexicon_size=500, seed=1).article(3)
+        b = SyntheticCorpus(lexicon_size=500, seed=1).article(3)
+        assert a.text == b.text
+
+    def test_different_seeds_differ(self):
+        a = SyntheticCorpus(lexicon_size=500, seed=1).article(0)
+        b = SyntheticCorpus(lexicon_size=500, seed=2).article(0)
+        assert a.text != b.text
+
+    def test_random_access_matches_stream(self, corpus):
+        streamed = list(corpus.articles(5))
+        assert streamed[4].text == corpus.article(4).text
+
+    def test_article_structure(self, corpus):
+        article = corpus.article(0)
+        assert article.title
+        assert 2 <= len(article.paragraphs) <= 7
+        assert article.word_count > 10
+
+    def test_zipf_head_dominates(self, corpus):
+        """The most frequent word appears far more than the median one."""
+        from collections import Counter
+        words = corpus.text(50).lower().split()
+        counts = Counter(w.strip(".") for w in words)
+        frequencies = sorted(counts.values(), reverse=True)
+        assert frequencies[0] > 5 * frequencies[len(frequencies) // 2]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticCorpus(lexicon_size=10)
+        with pytest.raises(ConfigurationError):
+            SyntheticCorpus(zipf_exponent=1.0)
+
+
+class TestTokenizer:
+    def test_vocab_capped(self, corpus):
+        tok = Tokenizer.train([corpus.text(5)], vocab_size=256)
+        assert tok.vocab_size <= 256
+
+    def test_round_trip_on_known_words(self, corpus, tokenizer):
+        text = corpus.article(0).paragraphs[0]
+        decoded = tokenizer.decode(tokenizer.encode(text))
+        # Known-word round trip loses only punctuation/case.
+        original = [w.strip(".,;:!?\"'()") for w in text.lower().split()]
+        assert decoded.split() == [w for w in original if w]
+
+    def test_character_fallback(self, tokenizer):
+        ids = tokenizer.encode("zzzzqqqqzzzz")
+        assert ids  # unknown word decomposes into characters
+        assert tokenizer.unk_id not in ids or len(ids) > 0
+
+    def test_eos_appended(self, tokenizer):
+        ids = tokenizer.encode("hello", add_eos=True)
+        assert ids[-1] == tokenizer.eos_id
+
+    def test_specials_have_distinct_ids(self, tokenizer):
+        assert len({tokenizer.pad_id, tokenizer.unk_id,
+                    tokenizer.eos_id}) == 3
+
+    def test_decode_skips_specials(self, tokenizer):
+        text = tokenizer.decode([tokenizer.pad_id, tokenizer.eos_id])
+        assert text == ""
+
+    def test_train_rejects_tiny_vocab(self):
+        with pytest.raises(ConfigurationError):
+            Tokenizer.train(["hello"], vocab_size=10)
+
+
+class TestDataset:
+    def test_fixed_windows(self, corpus, tokenizer):
+        ds = LmDataset.from_corpus(corpus, tokenizer, num_articles=30,
+                                   seq_length=64)
+        assert len(ds) > 0
+        for i in (0, len(ds) - 1):
+            assert ds[i].shape == (64,)
+
+    def test_windows_are_contiguous(self):
+        ds = LmDataset(list(range(100)), seq_length=10)
+        assert list(ds[0]) == list(range(10))
+        assert list(ds[3]) == list(range(30, 40))
+
+    def test_total_tokens(self):
+        ds = LmDataset(list(range(105)), seq_length=10)
+        assert len(ds) == 10
+        assert ds.total_tokens == 100
+
+    def test_index_errors(self):
+        ds = LmDataset(list(range(100)), seq_length=10)
+        with pytest.raises(IndexError):
+            ds[10]
+
+    def test_too_short_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LmDataset([1, 2, 3], seq_length=10)
+
+
+class TestLoader:
+    @pytest.fixture()
+    def dataset(self):
+        return LmDataset(list(range(10_000)), seq_length=10)
+
+    def test_batch_shape(self, dataset):
+        loader = DistributedBatchLoader(dataset, micro_batch=16, rank=0,
+                                        world_size=4, shuffle=False)
+        batch = next(iter(loader))
+        assert batch.shape == (16, 10)
+
+    def test_ranks_see_disjoint_samples(self, dataset):
+        seen = []
+        for rank in range(4):
+            loader = DistributedBatchLoader(dataset, micro_batch=4,
+                                            rank=rank, world_size=4,
+                                            shuffle=False)
+            rows = np.concatenate([b for b in loader])
+            seen.append({int(r[0]) for r in rows})
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert not (seen[a] & seen[b])
+
+    def test_equal_batches_per_rank(self, dataset):
+        counts = set()
+        for rank in range(4):
+            loader = DistributedBatchLoader(dataset, micro_batch=16,
+                                            rank=rank, world_size=4)
+            counts.add(sum(1 for _ in loader))
+        assert len(counts) == 1
+        assert counts.pop() == loader.batches_per_epoch
+
+    def test_shuffle_changes_with_epoch(self, dataset):
+        loader = DistributedBatchLoader(dataset, micro_batch=4, rank=0,
+                                        world_size=1, shuffle=True, seed=3)
+        first = next(iter(loader)).copy()
+        loader.set_epoch(1)
+        second = next(iter(loader))
+        assert not np.array_equal(first, second)
+
+    def test_shuffle_deterministic_per_epoch(self, dataset):
+        a = DistributedBatchLoader(dataset, micro_batch=4, rank=0,
+                                   world_size=1, seed=3)
+        b = DistributedBatchLoader(dataset, micro_batch=4, rank=0,
+                                   world_size=1, seed=3)
+        assert np.array_equal(next(iter(a)), next(iter(b)))
+
+    def test_validation(self, dataset):
+        with pytest.raises(ConfigurationError):
+            DistributedBatchLoader(dataset, micro_batch=0, rank=0,
+                                   world_size=1)
+        with pytest.raises(ConfigurationError):
+            DistributedBatchLoader(dataset, micro_batch=1, rank=5,
+                                   world_size=4)
