@@ -1,0 +1,35 @@
+"""Pre-run static analysis: config/topology lints, DES liveness, source hygiene.
+
+See DESIGN.md ("Static analysis") for the pass catalog and how to write a
+new pass.  The CLI front end is ``repro analyze``.
+"""
+
+from .api import (
+    DEFAULT_SOURCE_ROOT,
+    analyze_run_config,
+    analyze_source,
+    run_passes,
+)
+from .context import AnalysisContext
+from .findings import Finding, Report, Severity
+from .liveness import check_liveness, diagnose
+from .registry import AnalysisPass, iter_passes, register_pass
+from .reporters import render_json, render_text
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisPass",
+    "DEFAULT_SOURCE_ROOT",
+    "Finding",
+    "Report",
+    "Severity",
+    "analyze_run_config",
+    "analyze_source",
+    "check_liveness",
+    "diagnose",
+    "iter_passes",
+    "register_pass",
+    "render_json",
+    "render_text",
+    "run_passes",
+]

@@ -1,0 +1,89 @@
+"""Public entry points for the static-analysis subsystem.
+
+* :func:`run_passes` — run registered passes over an
+  :class:`~repro.analysis.context.AnalysisContext`;
+* :func:`analyze_run_config` — convenience wrapper building the context
+  from the same arguments :func:`repro.core.runner.run_training` takes;
+  with ``cheap_only=True`` this is exactly the pre-run hook;
+* :func:`analyze_source` — the unit-hygiene lint over a source tree
+  (``repro analyze --self``).
+
+Importing this module registers the built-in config and topology passes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from ..errors import ReproError
+from ..hardware.cluster import Cluster
+from ..model.config import ModelConfig, TrainingConfig
+from ..parallel.placement import PlacementConfig
+from ..parallel.strategy import TrainingStrategy
+from .context import AnalysisContext
+from .findings import Finding, Report, Severity
+from .registry import iter_passes
+from . import config_lints as _config_lints    # noqa: F401  (registers passes)
+from . import topology_lints as _topology_lints  # noqa: F401  (registers passes)
+from .source_lints import PASS_NAME as _SOURCE_PASS, lint_source_tree
+
+#: The simulator's own package root, for ``repro analyze --self``.
+DEFAULT_SOURCE_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_passes(ctx: AnalysisContext,
+               families: Optional[Iterable[str]] = None, *,
+               cheap_only: bool = False) -> Report:
+    """Run every matching registered pass, collecting findings.
+
+    A pass that raises a :class:`~repro.errors.ReproError` while probing
+    (e.g. a strategy whose ``memory_plan`` rejects the cluster outright)
+    contributes that error as an ERROR finding instead of aborting the
+    whole analysis.
+    """
+    report = Report()
+    for analysis_pass in iter_passes(families, cheap_only=cheap_only):
+        try:
+            findings = analysis_pass.run(ctx)
+        except ReproError as error:
+            findings = [Finding(
+                analysis_pass.name, Severity.ERROR, "CFG000",
+                f"configuration rejected while probing: {error}",
+            )]
+        report.passes_run.append(analysis_pass.name)
+        report.extend(findings)
+    return report
+
+
+def analyze_run_config(cluster: Cluster,
+                       strategy: Optional[TrainingStrategy] = None,
+                       model: Optional[ModelConfig] = None, *,
+                       training: Optional[TrainingConfig] = None,
+                       placement: Optional[PlacementConfig] = None,
+                       tensor_parallel: Optional[int] = None,
+                       pipeline_parallel: Optional[int] = None,
+                       cheap_only: bool = False) -> Report:
+    """Statically analyze one run configuration (config + topology passes).
+
+    ``cheap_only=True`` restricts to the passes safe on every run — the
+    set :func:`repro.core.runner.run_training` applies automatically.  The
+    full set additionally includes the static memory-capacity prediction,
+    which deliberately stays out of the hook so the max-model-size search
+    keeps its :class:`~repro.errors.OutOfMemoryError` backoff semantics.
+    """
+    ctx = AnalysisContext(
+        cluster=cluster, strategy=strategy, model=model, training=training,
+        placement=placement, tensor_parallel=tensor_parallel,
+        pipeline_parallel=pipeline_parallel,
+    )
+    return run_passes(ctx, ("config", "topology"), cheap_only=cheap_only)
+
+
+def analyze_source(root: Union[str, Path, None] = None) -> Report:
+    """Run the unit-hygiene lint over ``root`` (default: ``src/repro``)."""
+    tree_root = Path(root) if root is not None else DEFAULT_SOURCE_ROOT
+    report = Report()
+    report.passes_run.append(_SOURCE_PASS)
+    report.extend(lint_source_tree(tree_root))
+    return report

@@ -1,0 +1,389 @@
+"""Config/strategy lints: vet a Strategy x Cluster pairing statically.
+
+Every reproduction bug the paper's numbers are sensitive to — a parallel
+degree that does not divide the GPU count, a ZeRO partition that does not
+sum back to the full 16 B/parameter state, an offload target the stage
+cannot legally use, a model that simply does not fit — is detectable from
+the memory plan and the degrees alone, before any DES event fires.
+
+Codes: ``CFG0xx`` degrees, ``CFG01x`` partition accounting, ``CFG02x``
+offload placement, ``CFG03x`` capacity, ``CFG04x`` pipeline batching.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .. import calibration
+from ..errors import CapabilityError, ReproError
+from ..model.states import (
+    GRAD_BYTES,
+    OPTIM_BYTES,
+    PARAM_BYTES,
+    TOTAL_STATE_BYTES,
+    OffloadTarget,
+    validate_offload,
+)
+from ..parallel.ddp import DdpStrategy
+from ..parallel.hybrid import HybridTpZeroStrategy
+from ..parallel.megatron import MegatronStrategy
+from ..parallel.pipeline import PipelineParallelStrategy
+from ..parallel.placement import DEFAULT_PLACEMENT
+from ..parallel.zero import ZeroStrategy
+from ..units import to_gb
+from .context import AnalysisContext
+from .findings import Finding, Severity
+from .registry import register_pass
+
+#: Relative tolerance for byte-accounting comparisons (plans are floats).
+_REL_TOL = 1e-6
+
+
+def _mismatch(actual: float, expected: float) -> bool:
+    return abs(actual - expected) > _REL_TOL * max(abs(expected), 1.0)
+
+
+# ---------------------------------------------------------------------------
+# world-size divisibility
+# ---------------------------------------------------------------------------
+
+@register_pass(
+    "parallel-degrees", family="config",
+    description="DP/TP/PP degrees must divide (and cover) the world size",
+)
+def parallel_degrees(ctx: AnalysisContext) -> Iterator[Finding]:
+    world = ctx.world_size
+    tp, pp = ctx.tensor_parallel, ctx.pipeline_parallel
+    if tp is not None and (tp < 1 or world % tp != 0):
+        yield Finding(
+            "parallel-degrees", Severity.ERROR, "CFG002",
+            f"tensor-parallel degree {tp} does not divide the world size "
+            f"{world}", subject=f"tp={tp}",
+        )
+    if pp is not None and (pp < 1 or world % pp != 0):
+        yield Finding(
+            "parallel-degrees", Severity.ERROR, "CFG003",
+            f"pipeline-parallel degree {pp} does not divide the world size "
+            f"{world}", subject=f"pp={pp}",
+        )
+    if (tp and pp and tp >= 1 and pp >= 1
+            and world % tp == 0 and world % pp == 0
+            and world % (tp * pp) != 0):
+        yield Finding(
+            "parallel-degrees", Severity.ERROR, "CFG004",
+            f"tp x pp = {tp * pp} does not divide the world size {world}",
+            subject=f"tp={tp},pp={pp}",
+        )
+    if ctx.strategy is None or ctx.model is None:
+        return
+    sctx = ctx.strategy_context()
+    dp, mp = ctx.strategy.parallel_degrees(sctx)
+    if dp * mp != world:
+        yield Finding(
+            "parallel-degrees", Severity.ERROR, "CFG001",
+            f"strategy {ctx.strategy.name!r}: dp ({dp}) x mp ({mp}) does "
+            f"not equal the world size ({world})",
+            subject=ctx.strategy.name,
+        )
+    if isinstance(ctx.strategy, PipelineParallelStrategy):
+        if world < 2:
+            yield Finding(
+                "parallel-degrees", Severity.ERROR, "CFG005",
+                "pipeline parallelism needs at least 2 GPUs",
+                subject=ctx.strategy.name,
+            )
+        elif ctx.model.num_layers < world:
+            yield Finding(
+                "parallel-degrees", Severity.ERROR, "CFG005",
+                f"{ctx.model.num_layers} layers cannot fill {world} "
+                f"pipeline stages", subject=ctx.strategy.name,
+            )
+
+
+# ---------------------------------------------------------------------------
+# ZeRO partition byte-accounting
+# ---------------------------------------------------------------------------
+
+def _tier_bytes(plan, label: str) -> float:
+    """A label's bytes across GPU + DRAM + NVMe, media slack removed."""
+    return (
+        plan.gpu.get(label, 0.0)
+        + plan.cpu.get(label, 0.0)
+        + plan.nvme.get(label, 0.0) / calibration.NVME_MEDIA_OVERPROVISION
+    )
+
+
+@register_pass(
+    "zero-partition-accounting", family="config",
+    description="partitioned model states must sum back to 16 B/parameter",
+)
+def zero_partition_accounting(ctx: AnalysisContext) -> Iterator[Finding]:
+    strategy = ctx.strategy
+    if strategy is None or ctx.model is None:
+        return
+    sctx = ctx.strategy_context()
+    plan = strategy.memory_plan(sctx)
+    params = sctx.total_params
+
+    checks: List[Tuple[str, float, float, str]] = []
+    if isinstance(strategy, ZeroStrategy):
+        dp = strategy.data_parallel_degree(sctx)
+        stage = strategy.stage
+        checks.append((
+            "optimizer_states", _tier_bytes(plan, "optimizer_states"),
+            OPTIM_BYTES * params / dp, "CFG010",
+        ))
+        checks.append((
+            "parameters", _tier_bytes(plan, "parameters"),
+            PARAM_BYTES * params
+            / (dp if stage.partitions_parameters else 1), "CFG011",
+        ))
+        if strategy.optimizer_target is OffloadTarget.NONE:
+            # Offloaded gradients follow the documented calibration
+            # exceptions (fp32 host copies, stage-1 drain backlog), so
+            # only GPU-resident runs have an exact expectation.
+            checks.append((
+                "gradients", _tier_bytes(plan, "gradients"),
+                GRAD_BYTES * params
+                / (dp if stage.partitions_gradients else 1), "CFG012",
+            ))
+    elif isinstance(strategy, HybridTpZeroStrategy):
+        dp, mp = strategy.parallel_degrees(sctx)
+        shard = params / mp
+        stage = strategy.zero_stage
+        checks.append((
+            "parameters", plan.gpu.get("parameters", 0.0),
+            PARAM_BYTES * shard, "CFG011",
+        ))
+        checks.append((
+            "gradients", plan.gpu.get("gradients", 0.0),
+            GRAD_BYTES * shard
+            / (dp if stage.partitions_gradients else 1), "CFG012",
+        ))
+        checks.append((
+            "optimizer_states", plan.gpu.get("optimizer_states", 0.0),
+            OPTIM_BYTES * shard
+            / (dp if stage.partitions_optimizer else 1), "CFG010",
+        ))
+    elif isinstance(strategy, (DdpStrategy, MegatronStrategy,
+                               PipelineParallelStrategy)):
+        mp = strategy.model_parallel_degree(sctx)
+        total = sum(
+            plan.gpu.get(label, 0.0)
+            for label in ("parameters", "gradients", "optimizer_states")
+        )
+        checks.append((
+            "model states", total, TOTAL_STATE_BYTES * params / mp, "CFG013",
+        ))
+    else:
+        yield Finding(
+            "zero-partition-accounting", Severity.INFO, "CFG019",
+            f"no partition-accounting model for strategy "
+            f"{strategy.name!r}; skipping", subject=strategy.name,
+        )
+        return
+
+    for component, actual, expected, code in checks:
+        if _mismatch(actual, expected):
+            yield Finding(
+                "zero-partition-accounting", Severity.ERROR, code,
+                f"strategy {strategy.name!r}: {component} account for "
+                f"{to_gb(actual):.3f} GB/rank but the partition arithmetic "
+                f"expects {to_gb(expected):.3f} GB/rank",
+                subject=strategy.name,
+            )
+
+
+# ---------------------------------------------------------------------------
+# offload / Infinity placement legality
+# ---------------------------------------------------------------------------
+
+@register_pass(
+    "offload-placement", family="config",
+    description="offload targets legal for the stage; NVMe wiring present",
+)
+def offload_placement(ctx: AnalysisContext) -> Iterator[Finding]:
+    strategy = ctx.strategy
+    if not isinstance(strategy, ZeroStrategy) or ctx.model is None:
+        return
+    try:
+        validate_offload(
+            strategy.stage,
+            optimizer_target=strategy.optimizer_target,
+            parameter_target=strategy.parameter_target,
+        )
+    except CapabilityError as error:
+        yield Finding(
+            "offload-placement", Severity.ERROR, "CFG020", str(error),
+            subject=strategy.name,
+        )
+        return
+    sctx = ctx.strategy_context()
+    plan = strategy.memory_plan(sctx)
+    if not plan.nvme:
+        return
+    placement = ctx.placement if ctx.placement is not None else DEFAULT_PLACEMENT
+    for node in ctx.cluster.nodes:
+        have = len(node.scratch_drives)
+        if have < placement.num_scratch_drives:
+            yield Finding(
+                "offload-placement", Severity.ERROR, "CFG021",
+                f"strategy {strategy.name!r} plans NVMe residency via "
+                f"placement {placement.key!r} ({placement.num_scratch_drives} "
+                f"scratch drives) but {node.name} has only {have}; build "
+                f"the cluster from the placement's node_spec()",
+                subject=node.name,
+            )
+
+
+# ---------------------------------------------------------------------------
+# static memory capacity (expensive twin of the runtime OOM signal)
+# ---------------------------------------------------------------------------
+
+@register_pass(
+    "memory-capacity", family="config", cheap=False,
+    description="predict pool/pinned/NVMe over-capacity without allocating",
+)
+def memory_capacity(ctx: AnalysisContext) -> Iterator[Finding]:
+    """Replicates :func:`repro.core.runner.apply_memory_plan` arithmetic.
+
+    Not a *cheap* pass: the max-model-size search relies on the runtime
+    :class:`~repro.errors.OutOfMemoryError` for its backoff, so this pass
+    must never run from the pre-run hook — only from ``repro analyze``.
+    """
+    strategy = ctx.strategy
+    if strategy is None or ctx.model is None:
+        return
+    sctx = ctx.strategy_context()
+    plan = strategy.memory_plan(sctx)
+    cluster = ctx.cluster
+
+    pinned_labels = calibration.PINNED_LABELS
+    gpu_use: Dict[str, float] = {}
+    dram_use: Dict[str, float] = {}
+    pinned_use: Dict[str, float] = {}
+    for rank in range(cluster.num_gpus):
+        gpu = cluster.gpu(rank)
+        gpu_use[gpu.name] = gpu_use.get(gpu.name, 0.0) + plan.gpu_total
+        dram = cluster.dram_for_rank(rank)
+        dram_use[dram.name] = dram_use.get(dram.name, 0.0) + plan.cpu_total
+        pinned_use[dram.name] = pinned_use.get(dram.name, 0.0) + sum(
+            num_bytes for label, num_bytes in plan.cpu.items()
+            if label in pinned_labels
+        )
+
+    for rank in range(cluster.num_gpus):
+        gpu = cluster.gpu(rank)
+        used = gpu_use[gpu.name]
+        cap = gpu.memory.capacity_bytes if gpu.memory else 0.0
+        if used > cap + 1e-6:
+            yield Finding(
+                "memory-capacity", Severity.ERROR, "CFG030",
+                f"{gpu.name}: plan needs {to_gb(used):.1f} GB of HBM but "
+                f"the GPU has {to_gb(cap):.1f} GB", subject=gpu.name,
+            )
+    for name, used in dram_use.items():
+        pool = cluster.topology.device(name).memory
+        cap = pool.capacity_bytes if pool else 0.0
+        if used > cap + 1e-6:
+            yield Finding(
+                "memory-capacity", Severity.ERROR, "CFG031",
+                f"{name}: plan needs {to_gb(used):.1f} GB of DRAM but the "
+                f"socket has {to_gb(cap):.1f} GB", subject=name,
+            )
+        ceiling = cap * calibration.PINNED_MEMORY_FRACTION
+        pinned = pinned_use.get(name, 0.0)
+        if pinned > ceiling + 1e-6:
+            yield Finding(
+                "memory-capacity", Severity.ERROR, "CFG032",
+                f"{name}: pinned allocations ({to_gb(pinned):.1f} GB) "
+                f"exceed the page-locked ceiling ({to_gb(ceiling):.1f} GB)",
+                subject=name,
+            )
+
+    if not plan.nvme:
+        return
+    placement = ctx.placement if ctx.placement is not None else DEFAULT_PLACEMENT
+    try:
+        volumes = placement.build_volumes(cluster)
+    except ReproError as error:
+        yield Finding(
+            "memory-capacity", Severity.ERROR, "CFG033",
+            f"cannot build swap volumes for placement "
+            f"{placement.key!r}: {error}", subject=placement.key,
+        )
+        return
+    drive_use: Dict[str, float] = {}
+    drive_cap: Dict[str, float] = {}
+    for volume in volumes.values():
+        for drive in volume.drives:
+            drive_cap[drive.name] = drive.memory.capacity_bytes
+    for rank in range(cluster.num_gpus):
+        volume = volumes.get(rank)
+        if volume is None:
+            yield Finding(
+                "memory-capacity", Severity.ERROR, "CFG033",
+                f"rank {rank} plans NVMe residency but placement "
+                f"{placement.key!r} maps it to no volume",
+                subject=f"rank{rank}",
+            )
+            continue
+        per_drive = plan.nvme_total / len(volume.drives)
+        for drive in volume.drives:
+            drive_use[drive.name] = drive_use.get(drive.name, 0.0) + per_drive
+    for name, used in drive_use.items():
+        cap = drive_cap[name]
+        if used > cap + 1e-6:
+            yield Finding(
+                "memory-capacity", Severity.ERROR, "CFG034",
+                f"{name}: swap plan needs {to_gb(used):.1f} GB but the "
+                f"drive holds {to_gb(cap):.1f} GB", subject=name,
+            )
+
+
+# ---------------------------------------------------------------------------
+# pipeline batching divisibility
+# ---------------------------------------------------------------------------
+
+def _pipeline_shape(ctx: AnalysisContext) -> Optional[Tuple[int, int]]:
+    """(stages, micro_batches) for pipeline-scheduled runs, else None."""
+    if isinstance(ctx.strategy, PipelineParallelStrategy) and ctx.model:
+        sctx = ctx.strategy_context()
+        return ctx.world_size, ctx.strategy.micro_batches(sctx)
+    if isinstance(ctx.strategy, MegatronStrategy):
+        # Fig. 5: one forward/backward micro-batch pair per MP rank.
+        return ctx.world_size, ctx.world_size
+    if ctx.pipeline_parallel and ctx.pipeline_parallel > 1:
+        return ctx.pipeline_parallel, 2 * ctx.pipeline_parallel
+    return None
+
+
+@register_pass(
+    "pipeline-divisibility", family="config",
+    description="batch/micro-batch divisibility for pipeline schedules",
+)
+def pipeline_divisibility(ctx: AnalysisContext) -> Iterator[Finding]:
+    shape = _pipeline_shape(ctx)
+    if shape is None or ctx.model is None or ctx.training is None:
+        return
+    stages, micro_batches = shape
+    subject = ctx.strategy.name if ctx.strategy else f"pp={stages}"
+    if micro_batches < stages:
+        yield Finding(
+            "pipeline-divisibility", Severity.WARNING, "CFG041",
+            f"{micro_batches} micro-batches cannot keep {stages} pipeline "
+            f"stages busy; the bubble dominates", subject=subject,
+        )
+    global_batch = ctx.training.micro_batch_per_gpu * ctx.world_size
+    if global_batch % micro_batches != 0:
+        yield Finding(
+            "pipeline-divisibility", Severity.ERROR, "CFG042",
+            f"global batch of {global_batch} sequences does not divide "
+            f"into {micro_batches} micro-batches", subject=subject,
+        )
+    if ctx.model.num_layers % stages != 0:
+        yield Finding(
+            "pipeline-divisibility", Severity.WARNING, "CFG040",
+            f"{ctx.model.num_layers} layers split unevenly over {stages} "
+            f"stages; early stages carry the remainder", subject=subject,
+        )

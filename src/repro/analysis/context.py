@@ -1,0 +1,44 @@
+"""Input bundle handed to every config/topology analysis pass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..hardware.cluster import Cluster
+from ..model.config import ModelConfig, TrainingConfig
+from ..parallel.placement import PlacementConfig
+from ..parallel.strategy import StrategyContext, TrainingStrategy
+
+
+@dataclass
+class AnalysisContext:
+    """Everything known about a run before the engine fires an event.
+
+    ``strategy``/``model`` may be absent for topology-only analysis.
+    ``tensor_parallel``/``pipeline_parallel`` are *requested* degrees (CLI
+    overrides): they let the divisibility lints vet a degree the shipped
+    strategies would never derive themselves, e.g. TP=3 on 8 GPUs.
+    """
+
+    cluster: Cluster
+    strategy: Optional[TrainingStrategy] = None
+    model: Optional[ModelConfig] = None
+    training: Optional[TrainingConfig] = None
+    placement: Optional[PlacementConfig] = None
+    tensor_parallel: Optional[int] = None
+    pipeline_parallel: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.training is None:
+            self.training = TrainingConfig()
+
+    @property
+    def world_size(self) -> int:
+        return self.cluster.num_gpus
+
+    def strategy_context(self) -> StrategyContext:
+        if self.strategy is None or self.model is None:
+            raise ValueError("strategy and model required for strategy lints")
+        assert self.training is not None
+        return StrategyContext(self.cluster, self.model, self.training)

@@ -1,0 +1,120 @@
+"""Shared result model for every static-analysis pass.
+
+A pass emits :class:`Finding` objects; a run of passes collects them into
+a :class:`Report`.  Severities follow the usual linter convention:
+
+* ``INFO`` — context worth surfacing, never actionable on its own;
+* ``WARNING`` — suspicious but possibly intentional (e.g. a bandwidth far
+  from the Table III presets on a custom cluster);
+* ``ERROR`` — the configuration/topology/source is wrong; ``repro
+  analyze`` exits non-zero and the pre-run hook refuses to simulate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import ConfigurationError
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordering is by badness."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by one pass.
+
+    ``code`` is a short stable identifier (``CFG001``-style) so reports can
+    be filtered and suppressions expressed; ``subject`` names the thing the
+    finding is about (a strategy, a link, a process); ``location`` is a
+    ``file:line`` anchor for source-level findings.
+    """
+
+    pass_name: str
+    severity: Severity
+    code: str
+    message: str
+    subject: str = ""
+    location: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "pass": self.pass_name,
+            "severity": str(self.severity),
+            "code": self.code,
+            "message": self.message,
+            "subject": self.subject,
+            "location": self.location,
+        }
+
+
+@dataclass
+class Report:
+    """All findings from one analysis run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: passes that ran, whether or not they found anything
+    passes_run: List[str] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def of_severity(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity is severity]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return self.of_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return self.of_severity(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity findings exist."""
+        return not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit status for CLI use: 1 on errors, 0 otherwise."""
+        return 0 if self.ok else 1
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.passes_run)} passes, "
+            f"{len(self.errors)} errors, {len(self.warnings)} warnings, "
+            f"{len(self.of_severity(Severity.INFO))} notes"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "passes_run": list(self.passes_run),
+            "findings": [f.to_dict() for f in self.findings],
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "ok": self.ok,
+        }
+
+    def raise_on_error(self, prefix: Optional[str] = None) -> None:
+        """Raise :class:`ConfigurationError` when error findings exist."""
+        if self.ok:
+            return
+        header = prefix or "static analysis failed"
+        details = "; ".join(
+            f"[{f.code}] {f.message}" for f in self.errors
+        )
+        raise ConfigurationError(f"{header}: {details}")

@@ -1,0 +1,94 @@
+"""Plugin registry for static-analysis passes.
+
+A *pass* is a named function from an :class:`~repro.analysis.context.
+AnalysisContext` to an iterable of :class:`~repro.analysis.findings.
+Finding`s, tagged with a family and a cost class:
+
+* family ``config`` — validates a Strategy x Cluster pairing;
+* family ``topology`` — validates the hardware graph on its own;
+* family ``source`` — AST lints over the codebase itself.
+
+``cheap`` passes are safe to run on *every* simulation (the
+:func:`repro.core.runner.run_training` hook runs them); expensive or
+advisory passes (e.g. static memory-capacity prediction, which duplicates
+the runtime OOM signal) only run from ``repro analyze``.
+
+Writing a new pass::
+
+    from repro.analysis.registry import register_pass
+    from repro.analysis.findings import Finding, Severity
+
+    @register_pass("my-check", family="config",
+                   description="what it validates")
+    def my_check(ctx):
+        if something_wrong(ctx):
+            yield Finding("my-check", Severity.ERROR, "CFG999", "...")
+
+Importing the module that defines the pass registers it; the built-in
+pass modules are imported by :mod:`repro.analysis.api`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from ..errors import ConfigurationError
+from .context import AnalysisContext
+from .findings import Finding
+
+PassFn = Callable[[AnalysisContext], Iterable[Finding]]
+
+FAMILIES = ("config", "topology", "source")
+
+
+@dataclass(frozen=True)
+class AnalysisPass:
+    """One registered pass."""
+
+    name: str
+    family: str
+    description: str
+    cheap: bool
+    fn: PassFn
+
+    def run(self, ctx: AnalysisContext) -> List[Finding]:
+        return list(self.fn(ctx))
+
+
+_REGISTRY: Dict[str, AnalysisPass] = {}
+
+
+def register_pass(name: str, *, family: str, description: str,
+                  cheap: bool = True) -> Callable[[PassFn], PassFn]:
+    """Decorator registering a pass function under ``name``."""
+    if family not in FAMILIES:
+        raise ConfigurationError(f"unknown pass family {family!r}")
+
+    def decorate(fn: PassFn) -> PassFn:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"duplicate pass name {name!r}")
+        _REGISTRY[name] = AnalysisPass(
+            name=name, family=family, description=description,
+            cheap=cheap, fn=fn,
+        )
+        return fn
+
+    return decorate
+
+
+def get_pass(name: str) -> AnalysisPass:
+    return _REGISTRY[name]
+
+
+def iter_passes(families: Optional[Iterable[str]] = None, *,
+                cheap_only: bool = False) -> Iterator[AnalysisPass]:
+    """Registered passes, filtered by family and cost class."""
+    wanted = set(families) if families is not None else set(FAMILIES)
+    for name in sorted(_REGISTRY):
+        p = _REGISTRY[name]
+        if p.family not in wanted:
+            continue
+        if cheap_only and not p.cheap:
+            continue
+        yield p

@@ -1,0 +1,38 @@
+"""Render an analysis :class:`~repro.analysis.findings.Report`.
+
+Two formats: a human-oriented text listing (findings grouped by severity,
+worst first) and a machine-oriented JSON document (the structured report
+``repro analyze`` emits with ``--json`` for CI consumption).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .findings import Finding, Report, Severity
+
+
+def _format_finding(finding: Finding) -> str:
+    parts = [f"{str(finding.severity).upper():7s} {finding.code}"
+             f" [{finding.pass_name}] {finding.message}"]
+    if finding.subject:
+        parts.append(f"({finding.subject})")
+    if finding.location:
+        parts.append(f"at {finding.location}")
+    return " ".join(parts)
+
+
+def render_text(report: Report) -> str:
+    lines: List[str] = []
+    for severity in (Severity.ERROR, Severity.WARNING, Severity.INFO):
+        for finding in report.of_severity(severity):
+            lines.append(_format_finding(finding))
+    if lines:
+        lines.append("")
+    lines.append(report.summary())
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    return json.dumps(report.to_dict(), indent=2)

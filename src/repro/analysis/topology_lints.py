@@ -1,0 +1,173 @@
+"""Topology lints over the ``hardware.topology`` graph.
+
+The paper's bandwidth numbers are functions of the wiring: a silently
+one-way link, an NVLink edge with PCIe bandwidth, or a GPU cut off from
+the NVMe drives produces plausible-but-wrong Table IV rows.  These passes
+check the built graph against the structural facts of Table III and the
+XE8545 wiring (Fig. 2) without simulating anything.
+
+Codes: ``TOPO00x`` symmetry, ``TOPO01x`` bandwidth bounds, ``TOPO02x``
+reachability, ``TOPO03x`` NUMA/SerDes affinity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, Set
+
+from ..hardware.devices import DeviceKind
+from ..hardware.link import LinkClass
+from ..hardware.presets import INTERFACE_TO_CLASS, TABLE_III
+from ..units import MB, TB, to_gbps
+from .context import AnalysisContext
+from .findings import Finding, Severity
+from .registry import register_pass
+
+#: Table III theoretical bidirectional bandwidth per link, by class.
+TABLE_III_PER_LINK: Dict[LinkClass, float] = {
+    INTERFACE_TO_CLASS[entry.interface]: entry.bandwidth_per_link
+    for entry in TABLE_III
+}
+
+#: A link whose per-link bandwidth is off the Table III preset by more
+#: than this factor is suspicious (custom clusters may be intentional —
+#: hence WARNING, not ERROR).
+BOUNDS_FACTOR = 4.0
+
+#: Link classes whose endpoints must share a socket (they terminate in
+#: one socket's I/O die).
+_SOCKET_LOCAL = frozenset({
+    LinkClass.DRAM, LinkClass.PCIE_GPU, LinkClass.PCIE_NIC,
+    LinkClass.PCIE_NVME,
+})
+
+
+@register_pass(
+    "link-symmetry", family="topology",
+    description="links full-duplex unless declared asymmetric (DRAM)",
+)
+def link_symmetry(ctx: AnalysisContext) -> Iterator[Finding]:
+    for link in ctx.cluster.topology.links:
+        if link.endpoint_a == link.endpoint_b:
+            yield Finding(
+                "link-symmetry", Severity.ERROR, "TOPO002",
+                f"link {link.name!r} is a self-loop on "
+                f"{link.endpoint_a!r}", subject=link.name,
+            )
+        if not link.spec.duplex and link.link_class is not LinkClass.DRAM:
+            yield Finding(
+                "link-symmetry", Severity.ERROR, "TOPO001",
+                f"link {link.name!r} ({link.link_class}) is half-duplex, "
+                f"but only DRAM channels are declared asymmetric "
+                f"(Table III footnote 2)", subject=link.name,
+            )
+
+
+@register_pass(
+    "bandwidth-bounds", family="topology",
+    description="per-link bandwidth within sane bounds of Table III",
+)
+def bandwidth_bounds(ctx: AnalysisContext) -> Iterator[Finding]:
+    for link in ctx.cluster.topology.links:
+        per_direction = link.spec.bandwidth_per_direction
+        if per_direction > 10.0 * TB or per_direction < 1.0 * MB:
+            yield Finding(
+                "bandwidth-bounds", Severity.ERROR, "TOPO011",
+                f"link {link.name!r}: {to_gbps(per_direction):.3f} GBps "
+                f"per direction is not a plausible interconnect rate",
+                subject=link.name,
+            )
+            continue
+        expected = TABLE_III_PER_LINK.get(link.link_class)
+        if expected is None:  # INTERNAL paths are not in Table III
+            continue
+        actual = link.spec.bandwidth_bidirectional
+        ratio = actual / expected
+        if ratio > BOUNDS_FACTOR or ratio < 1.0 / BOUNDS_FACTOR:
+            yield Finding(
+                "bandwidth-bounds", Severity.WARNING, "TOPO010",
+                f"link {link.name!r}: {to_gbps(actual):.1f} GBps "
+                f"bidirectional per link vs the Table III "
+                f"{link.link_class} preset of {to_gbps(expected):.1f} GBps "
+                f"(off by more than {BOUNDS_FACTOR:.0f}x)",
+                subject=link.name,
+            )
+
+
+@register_pass(
+    "reachability", family="topology",
+    description="every device reachable from every GPU",
+)
+def reachability(ctx: AnalysisContext) -> Iterator[Finding]:
+    topology = ctx.cluster.topology
+    adjacency: Dict[str, Set[str]] = {d.name: set() for d in topology.devices}
+    for link in topology.links:
+        adjacency[link.endpoint_a].add(link.endpoint_b)
+        adjacency[link.endpoint_b].add(link.endpoint_a)
+    all_names = set(adjacency)
+    for gpu in ctx.cluster.all_gpus():
+        visited = {gpu.name}
+        frontier = deque([gpu.name])
+        while frontier:
+            for neighbor in adjacency[frontier.popleft()]:
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    frontier.append(neighbor)
+        unreachable = sorted(all_names - visited)
+        if unreachable:
+            shown = ", ".join(unreachable[:4])
+            more = len(unreachable) - 4
+            suffix = f" (+{more} more)" if more > 0 else ""
+            yield Finding(
+                "reachability", Severity.ERROR, "TOPO020",
+                f"{gpu.name} cannot reach {shown}{suffix}",
+                subject=gpu.name,
+            )
+
+
+@register_pass(
+    "numa-affinity", family="topology",
+    description="socket-local links stay socket-local; xGMI crosses sockets",
+)
+def numa_affinity(ctx: AnalysisContext) -> Iterator[Finding]:
+    topology = ctx.cluster.topology
+    for link in topology.links:
+        a = topology.device(link.endpoint_a)
+        b = topology.device(link.endpoint_b)
+        cls = link.link_class
+        if cls in _SOCKET_LOCAL:
+            if a.node_index != b.node_index:
+                yield Finding(
+                    "numa-affinity", Severity.ERROR, "TOPO030",
+                    f"link {link.name!r} ({cls}) spans nodes "
+                    f"{a.node_index} and {b.node_index}", subject=link.name,
+                )
+            elif (a.socket_index is not None and b.socket_index is not None
+                    and a.socket_index != b.socket_index):
+                yield Finding(
+                    "numa-affinity", Severity.ERROR, "TOPO030",
+                    f"link {link.name!r} ({cls}) spans sockets "
+                    f"{a.socket_index} and {b.socket_index}; these links "
+                    f"terminate in one socket's SerDes", subject=link.name,
+                )
+        elif cls is LinkClass.XGMI:
+            if a.node_index != b.node_index:
+                yield Finding(
+                    "numa-affinity", Severity.ERROR, "TOPO031",
+                    f"xGMI link {link.name!r} spans nodes", subject=link.name,
+                )
+            elif (a.kind is not DeviceKind.CPU or b.kind is not DeviceKind.CPU
+                    or a.socket_index == b.socket_index):
+                yield Finding(
+                    "numa-affinity", Severity.ERROR, "TOPO031",
+                    f"xGMI link {link.name!r} must join the two CPU "
+                    f"sockets of one node", subject=link.name,
+                )
+        elif cls is LinkClass.NVLINK:
+            if (a.kind is not DeviceKind.GPU or b.kind is not DeviceKind.GPU
+                    or a.node_index != b.node_index):
+                yield Finding(
+                    "numa-affinity", Severity.ERROR, "TOPO032",
+                    f"NVLink {link.name!r} must join two GPUs of one node",
+                    subject=link.name,
+                )

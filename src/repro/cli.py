@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Five subcommands mirror the paper's workflow::
+Six subcommands mirror the paper's workflow::
 
     repro run      --strategy zero2 --size 1.4 --nodes 1     # one training run
     repro search   --strategy zero3 --nodes 2                # max model size
     repro stress   --duration 10                             # Fig. 3/4 tests
     repro topology --nodes 2 --placement G                   # Fig. 2 wiring
     repro experiment fig7 [--full]                           # any table/figure
+    repro analyze  --strategy zero3_nvme --size 20           # pre-run lints
 
 Installed as the ``repro`` console script; also runnable via
 ``python -m repro.cli``.
@@ -19,6 +20,7 @@ import json
 import sys
 from typing import List, Optional
 
+from .analysis import analyze_run_config, analyze_source, render_json, render_text
 from .core.runner import run_training
 from .core.search import max_model_size, model_for_billions
 from .errors import ReproError
@@ -29,6 +31,7 @@ from .hardware.render import render_cluster
 from .parallel.placement import PLACEMENTS
 from .stress import full_stress_suite, latency_sweep
 from .telemetry.report import format_table
+from .units import GB
 
 
 def _cluster_for(args: argparse.Namespace) -> Cluster:
@@ -55,9 +58,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "tflops": round(metrics.tflops, 1),
         "iteration_seconds": round(metrics.iteration_time, 4),
         "memory_gb": {
-            "gpu": round(metrics.memory.gpu_used / 1e9, 1),
-            "cpu": round(metrics.memory.cpu_used / 1e9, 1),
-            "nvme": round(metrics.memory.nvme_used / 1e9, 1),
+            "gpu": round(metrics.memory.gpu_used / GB, 1),
+            "cpu": round(metrics.memory.cpu_used / GB, 1),
+            "nvme": round(metrics.memory.nvme_used / GB, 1),
         },
         "bandwidth_avg_gbps": {
             str(cls): round(stats.average_gbps, 2)
@@ -141,6 +144,23 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.self:
+        report = analyze_source()
+    else:
+        strategy = make_strategy(args.strategy)
+        cluster = _cluster_for(args)
+        model = model_for_billions(args.size)
+        report = analyze_run_config(
+            cluster, strategy, model,
+            placement=PLACEMENTS[args.placement],
+            tensor_parallel=args.tensor_parallel,
+            pipeline_parallel=args.pipeline_parallel,
+        )
+    print(render_json(report) if args.json else render_text(report))
+    return report.exit_code
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     result = run_experiment(args.id, quick=not args.full)
     print(result.rendered)
@@ -194,6 +214,25 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--full", action="store_true")
     experiment.add_argument("--json", action="store_true")
     experiment.set_defaults(func=_cmd_experiment)
+
+    analyze = sub.add_parser(
+        "analyze", help="static pre-run analysis of one configuration")
+    analyze.add_argument("--strategy", choices=sorted(ALL_STRATEGIES),
+                         default="zero2")
+    analyze.add_argument("--size", type=float, default=1.4,
+                         help="model size in billions of parameters")
+    analyze.add_argument("--nodes", type=int, default=1, choices=(1, 2))
+    analyze.add_argument("--placement", choices=sorted(PLACEMENTS),
+                         default="B")
+    analyze.add_argument("--tensor-parallel", type=int, default=None,
+                         help="lint an explicit tensor-parallel degree")
+    analyze.add_argument("--pipeline-parallel", type=int, default=None,
+                         help="lint an explicit pipeline-parallel degree")
+    analyze.add_argument("--self", action="store_true",
+                         help="run the unit-hygiene lint over the "
+                              "simulator's own source instead")
+    analyze.add_argument("--json", action="store_true")
+    analyze.set_defaults(func=_cmd_analyze)
     return parser
 
 
@@ -205,6 +244,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into head & friends; not an error.
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from .. import calibration
+from ..analysis.api import analyze_run_config
 from ..errors import ConfigurationError, OutOfMemoryError
 from ..hardware.cluster import Cluster
 from ..hardware.link import LinkClass
@@ -26,6 +27,7 @@ from ..runtime.executor import ExecutionResult, Executor
 from ..telemetry.bandwidth import BandwidthMonitor, BandwidthStats
 from ..telemetry.flops_profiler import FlopsProfiler, ThroughputReport
 from ..telemetry.memory import MemoryReport, snapshot
+from ..units import GB
 
 
 @dataclass
@@ -52,7 +54,7 @@ class RunMetrics:
 
     @property
     def billions_of_parameters(self) -> float:
-        return self.model_parameters / 1e9
+        return self.model_parameters / GB
 
 
 def apply_memory_plan(cluster: Cluster, plan: MemoryPlan,
@@ -79,8 +81,8 @@ def apply_memory_plan(cluster: Cluster, plan: MemoryPlan,
                 if pinned > ceiling:
                     raise OutOfMemoryError(
                         f"{dram.name}: pinned allocations "
-                        f"({pinned / 1e9:.0f} GB) exceed the page-locked "
-                        f"ceiling ({ceiling / 1e9:.0f} GB)",
+                        f"({pinned / GB:.0f} GB) exceed the page-locked "
+                        f"ceiling ({ceiling / GB:.0f} GB)",
                         device=dram.name,
                         required_bytes=pinned,
                         available_bytes=ceiling,
@@ -103,13 +105,20 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
                  iterations: int = 3,
                  warmup_iterations: int = 1,
                  placement: Optional[PlacementConfig] = None,
-                 swap_volumes: Optional[Dict[int, Raid0Volume]] = None
-                 ) -> RunMetrics:
+                 swap_volumes: Optional[Dict[int, Raid0Volume]] = None,
+                 preflight: bool = True) -> RunMetrics:
     """Simulate ``iterations`` optimizer steps and measure everything.
 
     The first ``warmup_iterations`` are excluded from throughput and
     bandwidth statistics, mirroring the paper's methodology of collecting
     from the fifth of ten iterations onward (Section III-B1).
+
+    Unless ``preflight=False``, the cheap static-analysis passes run
+    first and any error-severity finding aborts the run before the DES
+    starts (see :mod:`repro.analysis`).  The static memory-capacity
+    prediction is not part of the hook: fitting stays the runtime
+    :class:`~repro.errors.OutOfMemoryError` signal the size search
+    binary-searches on.
     """
     if training is None:
         training = TrainingConfig()
@@ -117,6 +126,11 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
         raise ConfigurationError(
             "need more iterations than warmup iterations"
         )
+    if preflight:
+        analyze_run_config(
+            cluster, strategy, model, training=training,
+            placement=placement, cheap_only=True,
+        ).raise_on_error("pre-run static analysis failed")
     cluster.reset()
     ctx = StrategyContext(cluster, model, training)
     plan = strategy.memory_plan(ctx)

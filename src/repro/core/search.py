@@ -24,6 +24,7 @@ from ..model.config import ModelConfig, TrainingConfig, paper_model
 from ..model.params import layers_for_target_params, total_parameters
 from ..parallel.placement import PlacementConfig
 from ..parallel.strategy import TrainingStrategy
+from ..units import billion, to_billion
 from .runner import plan_only
 
 #: Paper Table V's model-size grid, billions of parameters.
@@ -43,7 +44,7 @@ class SearchResult:
 
     @property
     def billions(self) -> float:
-        return self.max_parameters / 1e9
+        return to_billion(self.max_parameters)
 
 
 def fits(cluster: Cluster, strategy: TrainingStrategy, model: ModelConfig, *,
@@ -99,7 +100,7 @@ def max_model_size(cluster: Cluster, strategy: TrainingStrategy, *,
 
 def snap_to_grid(params: int) -> Optional[float]:
     """Largest PAPER_SIZE_GRID entry at or below ``params``."""
-    billions = params / 1e9
+    billions = to_billion(params)
     candidates = [g for g in PAPER_SIZE_GRID if g <= billions + 0.05]
     return max(candidates) if candidates else None
 
@@ -117,5 +118,5 @@ def max_model_size_on_grid(cluster: Cluster, strategy: TrainingStrategy, *,
 
 def model_for_billions(billions: float) -> ModelConfig:
     """The paper's model at a target size in billions of parameters."""
-    layers = layers_for_target_params(paper_model(1), billions * 1e9)
+    layers = layers_for_target_params(paper_model(1), billion(billions))
     return paper_model(layers)

@@ -23,7 +23,13 @@ from ..errors import SimulationError
 from ..hardware.cluster import Cluster
 from ..hardware.link import LinkClass
 from ..telemetry.timeline import Lane, Timeline
+from ..units import GB
 from .runner import RunMetrics
+
+#: Ledger rates may exceed a link's per-direction capacity by this factor
+#: before the capacity check fails — covers rounding in flow splits and
+#: the coarse one-record host-background charges.
+_RATE_TOLERANCE = 1.05
 
 
 @dataclass
@@ -113,6 +119,25 @@ def _check_ledgers(cluster: Cluster, metrics: RunMetrics,
                 bad_records += 1
     report.record("ledger_records_in_window", bad_records == 0,
                   f"{bad_records} out-of-window records")
+    # No record may imply a rate above what its link can physically carry
+    # in one direction (small tolerance for rounding in flow splits).
+    over_rate = []
+    for link in cluster.topology.links:
+        capacity = link.capacity_per_direction
+        for record in link.ledger:
+            duration = record.end - record.start
+            if duration <= 1e-9:
+                continue
+            rate = record.num_bytes / duration
+            if rate > capacity * _RATE_TOLERANCE:
+                over_rate.append(
+                    f"{link.name}: {rate / GB:.1f} GB/s vs "
+                    f"{capacity / GB:.1f} GB/s"
+                )
+    report.record(
+        "ledger_within_link_capacity", not over_rate,
+        f"{len(over_rate)} over-rate records: {over_rate[:3]}",
+    )
     # A training run must have moved *some* bytes on NVLink (single node)
     # or RoCE (multi node) unless it is a one-GPU run.
     if metrics.num_gpus > 1:

@@ -16,7 +16,7 @@ from ..core.search import max_model_size
 from ..parallel import zero2_cpu_offload
 from ..parallel.strategy import MemoryPlan, StrategyContext
 from ..telemetry.report import format_table
-from ..units import GB
+from ..units import GB, MB
 from .common import ExperimentResult, cluster_for
 
 
@@ -50,7 +50,7 @@ def run(quick: bool = True) -> ExperimentResult:
             "buffer_gb": buffer_gb,
             "max_model_b": result.billions,
             "is_default": abs(buffer_gb * GB
-                              - calibration.OFFLOAD_GPU_BUFFER_BYTES) < 1e6,
+                              - calibration.OFFLOAD_GPU_BUFFER_BYTES) < MB,
         })
     rendered = format_table(
         ["GPU buffer (GB)", "max model (B)", "default"],

@@ -39,7 +39,7 @@ def run(quick: bool = True) -> ExperimentResult:
             "study": "cache",
             "cache_gb": cache_gb,
             "burst_gb": 16,
-            "effective_gbps": burst / seconds / 1e9,
+            "effective_gbps": burst / seconds / GB,
         })
 
     # (b) media-bandwidth sweep on the 11.4 B ZeRO-Infinity run.

@@ -20,6 +20,7 @@ from ..model.config import TrainingConfig
 from ..parallel import zero2, zero3_nvme_optimizer
 from ..parallel.placement import PLACEMENTS
 from ..telemetry.report import format_table
+from ..units import GB
 from .common import ExperimentResult, cluster_for, iterations_for, placement_cluster
 
 BATCHES = (4, 8, 16, 32, 64)
@@ -51,7 +52,7 @@ def run(quick: bool = True) -> ExperimentResult:
                     "tflops": metrics.tflops,
                     "tokens_per_s": (batch * 256 * 4
                                      / metrics.iteration_time),
-                    "gpu_gb": metrics.memory.gpu_used / 1e9,
+                    "gpu_gb": metrics.memory.gpu_used / GB,
                 })
             except OutOfMemoryError:
                 rows.append({"case": label, "micro_batch": batch,

@@ -14,6 +14,7 @@ from ..core.search import model_for_billions
 from ..parallel import MegatronStrategy
 from ..parallel.placement import PLACEMENTS
 from ..telemetry.report import format_table
+from ..units import GB
 from . import paper_data
 from .common import ALL_STRATEGIES, ExperimentResult, cluster_for, iterations_for, placement_cluster
 
@@ -66,8 +67,8 @@ def _row(config: str, metrics) -> dict:
         "config": config,
         "tflops": metrics.tflops,
         "paper_tflops": paper_data.CONSOLIDATION_THROUGHPUT.get(config),
-        "gpu_gb": metrics.memory.gpu_used / 1e9,
-        "cpu_gb": metrics.memory.cpu_used / 1e9,
-        "nvme_gb": metrics.memory.nvme_used / 1e9,
+        "gpu_gb": metrics.memory.gpu_used / GB,
+        "cpu_gb": metrics.memory.cpu_used / GB,
+        "nvme_gb": metrics.memory.nvme_used / GB,
         "iteration_s": metrics.iteration_time,
     }

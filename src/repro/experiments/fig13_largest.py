@@ -18,6 +18,7 @@ from ..core.search import max_model_size, model_for_billions
 from ..model.config import paper_model
 from ..parallel.placement import PLACEMENTS
 from ..telemetry.report import format_table
+from ..units import GB
 from . import paper_data
 from .common import ALL_STRATEGIES, ExperimentResult, cluster_for, iterations_for, placement_cluster
 
@@ -49,9 +50,9 @@ def run(quick: bool = True) -> ExperimentResult:
             "paper_b": paper_b,
             "tflops": metrics.tflops,
             "paper_tflops": paper_tflops,
-            "gpu_gb": metrics.memory.gpu_used / 1e9,
-            "cpu_gb": metrics.memory.cpu_used / 1e9,
-            "nvme_gb": metrics.memory.nvme_used / 1e9,
+            "gpu_gb": metrics.memory.gpu_used / GB,
+            "cpu_gb": metrics.memory.cpu_used / GB,
+            "nvme_gb": metrics.memory.nvme_used / GB,
         })
     rendered = format_table(
         ["strategy", "search max (B)", "paper (B)", "TFLOP/s", "paper",

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from ..hardware.presets import INTERFACE_TO_CLASS, TABLE_III, dual_node_cluster
 from ..telemetry.report import format_table
+from ..units import GB
 from .common import ExperimentResult
 
 
@@ -42,9 +43,9 @@ def run(quick: bool = True) -> ExperimentResult:
             "interface": entry.interface,
             "paper_links": entry.links_per_node * entry.devices_per_node,
             "built_links": built_count,
-            "paper_aggregate_gbps": entry.aggregate_bandwidth / 1e9,
-            "built_aggregate_gbps": built / 1e9,
-            "built_paper_convention_gbps": convention / 1e9,
+            "paper_aggregate_gbps": entry.aggregate_bandwidth / GB,
+            "built_aggregate_gbps": built / GB,
+            "built_paper_convention_gbps": convention / GB,
             "note": note,
         })
     rendered = format_table(

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..errors import ConfigurationError, OutOfMemoryError
+from ..units import GB
 
 
 class DeviceKind(enum.Enum):
@@ -58,9 +59,9 @@ class MemoryPool:
         if num_bytes > self.free_bytes + 1e-6:
             raise OutOfMemoryError(
                 f"{self.owner or 'memory pool'}: cannot allocate "
-                f"{num_bytes / 1e9:.2f} GB for {label!r}; "
-                f"{self.free_bytes / 1e9:.2f} GB free of "
-                f"{self.capacity_bytes / 1e9:.2f} GB",
+                f"{num_bytes / GB:.2f} GB for {label!r}; "
+                f"{self.free_bytes / GB:.2f} GB free of "
+                f"{self.capacity_bytes / GB:.2f} GB",
                 device=self.owner,
                 required_bytes=num_bytes,
                 available_bytes=self.free_bytes,
@@ -79,8 +80,8 @@ class MemoryPool:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"MemoryPool({self.owner!r}, used {self.used_bytes / 1e9:.1f} / "
-            f"{self.capacity_bytes / 1e9:.1f} GB)"
+            f"MemoryPool({self.owner!r}, used {self.used_bytes / GB:.1f} / "
+            f"{self.capacity_bytes / GB:.1f} GB)"
         )
 
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import List
 
 from ..errors import ConfigurationError
+from ..units import GB
 
 
 class LinkClass(enum.Enum):
@@ -252,5 +253,5 @@ class Link:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Link({self.name!r}, {self.link_class}, "
-            f"{self.capacity_per_direction / 1e9:.1f} GB/s/dir x{self.count})"
+            f"{self.capacity_per_direction / GB:.1f} GB/s/dir x{self.count})"
         )

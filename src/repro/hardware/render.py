@@ -12,12 +12,13 @@ from __future__ import annotations
 from typing import List
 
 from .cluster import Cluster
+from ..units import GB
 from .link import LinkClass
 from .node import Node
 
 
 def _gbps(value: float) -> str:
-    return f"{value / 1e9:.0f}GB/s"
+    return f"{value / GB:.0f}GB/s"
 
 
 def render_node(node: Node) -> str:
@@ -68,7 +69,7 @@ def render_cluster(cluster: Cluster) -> str:
         )
     summary = (
         f"{cluster.num_nodes} node(s), {cluster.num_gpus} GPUs, "
-        f"{cluster.total_gpu_memory() / 1e9:.0f} GB HBM, "
-        f"{cluster.total_host_memory() / 1e9:.0f} GB DRAM"
+        f"{cluster.total_gpu_memory() / GB:.0f} GB HBM, "
+        f"{cluster.total_host_memory() / GB:.0f} GB DRAM"
     )
     return "\n\n".join(blocks + [summary])

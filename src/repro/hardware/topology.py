@@ -20,6 +20,7 @@ import heapq
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import TopologyError
+from ..units import GB
 from .devices import Device
 from .link import BandwidthLedger, Link, LinkClass
 from .serdes import SerdesContentionModel, TrafficProfile
@@ -209,7 +210,7 @@ class Topology:
                 break
             for link in self._adjacency[name]:
                 neighbor = link.other_end(name)
-                weight = 1.0 + 1e-3 / max(link.capacity_per_direction / 1e9, 1e-9)
+                weight = 1.0 + 1e-3 / max(link.capacity_per_direction / GB, 1e-9)
                 nd = d + weight
                 if nd < dist.get(neighbor, float("inf")):
                     dist[neighbor] = nd

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 from .. import calibration
 from ..errors import ConfigurationError
@@ -28,7 +28,7 @@ from ..model.config import ModelConfig, TrainingConfig
 from ..model.flops import forward_flops
 from ..model.params import total_parameters
 from ..runtime.kernels import GpuComputeModel, KernelKind
-from .schedule import ComputeStep, IterationSchedule, Step
+from .schedule import ComputeStep, IterationSchedule
 
 
 @dataclass
@@ -142,6 +142,15 @@ class TrainingStrategy(abc.ABC):
     def model_parallel_degree(self, ctx: StrategyContext) -> int:
         """GPUs sharing one model replica (1 except for Megatron-LM)."""
         return 1
+
+    def parallel_degrees(self, ctx: StrategyContext) -> Tuple[int, int]:
+        """The ``(data-parallel, model-parallel)`` degrees for one run.
+
+        Every valid strategy satisfies ``dp x mp == world_size``; the
+        static analyzer (:mod:`repro.analysis`) checks this invariant
+        without building a schedule.
+        """
+        return self.data_parallel_degree(ctx), self.model_parallel_degree(ctx)
 
     def layer_timings(self, ctx: StrategyContext) -> LayerTimings:
         """Kernel durations for this rank's share of one layer.

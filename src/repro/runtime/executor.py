@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..analysis.liveness import check_liveness
 from ..collectives.nccl import NcclCommunicator
 from ..collectives.primitives import CollectiveOp
 from .. import calibration
@@ -149,6 +150,7 @@ class Executor:
 
         self.engine.process(driver(), name="driver")
         total = self.engine.run()
+        check_liveness(self.engine)
         return ExecutionResult(
             iteration_times=iteration_times,
             timeline=self.timeline,

@@ -82,6 +82,15 @@ class AllOf(BaseEvent):
         for event in self._children:
             event.add_callback(self._child_fired)
 
+    @property
+    def num_children(self) -> int:
+        return len(self._children)
+
+    @property
+    def pending_children(self) -> List[BaseEvent]:
+        """Children that have not fired yet (liveness diagnostics)."""
+        return [child for child in self._children if not child.triggered]
+
     def _child_fired(self, _event: BaseEvent) -> None:
         self._pending -= 1
         if self._pending == 0 and not self.triggered:
@@ -93,15 +102,30 @@ class AnyOf(BaseEvent):
 
     def __init__(self, engine: "Engine", events: Iterable[BaseEvent]) -> None:
         super().__init__(engine)
-        children = list(events)
-        if not children:
+        self._children = list(events)
+        if not self._children:
             raise SimulationError("AnyOf requires at least one event")
-        for event in children:
+        for event in self._children:
             event.add_callback(self._child_fired)
 
+    @property
+    def num_children(self) -> int:
+        return len(self._children)
+
     def _child_fired(self, event: BaseEvent) -> None:
-        if not self.triggered:
-            self.succeed(event.value)
+        if self.triggered:
+            return
+        # Detach from the losing children: without this, a later succeed()
+        # on a loser still reaches the already-triggered combinator, and
+        # liveness diagnostics would see stale waiter callbacks on events
+        # nothing is actually waiting for.
+        for child in self._children:
+            if child is not event and not child.triggered:
+                try:
+                    child.callbacks.remove(self._child_fired)
+                except ValueError:
+                    pass
+        self.succeed(event.value)
 
 
 ProcessGenerator = Generator[BaseEvent, Any, Any]
@@ -121,9 +145,15 @@ class Process(BaseEvent):
         super().__init__(engine)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        #: the event this process is currently suspended on, or None while
+        #: runnable/finished — what the liveness diagnostics report when a
+        #: run ends with this process still pending.
+        self.waiting_on: Optional[BaseEvent] = None
+        engine.register_process(self)
         engine.schedule_at(engine.now, self._resume, None)
 
     def _resume(self, send_value: Any) -> None:
+        self.waiting_on = None
         try:
             target = self.generator.send(send_value)
         except StopIteration as stop:
@@ -133,6 +163,7 @@ class Process(BaseEvent):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}, not an event"
             )
+        self.waiting_on = target
         target.add_callback(lambda event: self._resume(event.value))
 
 
@@ -144,6 +175,15 @@ class Engine:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
         self._processed = 0
+        self._processes: List["Process"] = []
+
+    def register_process(self, process: "Process") -> None:
+        self._processes.append(process)
+
+    @property
+    def processes(self) -> Tuple["Process", ...]:
+        """Every process ever started on this engine, in start order."""
+        return tuple(self._processes)
 
     # -- scheduling primitives -------------------------------------------------
     def schedule_at(self, time: float, callback: Callable[..., None],

@@ -20,6 +20,7 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..hardware.cluster import Cluster
 from ..hardware.link import Link, LinkClass
+from ..units import GB
 
 #: Default counter sampling period; AMD uProf / nvidia-smi class tooling
 #: polls on the order of a few hundred milliseconds to a second, which is
@@ -44,15 +45,15 @@ class BandwidthStats:
 
     @property
     def average_gbps(self) -> float:
-        return self.average / 1e9
+        return self.average / GB
 
     @property
     def p90_gbps(self) -> float:
-        return self.p90 / 1e9
+        return self.p90 / GB
 
     @property
     def peak_gbps(self) -> float:
-        return self.peak / 1e9
+        return self.peak / GB
 
     @staticmethod
     def from_samples(samples: Sequence[float]) -> "BandwidthStats":

@@ -11,6 +11,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from ..hardware.link import LinkClass
+from ..units import GB
 from .bandwidth import BandwidthStats
 
 
@@ -89,5 +90,5 @@ def series_block(label: str, values: Sequence[float], *, width: int = 80) -> str
     avg = arr.mean() if len(arr) else 0.0
     return (
         f"{label:>10} |{sparkline(values, width=width)}| "
-        f"avg {avg / 1e9:6.2f} GB/s  peak {peak / 1e9:6.2f} GB/s"
+        f"avg {avg / GB:6.2f} GB/s  peak {peak / GB:6.2f} GB/s"
     )

@@ -1,0 +1,459 @@
+"""Static-analysis subsystem: findings, passes, liveness, source lints."""
+
+import dataclasses
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    AnalysisContext,
+    Finding,
+    Report,
+    Severity,
+    analyze_run_config,
+    analyze_source,
+    check_liveness,
+    diagnose,
+    iter_passes,
+    register_pass,
+    render_json,
+    render_text,
+    run_passes,
+)
+from repro.analysis.registry import get_pass
+from repro.analysis.source_lints import lint_source_tree
+from repro.core.runner import run_training
+from repro.core.search import model_for_billions
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.common import ALL_STRATEGIES, make_strategy
+from repro.hardware import Cluster, ClusterSpec, dual_node_cluster, single_node_cluster
+from repro.hardware.link import LinkClass
+from repro.model.states import OffloadTarget, ZeroStage
+from repro.parallel import DdpStrategy, zero2, zero3
+from repro.parallel.placement import PLACEMENTS
+from repro.parallel.zero import ZeroStrategy
+from repro.sim.engine import Engine
+
+
+# ---------------------------------------------------------------------------
+# Finding / Report model
+# ---------------------------------------------------------------------------
+
+class TestReport:
+    def test_severity_ordering_and_exit_code(self):
+        report = Report()
+        assert report.ok and report.exit_code == 0
+        report.add(Finding("p", Severity.WARNING, "X001", "meh"))
+        assert report.ok and report.exit_code == 0
+        report.add(Finding("p", Severity.ERROR, "X002", "bad"))
+        assert not report.ok and report.exit_code == 1
+        assert len(report.errors) == 1 and len(report.warnings) == 1
+
+    def test_raise_on_error_message_contains_codes(self):
+        report = Report()
+        report.add(Finding("p", Severity.ERROR, "X002", "it broke"))
+        with pytest.raises(ConfigurationError, match=r"\[X002\] it broke"):
+            report.raise_on_error("preflight failed")
+
+    def test_warnings_do_not_raise(self):
+        report = Report()
+        report.add(Finding("p", Severity.WARNING, "X001", "meh"))
+        report.raise_on_error("preflight failed")
+
+    def test_to_dict_round_trips_through_json(self):
+        report = Report()
+        report.passes_run.append("p")
+        report.add(Finding("p", Severity.INFO, "X000", "note",
+                           subject="s", location="f.py:3"))
+        payload = json.loads(render_json(report))
+        assert payload["ok"] is True
+        assert payload["passes_run"] == ["p"]
+        assert payload["findings"][0]["severity"] == "info"
+        assert payload["findings"][0]["location"] == "f.py:3"
+
+    def test_render_text_groups_errors_first(self):
+        report = Report()
+        report.add(Finding("p", Severity.INFO, "X000", "a note"))
+        report.add(Finding("p", Severity.ERROR, "X002", "the error"))
+        text = render_text(report)
+        assert text.index("the error") < text.index("a note")
+        assert "1 errors" in text
+
+
+# ---------------------------------------------------------------------------
+# Pass registry
+# ---------------------------------------------------------------------------
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_pass("parallel-degrees", family="config",
+                          description="dup")(lambda ctx: [])
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_pass("x-unique-name", family="nope",
+                          description="bad")(lambda ctx: [])
+
+    def test_cheap_only_excludes_memory_capacity(self):
+        names = [p.name for p in iter_passes(("config",), cheap_only=True)]
+        assert "memory-capacity" not in names
+        assert "parallel-degrees" in names
+
+    def test_get_pass(self):
+        assert get_pass("memory-capacity").cheap is False
+
+
+# ---------------------------------------------------------------------------
+# Config/topology lints on real configurations
+# ---------------------------------------------------------------------------
+
+class TestAnalyzeRunConfig:
+    @pytest.mark.parametrize("name", sorted(ALL_STRATEGIES))
+    def test_shipped_strategies_have_no_errors(self, name):
+        placement = PLACEMENTS["B"]
+        if "nvme" in name:
+            cluster = Cluster(ClusterSpec(num_nodes=1,
+                                          node=placement.node_spec()))
+        else:
+            cluster = single_node_cluster()
+        report = analyze_run_config(cluster, make_strategy(name),
+                                    model_for_billions(1.4),
+                                    placement=placement)
+        assert report.ok, [f.message for f in report.errors]
+
+    def test_tensor_parallel_must_divide_world(self):
+        report = analyze_run_config(dual_node_cluster(), tensor_parallel=3)
+        assert [f.code for f in report.errors] == ["CFG002"]
+
+    def test_pipeline_parallel_must_divide_world(self):
+        report = analyze_run_config(dual_node_cluster(), pipeline_parallel=5)
+        assert "CFG003" in [f.code for f in report.errors]
+
+    def test_product_must_divide_world(self):
+        report = analyze_run_config(dual_node_cluster(),
+                                    tensor_parallel=4, pipeline_parallel=2)
+        assert report.ok  # 4 x 2 = 8 GPUs
+        report = analyze_run_config(
+            Cluster(ClusterSpec(num_nodes=2)),
+            tensor_parallel=8, pipeline_parallel=2)
+        assert "CFG004" in [f.code for f in report.errors]
+
+    def test_degree_product_mismatch_flagged(self):
+        class BrokenDegrees(DdpStrategy):
+            def data_parallel_degree(self, ctx):
+                return 3  # never matches a 4- or 8-GPU world
+
+        report = analyze_run_config(single_node_cluster(), BrokenDegrees(),
+                                    model_for_billions(0.7))
+        assert "CFG001" in [f.code for f in report.errors]
+
+    def test_corrupt_partition_accounting_flagged(self):
+        class LeakyZero(ZeroStrategy):
+            def memory_plan(self, ctx):
+                plan = super().memory_plan(ctx)
+                plan.gpu["optimizer_states"] *= 2  # breaks the 12 B/param sum
+                return plan
+
+        report = analyze_run_config(single_node_cluster(),
+                                    LeakyZero(ZeroStage.OPTIMIZER),
+                                    model_for_billions(0.7))
+        assert "CFG010" in [f.code for f in report.errors]
+
+    def test_illegal_offload_target_flagged(self):
+        strategy = make_strategy("zero1_opt_cpu")
+        strategy.optimizer_target = OffloadTarget.NVME  # ZeRO-1 cannot
+        report = analyze_run_config(single_node_cluster(), strategy,
+                                    model_for_billions(0.7))
+        assert "CFG020" in [f.code for f in report.errors]
+
+    def test_nvme_plan_needs_scratch_drives(self):
+        # The stock single-node preset has fewer scratch drives than
+        # placement G (4 drives) expects.
+        report = analyze_run_config(single_node_cluster(),
+                                    make_strategy("zero3_opt_nvme"),
+                                    model_for_billions(1.4),
+                                    placement=PLACEMENTS["G"])
+        assert "CFG021" in [f.code for f in report.errors]
+
+    def test_memory_capacity_predicts_oom(self):
+        report = analyze_run_config(single_node_cluster(),
+                                    make_strategy("zero1_opt_cpu"),
+                                    model_for_billions(60))
+        codes = {f.code for f in report.errors}
+        assert {"CFG030", "CFG031", "CFG032"} <= codes
+
+    def test_memory_capacity_not_in_cheap_set(self):
+        report = analyze_run_config(single_node_cluster(),
+                                    make_strategy("zero1_opt_cpu"),
+                                    model_for_billions(60), cheap_only=True)
+        assert report.ok
+        assert "memory-capacity" not in report.passes_run
+
+    def test_probe_error_becomes_finding(self):
+        class ExplodingStrategy(DdpStrategy):
+            def memory_plan(self, ctx):
+                raise ConfigurationError("boom")
+
+        report = analyze_run_config(single_node_cluster(),
+                                    ExplodingStrategy(),
+                                    model_for_billions(0.7))
+        assert "CFG000" in [f.code for f in report.errors]
+
+    def test_pipeline_micro_batch_divisibility(self):
+        model = model_for_billions(1.4)
+        report = analyze_run_config(dual_node_cluster(), model=model,
+                                    pipeline_parallel=8)
+        # 16 micro-batches over global batch 16*8=128: divides cleanly.
+        assert "CFG042" not in [f.code for f in report.findings]
+        from repro.model.config import TrainingConfig
+        report = analyze_run_config(
+            dual_node_cluster(), model=model, pipeline_parallel=8,
+            training=TrainingConfig(micro_batch_per_gpu=3))
+        assert "CFG042" in [f.code for f in report.errors]
+
+
+class TestTopologyLints:
+    def test_presets_are_clean(self):
+        for cluster in (single_node_cluster(), dual_node_cluster()):
+            report = run_passes(AnalysisContext(cluster=cluster),
+                                ("topology",))
+            assert report.ok, [f.message for f in report.errors]
+
+    def test_absurd_bandwidth_flagged(self):
+        cluster = single_node_cluster()
+        link = cluster.topology.links_of_class(LinkClass.NVLINK)[0]
+        link.spec = dataclasses.replace(
+            link.spec, bandwidth_per_direction=1e14)
+        report = run_passes(AnalysisContext(cluster=cluster), ("topology",))
+        assert "TOPO011" in [f.code for f in report.errors]
+
+    def test_off_table_bandwidth_warns(self):
+        cluster = single_node_cluster()
+        link = cluster.topology.links_of_class(LinkClass.NVLINK)[0]
+        link.spec = dataclasses.replace(
+            link.spec, bandwidth_per_direction=link.spec.
+            bandwidth_per_direction / 10)
+        report = run_passes(AnalysisContext(cluster=cluster), ("topology",))
+        assert "TOPO010" in [f.code for f in report.warnings]
+
+    def test_unreachable_device_flagged(self):
+        cluster = single_node_cluster()
+        topology = cluster.topology
+        # Cut every link to one NVMe drive.
+        victim = cluster.nodes[0].nvme_drives[0].name
+        topology._links = [  # type: ignore[attr-defined]
+            link for link in topology._links
+            if victim not in (link.endpoint_a, link.endpoint_b)
+        ]
+        report = run_passes(AnalysisContext(cluster=cluster), ("topology",))
+        findings = [f for f in report.errors if f.code == "TOPO020"]
+        assert findings and victim in findings[0].message
+
+    def test_half_duplex_non_dram_flagged(self):
+        cluster = single_node_cluster()
+        link = cluster.topology.links_of_class(LinkClass.PCIE_GPU)[0]
+        link.spec = dataclasses.replace(link.spec, duplex=False)
+        report = run_passes(AnalysisContext(cluster=cluster), ("topology",))
+        assert "TOPO001" in [f.code for f in report.errors]
+
+
+# ---------------------------------------------------------------------------
+# DES liveness diagnostics
+# ---------------------------------------------------------------------------
+
+class TestLiveness:
+    def test_deadlocked_process_is_named(self):
+        engine = Engine()
+        stuck = engine.event()  # nobody ever triggers this
+
+        def victim():
+            yield stuck
+
+        engine.process(victim(), name="optimizer-drain")
+        engine.run()
+        findings = diagnose(engine)
+        assert [f.subject for f in findings] == ["optimizer-drain"]
+        assert "SimEvent" in findings[0].message
+        with pytest.raises(SimulationError, match="optimizer-drain"):
+            check_liveness(engine)
+
+    def test_all_of_deadlock_reports_pending_children(self):
+        engine = Engine()
+        never = engine.event()
+
+        def victim():
+            yield engine.all_of([engine.timeout(1.0), never])
+
+        engine.process(victim(), name="barrier")
+        engine.run()
+        findings = diagnose(engine)
+        assert len(findings) == 1
+        assert "AllOf" in findings[0].message
+        assert "1/2 children pending" in findings[0].message
+
+    def test_transitive_wait_names_both_processes(self):
+        engine = Engine()
+        never = engine.event()
+
+        def inner():
+            yield never
+
+        def outer():
+            yield engine.process(inner(), name="inner")
+
+        engine.process(outer(), name="outer")
+        engine.run()
+        stalled = {f.subject for f in diagnose(engine)}
+        assert stalled == {"inner", "outer"}
+
+    def test_any_of_race_does_not_false_positive(self):
+        # The AnyOf loser is never triggered, but its waiter already won
+        # the race — a healthy run must produce no findings.
+        engine = Engine()
+        slow = engine.timeout(100.0)
+
+        def racer():
+            yield engine.any_of([engine.timeout(1.0), slow])
+
+        engine.process(racer(), name="racer")
+        engine.run(until=5.0)
+        assert not slow.callbacks  # AnyOf detached itself from the loser
+        assert diagnose(engine) == []
+
+    def test_undrained_engine_yields_no_findings(self):
+        engine = Engine()
+
+        def worker():
+            yield engine.timeout(10.0)
+
+        engine.process(worker(), name="worker")
+        engine.run(until=1.0)
+        assert engine.peek() is not None
+        assert diagnose(engine) == []
+
+    def test_healthy_training_run_passes_liveness(self):
+        cluster = single_node_cluster()
+        run_training(cluster, zero2(), model_for_billions(0.7), iterations=2)
+
+
+# ---------------------------------------------------------------------------
+# Unit-hygiene source lint
+# ---------------------------------------------------------------------------
+
+class TestSourceLints:
+    def _lint(self, tmp_path, source, name="mod.py"):
+        (tmp_path / name).write_text(textwrap.dedent(source))
+        return lint_source_tree(tmp_path)
+
+    def test_magic_decimal_constant_flagged(self, tmp_path):
+        findings = self._lint(tmp_path, "CAPACITY = 40 * 1e9\n")
+        assert [f.code for f in findings] == ["SRC001"]
+        assert "GB" in findings[0].message
+        assert findings[0].location == "mod.py:1"
+
+    def test_magic_pow2_constant_flagged_once(self, tmp_path):
+        findings = self._lint(tmp_path, "CHUNK = 2**30\n")
+        assert [f.code for f in findings] == ["SRC001"]
+        assert "GIB" in findings[0].message
+
+    def test_units_module_is_exempt(self, tmp_path):
+        findings = self._lint(tmp_path, "GB = 1e9\n", name="units.py")
+        assert findings == []
+
+    def test_time_equality_flagged(self, tmp_path):
+        findings = self._lint(
+            tmp_path,
+            """
+            def check(start_time, end_time):
+                return start_time == end_time
+            """)
+        assert [f.code for f in findings] == ["SRC002"]
+
+    def test_endpoint_names_are_not_times(self, tmp_path):
+        findings = self._lint(
+            tmp_path,
+            """
+            def same(link):
+                return link.endpoint_a == link.endpoint_b
+            """)
+        assert findings == []
+
+    def test_zero_comparison_tolerated(self, tmp_path):
+        findings = self._lint(
+            tmp_path,
+            """
+            def idle(busy_time):
+                return busy_time == 0
+            """)
+        assert findings == []
+
+    def test_process_yielding_constant_flagged(self, tmp_path):
+        findings = self._lint(
+            tmp_path,
+            """
+            def worker(engine):
+                yield engine.timeout(1.0)
+                yield 5
+            """)
+        assert [f.code for f in findings] == ["SRC003"]
+        assert findings[0].severity is Severity.ERROR
+        assert "worker" in findings[0].message
+
+    def test_plain_generator_not_a_process(self, tmp_path):
+        findings = self._lint(
+            tmp_path,
+            """
+            def numbers():
+                yield 1
+                yield 2
+            """)
+        assert findings == []
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        findings = self._lint(tmp_path, "def broken(:\n")
+        assert [f.code for f in findings] == ["SRC000"]
+
+    def test_own_tree_is_clean(self):
+        report = analyze_source()
+        assert report.ok, [f.message for f in report.errors]
+        assert report.findings == [], [
+            f"{f.location}: {f.message}" for f in report.findings
+        ]
+
+
+# ---------------------------------------------------------------------------
+# run_training preflight hook
+# ---------------------------------------------------------------------------
+
+class TestPreflightHook:
+    def _broken_strategy(self):
+        class BrokenDegrees(DdpStrategy):
+            def data_parallel_degree(self, ctx):
+                return 3
+
+        return BrokenDegrees()
+
+    def test_preflight_rejects_broken_config(self):
+        with pytest.raises(ConfigurationError,
+                           match="pre-run static analysis failed"):
+            run_training(single_node_cluster(), self._broken_strategy(),
+                         model_for_billions(0.7), iterations=2)
+
+    def test_preflight_can_be_disabled(self):
+        # With the hook off, the same config gets past the analysis gate
+        # and fails much later, in the kernel-timing arithmetic.
+        with pytest.raises(ConfigurationError,
+                           match=r"dp \(3\) x mp \(1\)"):
+            run_training(single_node_cluster(), self._broken_strategy(),
+                         model_for_billions(0.7), iterations=2,
+                         preflight=False)
+
+    def test_preflight_does_not_predict_oom(self):
+        # Too-large models must still surface as OutOfMemoryError (the
+        # search's backoff signal), not as an analysis failure.
+        from repro.errors import OutOfMemoryError
+        with pytest.raises(OutOfMemoryError):
+            run_training(single_node_cluster(), zero3(),
+                         model_for_billions(60), iterations=2)

@@ -68,6 +68,37 @@ class TestSearch:
         assert payload["max_billions"] > 10
 
 
+class TestAnalyze:
+    def test_clean_preset_exits_zero(self, capsys):
+        code = main(["analyze", "--strategy", "zero2", "--size", "1.4"])
+        assert code == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_broken_tensor_parallel_exits_nonzero(self, capsys):
+        code = main(["analyze", "--tensor-parallel", "3", "--nodes", "2"])
+        assert code == 1
+        assert "CFG002" in capsys.readouterr().out
+
+    def test_over_capacity_offload_exits_nonzero(self, capsys):
+        code = main(["analyze", "--strategy", "zero1_opt_cpu",
+                     "--size", "60"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "CFG031" in out  # DRAM cannot hold the optimizer mirror
+
+    def test_json_output(self, capsys):
+        code = main(["analyze", "--strategy", "zero3", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert "zero-partition-accounting" in payload["passes_run"]
+
+    def test_self_lint_is_clean(self, capsys):
+        code = main(["analyze", "--self"])
+        assert code == 0
+        assert "0 errors" in capsys.readouterr().out
+
+
 class TestExperiment:
     def test_experiment_prints_table(self, capsys):
         code = main(["experiment", "table1"])

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ConfigurationError, TopologyError
 from repro.hardware import (
-    Cluster,
     ClusterSpec,
     LinkClass,
     NodeSpec,

@@ -11,7 +11,6 @@ from repro.hardware import (
     LinkSpec,
     Topology,
     dual_node_cluster,
-    single_node_cluster,
 )
 
 

@@ -1,7 +1,5 @@
 """Internal consistency of the transcribed paper data."""
 
-import pytest
-
 from repro.core.search import PAPER_SIZE_GRID
 from repro.experiments import paper_data
 from repro.experiments.common import ALL_STRATEGIES

@@ -1,7 +1,5 @@
 """Property-based tests (hypothesis) on core data structures/invariants."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.engine import AllOf, AnyOf, Engine
+from repro.sim.engine import Engine
 
 
 class TestTimeouts:
@@ -186,3 +186,59 @@ class TestProcesses:
         engine.timeout(2.0)
         engine.run()
         assert engine.events_processed == 2
+
+
+class TestLivenessInstrumentation:
+    def test_engine_registers_named_processes(self):
+        engine = Engine()
+
+        def worker():
+            yield engine.timeout(1.0)
+
+        handle = engine.process(worker(), name="worker")
+        assert handle in engine.processes
+        engine.run()
+        assert handle.triggered
+
+    def test_waiting_on_breadcrumb_tracks_current_event(self):
+        engine = Engine()
+        gate = engine.event()
+
+        def worker():
+            yield engine.timeout(1.0)
+            yield gate
+
+        handle = engine.process(worker(), name="worker")
+        engine.run(until=2.0)
+        assert handle.waiting_on is gate
+
+    def test_waiting_on_cleared_after_completion(self):
+        engine = Engine()
+
+        def worker():
+            yield engine.timeout(1.0)
+
+        handle = engine.process(worker())
+        engine.run()
+        assert handle.waiting_on is None
+
+    def test_anyof_detaches_from_losing_children(self):
+        engine = Engine()
+        fast = engine.timeout(1.0)
+        slow = engine.timeout(10.0)
+        race = engine.any_of([fast, slow])
+        triggered_values = []
+        race.add_callback(lambda e: triggered_values.append(e.value))
+        engine.run()
+        assert len(triggered_values) == 1
+        # once the race is decided, the loser carries no stale callbacks
+        assert not slow.callbacks
+
+    def test_allof_reports_pending_children(self):
+        engine = Engine()
+        never = engine.event()
+        barrier = engine.all_of([engine.timeout(1.0), never])
+        engine.run()
+        assert not barrier.triggered
+        assert barrier.num_children == 2
+        assert barrier.pending_children == [never]

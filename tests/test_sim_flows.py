@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.hardware import TrafficProfile, dual_node_cluster, single_node_cluster
-from repro.hardware.link import LinkClass
+from repro.hardware import single_node_cluster
 from repro.sim.engine import Engine
 from repro.sim.flows import FlowNetwork
 

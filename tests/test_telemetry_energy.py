@@ -7,7 +7,7 @@ from repro.core.search import model_for_billions
 from repro.errors import ConfigurationError
 from repro.hardware import single_node_cluster
 from repro.parallel import zero2, zero2_cpu_offload
-from repro.telemetry.energy import EnergyReport, PowerModel, estimate_energy
+from repro.telemetry.energy import PowerModel, estimate_energy
 
 
 @pytest.fixture(scope="module")
