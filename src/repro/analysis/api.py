@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Iterable, Optional, Union
 
 from ..errors import ReproError
+from ..faults.plan import FaultPlan
 from ..hardware.cluster import Cluster
 from ..model.config import ModelConfig, TrainingConfig
 from ..parallel.placement import PlacementConfig
@@ -25,6 +26,7 @@ from .context import AnalysisContext
 from .findings import Finding, Report, Severity
 from .registry import iter_passes
 from . import config_lints as _config_lints    # noqa: F401  (registers passes)
+from . import fault_lints as _fault_lints      # noqa: F401  (registers passes)
 from . import topology_lints as _topology_lints  # noqa: F401  (registers passes)
 from .source_lints import PASS_NAME as _SOURCE_PASS, lint_source_tree
 
@@ -63,8 +65,9 @@ def analyze_run_config(cluster: Cluster,
                        placement: Optional[PlacementConfig] = None,
                        tensor_parallel: Optional[int] = None,
                        pipeline_parallel: Optional[int] = None,
+                       fault_plan: Optional[FaultPlan] = None,
                        cheap_only: bool = False) -> Report:
-    """Statically analyze one run configuration (config + topology passes).
+    """Statically analyze one run configuration (config/topology/faults).
 
     ``cheap_only=True`` restricts to the passes safe on every run — the
     set :func:`repro.core.runner.run_training` applies automatically.  The
@@ -75,9 +78,10 @@ def analyze_run_config(cluster: Cluster,
     ctx = AnalysisContext(
         cluster=cluster, strategy=strategy, model=model, training=training,
         placement=placement, tensor_parallel=tensor_parallel,
-        pipeline_parallel=pipeline_parallel,
+        pipeline_parallel=pipeline_parallel, fault_plan=fault_plan,
     )
-    return run_passes(ctx, ("config", "topology"), cheap_only=cheap_only)
+    return run_passes(ctx, ("config", "topology", "faults"),
+                      cheap_only=cheap_only)
 
 
 def analyze_source(root: Union[str, Path, None] = None) -> Report:

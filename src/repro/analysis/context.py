@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..faults.plan import FaultPlan
 from ..hardware.cluster import Cluster
 from ..model.config import ModelConfig, TrainingConfig
 from ..parallel.placement import PlacementConfig
@@ -19,6 +20,8 @@ class AnalysisContext:
     ``tensor_parallel``/``pipeline_parallel`` are *requested* degrees (CLI
     overrides): they let the divisibility lints vet a degree the shipped
     strategies would never derive themselves, e.g. TP=3 on 8 GPUs.
+    ``fault_plan`` is the fault-injection schedule, when the run has one;
+    the ``faults`` family of passes vets it against the cluster.
     """
 
     cluster: Cluster
@@ -28,6 +31,7 @@ class AnalysisContext:
     placement: Optional[PlacementConfig] = None
     tensor_parallel: Optional[int] = None
     pipeline_parallel: Optional[int] = None
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.training is None:

@@ -1,0 +1,66 @@
+"""Fault-plan lints: vet an injection schedule before the DES starts.
+
+A fault plan is user input (CLI spec strings or experiment code); a typo
+in a target name would otherwise surface as a mid-run exception, and an
+event scheduled past the simulated horizon would silently never fire.
+These passes catch both statically.
+
+Codes: ``FLT00x`` target resolution, ``FLT01x`` scheduling/horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import FaultPlanError
+from ..faults.events import FaultKind
+from ..faults.injector import resolve_target
+from .context import AnalysisContext
+from .findings import Finding, Severity
+from .registry import register_pass
+
+
+@register_pass(
+    "fault-plan", family="faults",
+    description="fault targets resolve on the cluster; events fit the horizon",
+)
+def fault_plan_lint(ctx: AnalysisContext) -> Iterator[Finding]:
+    plan = ctx.fault_plan
+    if plan is None or not plan.events:
+        return
+    for index, event in enumerate(plan.events):
+        try:
+            resolve_target(ctx.cluster, event)
+        except FaultPlanError as error:
+            yield Finding(
+                "fault-plan", Severity.ERROR, "FLT001",
+                f"event #{index}: {error}", subject=event.target,
+            )
+        if plan.horizon is not None and event.end > plan.horizon:
+            yield Finding(
+                "fault-plan", Severity.ERROR, "FLT011",
+                f"event #{index} ({event.kind} on {event.target!r}) ends "
+                f"at {event.end:.6g} s, past the plan horizon "
+                f"{plan.horizon:.6g} s — it would outlive the simulated "
+                f"window", subject=event.target,
+            )
+        if event.is_noop:
+            yield Finding(
+                "fault-plan", Severity.WARNING, "FLT012",
+                f"event #{index} ({event.kind} on {event.target!r}) has "
+                f"zero magnitude and will be skipped entirely",
+                subject=event.target,
+            )
+    span = plan.span
+    down_windows = [
+        event for event in plan.events
+        if event.kind is FaultKind.LINK_DOWN and event.duration > 0.2 * span
+    ]
+    for event in down_windows:
+        yield Finding(
+            "fault-plan", Severity.WARNING, "FLT013",
+            f"{event.target!r} is down for {event.duration:.6g} s "
+            f"({event.duration / span:.0%} of the plan span); collectives "
+            f"crossing it may exhaust their retry budget and abort "
+            f"(TransportTimeoutError)", subject=event.target,
+        )

@@ -6,6 +6,8 @@ Finding`s, tagged with a family and a cost class:
 
 * family ``config`` — validates a Strategy x Cluster pairing;
 * family ``topology`` — validates the hardware graph on its own;
+* family ``faults`` — validates a fault-injection plan against the
+  cluster (targets exist, kinds match, events inside the horizon);
 * family ``source`` — AST lints over the codebase itself.
 
 ``cheap`` passes are safe to run on *every* simulation (the
@@ -39,7 +41,7 @@ from .findings import Finding
 
 PassFn = Callable[[AnalysisContext], Iterable[Finding]]
 
-FAMILIES = ("config", "topology", "source")
+FAMILIES = ("config", "topology", "faults", "source")
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands mirror the paper's workflow::
+Seven subcommands mirror the paper's workflow::
 
     repro run      --strategy zero2 --size 1.4 --nodes 1     # one training run
     repro search   --strategy zero3 --nodes 2                # max model size
@@ -8,6 +8,9 @@ Six subcommands mirror the paper's workflow::
     repro topology --nodes 2 --placement G                   # Fig. 2 wiring
     repro experiment fig7 [--full]                           # any table/figure
     repro analyze  --strategy zero3_nvme --size 20           # pre-run lints
+    repro faults   --strategy zero3 \
+                   --fault "node0.nic0:down@t=2ms,dur=1ms" --seed 7
+                                                  # degraded-fabric run
 
 Installed as the ``repro`` console script; also runnable via
 ``python -m repro.cli``.
@@ -26,6 +29,8 @@ from .core.search import max_model_size, model_for_billions
 from .errors import ReproError
 from .experiments import EXPERIMENTS, run_experiment
 from .experiments.common import ALL_STRATEGIES, make_strategy
+from .faults import FaultPlan, degradation_report
+from .telemetry.bandwidth import BandwidthMonitor
 from .hardware import Cluster, ClusterSpec, dual_node_cluster, single_node_cluster
 from .hardware.render import render_cluster
 from .parallel.placement import PLACEMENTS
@@ -161,6 +166,50 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    plan = FaultPlan.parse(args.fault, seed=args.seed, horizon=args.horizon)
+    model = model_for_billions(args.size)
+    placement = PLACEMENTS[args.placement]
+
+    baseline_cluster = _cluster_for(args)
+    baseline = run_training(baseline_cluster, make_strategy(args.strategy),
+                            model, iterations=args.iterations,
+                            placement=placement)
+    faulted_cluster = _cluster_for(args)
+    faulted = run_training(faulted_cluster, make_strategy(args.strategy),
+                           model, iterations=args.iterations,
+                           placement=placement, fault_plan=plan)
+    report = degradation_report(
+        baseline, faulted, plan,
+        monitor=BandwidthMonitor(faulted_cluster),
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_table(
+            ["metric", "baseline", "faulted"],
+            [["iteration (s)", report["baseline"]["iteration_time_s"],
+              report["faulted"]["iteration_time_s"]],
+             ["TFLOP/s", report["baseline"]["tflops_per_gpu"],
+              report["faulted"]["tflops_per_gpu"]],
+             ["total time (s)", report["baseline"]["total_time_s"],
+              report["faulted"]["total_time_s"]]],
+            title=f"degraded-fabric run: {args.strategy} (seed {plan.seed})",
+        ))
+        print()
+        print(f"slowdown: {report['slowdown']:.4g}x   "
+              f"throughput retained: {report['throughput_retained']:.1%}")
+        for event in plan.events:
+            print(f"  fault: {event.kind} on {event.target} "
+                  f"@ {event.start:.6g}s for {event.duration:.6g}s "
+                  f"(magnitude {event.magnitude:g})")
+        windows = report.get("degraded_windows", {})
+        for cls, spans in sorted(windows.items()):
+            joined = ", ".join(f"[{s:.4g}, {e:.4g}]" for s, e in spans)
+            print(f"  degraded {cls}: {joined}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     result = run_experiment(args.id, quick=not args.full)
     print(result.rendered)
@@ -214,6 +263,30 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--full", action="store_true")
     experiment.add_argument("--json", action="store_true")
     experiment.set_defaults(func=_cmd_experiment)
+
+    faults = sub.add_parser(
+        "faults", help="simulate a run on a degraded fabric and report "
+                       "the graceful-degradation curve")
+    faults.add_argument("--strategy", choices=sorted(ALL_STRATEGIES),
+                        default="zero3")
+    faults.add_argument("--fault", action="append", required=True,
+                        metavar="SPEC",
+                        help="fault spec 'target:kind@t=2ms,dur=1ms"
+                             "[,mag=0.5][,period=5ms]'; repeatable; kinds: "
+                             "down, degrade, flap, straggler, nvme_slow")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="seed for flap-jitter reproducibility")
+    faults.add_argument("--horizon", type=float, default=None,
+                        help="optional simulated-time bound the lint "
+                             "checks fault windows against (seconds)")
+    faults.add_argument("--size", type=float, default=1.4,
+                        help="model size in billions of parameters")
+    faults.add_argument("--nodes", type=int, default=2, choices=(1, 2))
+    faults.add_argument("--iterations", type=int, default=4)
+    faults.add_argument("--placement", choices=sorted(PLACEMENTS),
+                        default="B")
+    faults.add_argument("--json", action="store_true")
+    faults.set_defaults(func=_cmd_faults)
 
     analyze = sub.add_parser(
         "analyze", help="static pre-run analysis of one configuration")

@@ -27,9 +27,9 @@ running the DES, for analytic planning and tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, TransportTimeoutError
 from ..hardware.cluster import Cluster
 from ..hardware.serdes import TrafficProfile
 from ..hardware.topology import Route
@@ -54,6 +54,40 @@ DEFAULT_INTRANODE_LAUNCH_OVERHEAD = 25e-6
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Transport-level retry semantics for transient path outages.
+
+    When a collective is launched while a link on one of its ring routes
+    is fully down (a flapping NIC, an injected outage — see
+    :mod:`repro.faults`), the communicator behaves like NCCL's IB/RoCE
+    transport: it waits ``timeout`` seconds, re-probes, and backs off
+    geometrically by ``backoff`` per failed probe, up to ``max_retries``
+    probes.  Exhausting the budget raises
+    :class:`~repro.errors.TransportTimeoutError` — the simulated analog
+    of a communicator abort killing the training job.
+    """
+
+    timeout: float = 250e-6
+    backoff: float = 2.0
+    max_retries: int = 20
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ConfigurationError("retry timeout must be positive")
+        if self.backoff < 1.0:
+            raise ConfigurationError("retry backoff must be >= 1")
+        if self.max_retries < 1:
+            raise ConfigurationError("max_retries must be >= 1")
+
+    def delays(self) -> List[float]:
+        """The wait before each probe, in order."""
+        return [
+            self.timeout * self.backoff ** attempt
+            for attempt in range(self.max_retries)
+        ]
+
+
+@dataclass(frozen=True)
 class Ring:
     """One NCCL channel: a cyclic rank order and its hop routes."""
 
@@ -69,7 +103,8 @@ class NcclCommunicator:
                  profile: TrafficProfile = TrafficProfile.BURSTY,
                  internode_launch_overhead: float = DEFAULT_INTERNODE_LAUNCH_OVERHEAD,
                  intranode_launch_overhead: float = DEFAULT_INTRANODE_LAUNCH_OVERHEAD,
-                 internode_rate_efficiency: float = 0.55) -> None:
+                 internode_rate_efficiency: float = 0.55,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         if not ranks:
             raise ConfigurationError("communicator needs at least one rank")
         if len(set(ranks)) != len(ranks):
@@ -85,6 +120,7 @@ class NcclCommunicator:
                 "internode_rate_efficiency must be in (0, 1]"
             )
         self.internode_rate_efficiency = internode_rate_efficiency
+        self.retry_policy = retry_policy or RetryPolicy()
         self.ranks = self._node_aware_order(cluster, list(ranks))
         self.rings = self._build_rings()
 
@@ -200,12 +236,48 @@ class NcclCommunicator:
             raise ConfigurationError("launch_count must be >= 1")
         if self.size == 1 or op.payload_bytes <= 0:
             return self.engine.timeout(0.0)
+        if self._down_links():
+            # A link on the collective's path is dark: enter the
+            # transport's probe/backoff loop before launching any flows.
+            return self.engine.process(
+                self._retry_until_path_up(op, launch_count, algorithm),
+                name=f"nccl-retry/{op.kind}",
+            )
+        return self._dispatch(op, launch_count, algorithm)
+
+    def _dispatch(self, op: CollectiveOp, launch_count: int,
+                  algorithm: Algorithm) -> BaseEvent:
         chosen = choose_algorithm(
             algorithm, op.kind, op.payload_bytes / launch_count
         )
         if chosen is Algorithm.TREE:
             return self._run_tree(op, launch_count)
         return self._run_ring(op, launch_count)
+
+    def _down_links(self) -> List[str]:
+        """Names of fully-down links on any of this communicator's rings."""
+        seen: List[str] = []
+        for ring in self.rings:
+            for route in ring.routes:
+                for link in route.links:
+                    if link.is_down and link.name not in seen:
+                        seen.append(link.name)
+        return seen
+
+    def _retry_until_path_up(self, op: CollectiveOp, launch_count: int,
+                             algorithm: Algorithm):
+        """Probe/backoff process wrapping a collective behind an outage."""
+        for delay in self.retry_policy.delays():
+            yield self.engine.timeout(delay)
+            if not self._down_links():
+                result = yield self._dispatch(op, launch_count, algorithm)
+                return result
+        down = ", ".join(self._down_links())
+        raise TransportTimeoutError(
+            f"collective {op.kind} aborted after "
+            f"{self.retry_policy.max_retries} retries; links still down: "
+            f"{down or '(recovered too late)'}"
+        )
 
     def _run_ring(self, op: CollectiveOp, launch_count: int) -> BaseEvent:
         per_ring_payload = op.payload_bytes / len(self.rings)

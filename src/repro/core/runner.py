@@ -15,7 +15,9 @@ from typing import Dict, Optional, Tuple
 
 from .. import calibration
 from ..analysis.api import analyze_run_config
+from ..collectives.nccl import RetryPolicy
 from ..errors import ConfigurationError, OutOfMemoryError
+from ..faults.plan import FaultPlan
 from ..hardware.cluster import Cluster
 from ..hardware.link import LinkClass
 from ..hardware.nvme import Raid0Volume
@@ -106,12 +108,18 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
                  warmup_iterations: int = 1,
                  placement: Optional[PlacementConfig] = None,
                  swap_volumes: Optional[Dict[int, Raid0Volume]] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
                  preflight: bool = True) -> RunMetrics:
     """Simulate ``iterations`` optimizer steps and measure everything.
 
     The first ``warmup_iterations`` are excluded from throughput and
     bandwidth statistics, mirroring the paper's methodology of collecting
     from the fifth of ten iterations onward (Section III-B1).
+
+    ``fault_plan`` injects deterministic hardware faults into the run
+    (see :mod:`repro.faults`); ``retry_policy`` tunes how collectives
+    ride out transient link outages.
 
     Unless ``preflight=False``, the cheap static-analysis passes run
     first and any error-severity finding aborts the run before the DES
@@ -129,7 +137,7 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
     if preflight:
         analyze_run_config(
             cluster, strategy, model, training=training,
-            placement=placement, cheap_only=True,
+            placement=placement, fault_plan=fault_plan, cheap_only=True,
         ).raise_on_error("pre-run static analysis failed")
     cluster.reset()
     ctx = StrategyContext(cluster, model, training)
@@ -146,6 +154,8 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
         traffic_profile=strategy.traffic_profile,
         swap_volumes=swap_volumes,
         internode_rate_efficiency=strategy.calibration.internode_efficiency,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
     )
     result = executor.run(iterations)
 

@@ -119,20 +119,25 @@ def _check_ledgers(cluster: Cluster, metrics: RunMetrics,
                 bad_records += 1
     report.record("ledger_records_in_window", bad_records == 0,
                   f"{bad_records} out-of-window records")
-    # No record may imply a rate above what its link can physically carry
-    # in one direction (small tolerance for rounding in flow splits).
+    # No record may imply a rate above what its link could physically
+    # carry in one direction *at the time* (small tolerance for rounding
+    # in flow splits).  Capacity is time-varying under fault injection:
+    # the bound is the highest capacity in effect anywhere in the
+    # record's interval, which is exact because the injector settles the
+    # network at every capacity change point.
     over_rate = []
     for link in cluster.topology.links:
-        capacity = link.capacity_per_direction
         for record in link.ledger:
             duration = record.end - record.start
             if duration <= 1e-9:
                 continue
+            capacity = link.max_capacity_over(record.start, record.end)
             rate = record.num_bytes / duration
             if rate > capacity * _RATE_TOLERANCE:
                 over_rate.append(
                     f"{link.name}: {rate / GB:.1f} GB/s vs "
-                    f"{capacity / GB:.1f} GB/s"
+                    f"{capacity / GB:.1f} GB/s in "
+                    f"[{record.start:.4f}, {record.end:.4f}]"
                 )
     report.record(
         "ledger_within_link_capacity", not over_rate,

@@ -40,3 +40,17 @@ class CapabilityError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class FaultPlanError(ConfigurationError):
+    """A fault-injection plan is malformed or references unknown hardware."""
+
+
+class TransportTimeoutError(ReproError):
+    """A collective exhausted its retry budget while its path was dark.
+
+    Raised by the NCCL layer's outage handling (see
+    :class:`repro.collectives.nccl.RetryPolicy`): the simulated analog of
+    a NCCL communicator abort after ``NCCL_IB_RETRY_CNT``-style retries,
+    which in a real fleet kills the training job.
+    """

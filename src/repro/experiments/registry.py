@@ -18,6 +18,7 @@ from . import (
     ablation_serdes,
     ext_batch,
     ext_energy,
+    ext_faults,
     ext_gpu80,
     ext_hybrid,
     ext_pipeline,
@@ -66,6 +67,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "ext_hybrid": ext_hybrid.run,
     "ext_energy": ext_energy.run,
     "ext_scaling": ext_scaling.run,
+    "ext_faults": ext_faults.run,
     "ext_pipeline": ext_pipeline.run,
     "ablation_overlap": ablation_overlap.run,
     "ablation_nvme": ablation_nvme.run,

@@ -1,0 +1,129 @@
+"""Fault-event taxonomy for degraded-fabric simulation.
+
+A :class:`FaultEvent` is one deterministic excursion from healthy
+hardware, aimed at a named device or link of the cluster topology:
+
+* ``LINK_DEGRADE`` — the target's links lose ``magnitude`` of their
+  capacity for the duration (a throttled NVLink, a renegotiated PCIe
+  width, an oversubscribed switch port);
+* ``LINK_DOWN`` — the target's links carry nothing for the duration
+  (a dark NIC, a pulled cable).  Collectives crossing the outage enter
+  the transport retry loop (:class:`repro.collectives.nccl.RetryPolicy`);
+  in-flight flows stall and resume on restore;
+* ``LINK_FLAP`` — the target oscillates between down and healthy with
+  ``period``-long cycles over the window, with seed-reproducible jitter
+  on each cycle onset (a flapping transceiver);
+* ``GPU_STRAGGLER`` — the target GPU's compute kernels run
+  ``1 + magnitude`` times slower (thermal throttling, a sick HBM stack);
+* ``NVME_SLOWDOWN`` — the target drive's NAND media throughput drops to
+  ``1 / (1 + magnitude)`` of rated (FTL backpressure, thermal limits).
+
+Events are plain data; :class:`repro.faults.plan.FaultPlan` schedules
+them and :class:`repro.faults.injector.FaultInjector` applies them to a
+live simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import FaultPlanError
+
+
+class FaultKind(enum.Enum):
+    """What kind of degradation a fault event injects."""
+
+    LINK_DEGRADE = "degrade"
+    LINK_DOWN = "down"
+    LINK_FLAP = "flap"
+    GPU_STRAGGLER = "straggler"
+    NVME_SLOWDOWN = "nvme_slow"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Kinds whose target must resolve to topology links.
+LINK_KINDS = frozenset({
+    FaultKind.LINK_DEGRADE, FaultKind.LINK_DOWN, FaultKind.LINK_FLAP,
+})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: target, kind, window, and severity.
+
+    ``magnitude`` semantics depend on ``kind``:
+
+    * link kinds — fraction of capacity *lost* in ``[0, 1]`` (``LINK_DOWN``
+      pins it to 1);
+    * ``GPU_STRAGGLER`` / ``NVME_SLOWDOWN`` — extra slowdown ``>= 0``;
+      the applied factor is ``1 + magnitude``.
+
+    A zero-magnitude event is, by construction, a no-op: the injector
+    skips it entirely so fault-free and zero-magnitude runs are
+    bit-identical.
+    """
+
+    target: str
+    kind: FaultKind
+    start: float
+    duration: float
+    magnitude: float = 1.0
+    period: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise FaultPlanError("fault event needs a target device or link")
+        if self.start < 0:
+            raise FaultPlanError(
+                f"fault start must be non-negative, got {self.start}"
+            )
+        if self.duration <= 0:
+            raise FaultPlanError(
+                f"fault duration must be positive, got {self.duration}"
+            )
+        if self.kind in LINK_KINDS:
+            if not 0.0 <= self.magnitude <= 1.0:
+                raise FaultPlanError(
+                    f"{self.kind} magnitude must be in [0, 1], "
+                    f"got {self.magnitude}"
+                )
+        elif self.magnitude < 0.0:
+            raise FaultPlanError(
+                f"{self.kind} magnitude must be >= 0, got {self.magnitude}"
+            )
+        if self.kind is FaultKind.LINK_FLAP:
+            if self.period <= 0:
+                raise FaultPlanError("a flap fault needs period > 0")
+            if self.period > self.duration:
+                raise FaultPlanError(
+                    f"flap period {self.period} exceeds the fault window "
+                    f"{self.duration}"
+                )
+        elif self.period:
+            raise FaultPlanError(
+                f"period is only meaningful for flap faults, not {self.kind}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def is_noop(self) -> bool:
+        """True when applying the event would change nothing."""
+        return self.magnitude == 0.0 and self.kind is not FaultKind.LINK_DOWN
+
+    def to_dict(self) -> dict:
+        payload = {
+            "target": self.target,
+            "kind": str(self.kind),
+            "start": self.start,
+            "duration": self.duration,
+            "magnitude": self.magnitude,
+        }
+        if self.period:
+            payload["period"] = self.period
+        return payload

@@ -1,0 +1,196 @@
+"""Declarative fault schedules and their compact spec-string syntax.
+
+A :class:`FaultPlan` is an ordered set of :class:`FaultEvent`s plus the
+seed that makes stochastic expansions (flap jitter) reproducible.  Plans
+come from three places:
+
+* programmatic construction (experiments build event lists directly);
+* :meth:`FaultPlan.parse` over CLI spec strings::
+
+      node0.nic0:down@t=2ms,dur=1ms
+      node0/xgmi:degrade@t=0,dur=1s,mag=0.5
+      switch0:flap@t=10ms,dur=200ms,period=40ms
+      node1.gpu2:straggler@t=0,dur=5s,mag=0.3
+      node0.nvme1:nvme_slow@t=0,dur=2s,mag=4
+
+  (``.`` and ``/`` are interchangeable in targets; times accept ``s``,
+  ``ms``, ``us``, ``ns`` suffixes and default to seconds);
+* :meth:`FaultPlan.materialize`, which expands flap events into their
+  seed-jittered down windows — the form the injector consumes.
+
+``horizon`` optionally bounds the simulated window the plan is meant
+for; the ``fault-plan`` analysis pass flags events outside it.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import FaultPlanError
+from .events import FaultEvent, FaultKind
+
+#: Spec-string kind aliases (left: accepted; right: canonical kind).
+_KIND_ALIASES: Dict[str, FaultKind] = {
+    "down": FaultKind.LINK_DOWN,
+    "degrade": FaultKind.LINK_DEGRADE,
+    "flap": FaultKind.LINK_FLAP,
+    "straggler": FaultKind.GPU_STRAGGLER,
+    "slow": FaultKind.GPU_STRAGGLER,
+    "nvme_slow": FaultKind.NVME_SLOWDOWN,
+    "nvme": FaultKind.NVME_SLOWDOWN,
+}
+
+_TIME_UNITS = {"s": 1.0, "ms": 1e-3, "us": 1e-6, "ns": 1e-9}
+
+_TIME_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)\s*([a-z]*)\s*$")
+
+#: Flap cycles jitter their onset by up to this fraction of the period.
+FLAP_JITTER_FRACTION = 0.2
+#: Fraction of each flap cycle spent dark (the rest is recovery).
+FLAP_DUTY_FRACTION = 0.5
+
+
+def parse_time(text: str) -> float:
+    """Parse ``2ms`` / ``1.5s`` / ``300us`` / ``0.25`` (seconds)."""
+    match = _TIME_RE.match(text)
+    if not match:
+        raise FaultPlanError(f"cannot parse time {text!r}")
+    value, unit = match.groups()
+    if unit and unit not in _TIME_UNITS:
+        raise FaultPlanError(
+            f"unknown time unit {unit!r} in {text!r} "
+            f"(expected one of {sorted(_TIME_UNITS)})"
+        )
+    return float(value) * _TIME_UNITS.get(unit, 1.0)
+
+
+def canonical_target(target: str) -> str:
+    """Normalize a spec target: ``node0.nic0`` -> ``node0/nic0``."""
+    return target.strip().replace(".", "/")
+
+
+def parse_fault_spec(spec: str) -> FaultEvent:
+    """Parse one ``target:kind@key=value,...`` spec string."""
+    head, sep, tail = spec.partition("@")
+    if not sep:
+        raise FaultPlanError(
+            f"fault spec {spec!r} is missing '@t=...,dur=...'"
+        )
+    target, sep, kind_text = head.rpartition(":")
+    if not sep:
+        raise FaultPlanError(
+            f"fault spec {spec!r} is missing ':<kind>' "
+            f"(one of {sorted(_KIND_ALIASES)})"
+        )
+    kind = _KIND_ALIASES.get(kind_text.strip().lower())
+    if kind is None:
+        raise FaultPlanError(
+            f"unknown fault kind {kind_text!r} in {spec!r} "
+            f"(expected one of {sorted(_KIND_ALIASES)})"
+        )
+    fields: Dict[str, str] = {}
+    for part in tail.split(","):
+        key, sep, value = part.partition("=")
+        if not sep or not value.strip():
+            raise FaultPlanError(
+                f"malformed field {part!r} in fault spec {spec!r}"
+            )
+        fields[key.strip().lower()] = value.strip()
+    unknown = set(fields) - {"t", "dur", "mag", "period"}
+    if unknown:
+        raise FaultPlanError(
+            f"unknown fields {sorted(unknown)} in fault spec {spec!r}"
+        )
+    for required in ("t", "dur"):
+        if required not in fields:
+            raise FaultPlanError(
+                f"fault spec {spec!r} is missing '{required}='"
+            )
+    try:
+        magnitude = float(fields["mag"]) if "mag" in fields else 1.0
+    except ValueError:
+        raise FaultPlanError(
+            f"cannot parse magnitude {fields['mag']!r} in {spec!r}"
+        ) from None
+    return FaultEvent(
+        target=canonical_target(target),
+        kind=kind,
+        start=parse_time(fields["t"]),
+        duration=parse_time(fields["dur"]),
+        magnitude=magnitude,
+        period=parse_time(fields["period"]) if "period" in fields else 0.0,
+    )
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic, seed-reproducible schedule of fault events."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+    seed: int = 0
+    horizon: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.horizon is not None and self.horizon <= 0:
+            raise FaultPlanError("plan horizon must be positive when set")
+
+    @classmethod
+    def parse(cls, specs: Sequence[str], *, seed: int = 0,
+              horizon: Optional[float] = None) -> "FaultPlan":
+        """Build a plan from CLI-style spec strings."""
+        return cls(events=[parse_fault_spec(s) for s in specs], seed=seed,
+                   horizon=horizon)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def span(self) -> float:
+        """Latest event end time (0 for an empty plan)."""
+        return max((event.end for event in self.events), default=0.0)
+
+    def materialize(self) -> List[FaultEvent]:
+        """Expand the plan into directly-applicable events.
+
+        Flap events become one degraded window per cycle, each onset
+        jittered by up to ``FLAP_JITTER_FRACTION`` of the period using
+        an RNG derived from ``seed`` and the event's position — the same
+        seed always yields the same expansion.  No-op (zero-magnitude)
+        events are dropped so they cannot perturb the simulation even at
+        floating-point level.
+        """
+        expanded: List[FaultEvent] = []
+        for index, event in enumerate(self.events):
+            if event.is_noop:
+                continue
+            if event.kind is not FaultKind.LINK_FLAP:
+                expanded.append(event)
+                continue
+            rng = random.Random(self.seed * 1_000_003 + index)
+            kind = (FaultKind.LINK_DOWN if event.magnitude >= 1.0
+                    else FaultKind.LINK_DEGRADE)
+            cycle_start = event.start
+            while cycle_start < event.end - 1e-15:
+                cycle_end = min(cycle_start + event.period, event.end)
+                jitter = rng.uniform(0.0, FLAP_JITTER_FRACTION) * event.period
+                onset = min(cycle_start + jitter, cycle_end)
+                dark = min(event.period * FLAP_DUTY_FRACTION,
+                           cycle_end - onset)
+                if dark > 0:
+                    expanded.append(FaultEvent(
+                        target=event.target, kind=kind, start=onset,
+                        duration=dark, magnitude=event.magnitude,
+                    ))
+                cycle_start += event.period
+        expanded.sort(key=lambda e: (e.start, e.end, e.target, e.kind.value))
+        return expanded
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "events": [event.to_dict() for event in self.events],
+        }

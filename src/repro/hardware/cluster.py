@@ -108,11 +108,15 @@ class Cluster:
         return sum(n.total_host_memory() for n in self.nodes)
 
     def reset(self) -> None:
-        """Clear every ledger, memory pool, and NVMe cache for a fresh run."""
+        """Clear every ledger, memory pool, NVMe cache, and injected fault
+        state (link degradations, drive slowdowns) for a fresh run."""
         self.topology.reset_ledgers()
+        for link in self.topology.links:
+            link.reset_capacity()
         for device in self.topology.devices:
             if device.memory is not None:
                 device.memory.reset()
         for node in self.nodes:
             for drive in node.nvme_drives:
                 drive.reset_cache()
+                drive.clear_slowdown()

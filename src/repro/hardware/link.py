@@ -13,8 +13,8 @@ reports (Table IV) and the time-series plots (Figs. 9, 10, 12).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Tuple
 
 from ..errors import ConfigurationError
 from ..units import GB
@@ -95,11 +95,17 @@ class LinkSpec:
 
 @dataclass
 class TransferRecord:
-    """One completed transfer interval over a link (one direction)."""
+    """One completed transfer interval over a link (one direction).
+
+    ``degraded`` marks intervals settled while the link's capacity was
+    reduced by an injected fault (see :mod:`repro.faults`), so bandwidth
+    timelines can show the fault window.
+    """
 
     start: float
     end: float
     num_bytes: float
+    degraded: bool = field(default=False, compare=False)
 
     @property
     def duration(self) -> float:
@@ -125,7 +131,8 @@ class BandwidthLedger:
     def __init__(self) -> None:
         self._records: List[TransferRecord] = []
 
-    def record(self, start: float, end: float, num_bytes: float) -> None:
+    def record(self, start: float, end: float, num_bytes: float, *,
+               degraded: bool = False) -> None:
         """Record a transfer of ``num_bytes`` between ``start`` and ``end``."""
         if end < start:
             raise ConfigurationError(
@@ -135,7 +142,9 @@ class BandwidthLedger:
             raise ConfigurationError("cannot record a negative byte count")
         if num_bytes == 0:
             return
-        self._records.append(TransferRecord(start, end, num_bytes))
+        self._records.append(
+            TransferRecord(start, end, num_bytes, degraded=degraded)
+        )
 
     def __len__(self) -> int:
         return len(self._records)
@@ -149,6 +158,12 @@ class BandwidthLedger:
 
     def clear(self) -> None:
         self._records.clear()
+
+    def degraded_intervals(self) -> List[Tuple[float, float]]:
+        """Merged ``(start, end)`` windows covered by degraded records."""
+        return merge_intervals(
+            (r.start, r.end) for r in self._records if r.degraded
+        )
 
     def utilization_at(self, instant: float) -> float:
         """Instantaneous bytes/s at ``instant`` (sum of covering intervals)."""
@@ -191,6 +206,17 @@ class BandwidthLedger:
         return [b / width for b in bins]
 
 
+def merge_intervals(intervals) -> List[Tuple[float, float]]:
+    """Coalesce overlapping/touching ``(start, end)`` intervals, sorted."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
 class Link:
     """One physical link instance between two devices.
 
@@ -218,6 +244,12 @@ class Link:
         self.endpoint_b = endpoint_b
         self.count = count
         self.ledger = BandwidthLedger()
+        #: current usable fraction of the rated capacity (faults lower it)
+        self._capacity_fraction = 1.0
+        #: piecewise-constant history of (time, fraction) change points,
+        #: so post-run validation can reconstruct the capacity in effect
+        #: at any instant of the simulation.
+        self._capacity_history: List[Tuple[float, float]] = [(0.0, 1.0)]
 
     # -- capacity ----------------------------------------------------------
     @property
@@ -225,9 +257,93 @@ class Link:
         return self.spec.link_class
 
     @property
-    def capacity_per_direction(self) -> float:
-        """Aggregate attainable bytes/s in each direction."""
+    def base_capacity_per_direction(self) -> float:
+        """Rated aggregate attainable bytes/s per direction (fault-free)."""
         return self.spec.attainable_per_direction * self.count
+
+    @property
+    def capacity_per_direction(self) -> float:
+        """Aggregate attainable bytes/s in each direction, right now."""
+        return self.base_capacity_per_direction * self._capacity_fraction
+
+    @property
+    def capacity_fraction(self) -> float:
+        return self._capacity_fraction
+
+    @property
+    def is_degraded(self) -> bool:
+        """True while an injected fault is holding capacity below rated."""
+        return self._capacity_fraction < 1.0
+
+    @property
+    def is_down(self) -> bool:
+        """True while the link carries no traffic at all (hard outage)."""
+        return self._capacity_fraction <= 0.0
+
+    def set_capacity_fraction(self, fraction: float, at_time: float = 0.0) -> None:
+        """Degrade (or restore) the link to ``fraction`` of rated capacity.
+
+        ``at_time`` stamps the change point into the capacity history;
+        callers must apply changes in non-decreasing time order.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(
+                f"capacity fraction must be in [0, 1], got {fraction}"
+            )
+        last_time, last_fraction = self._capacity_history[-1]
+        if at_time < last_time:
+            raise ConfigurationError(
+                f"capacity change at t={at_time} precedes the last change "
+                f"at t={last_time}"
+            )
+        self._capacity_fraction = fraction
+        if at_time > last_time:
+            if fraction != last_fraction:
+                self._capacity_history.append((at_time, fraction))
+        else:
+            # Same instant as the last change point: overwrite it, so
+            # stacked faults applied in one callback leave one entry.
+            self._capacity_history[-1] = (last_time, fraction)
+
+    def reset_capacity(self) -> None:
+        """Restore rated capacity and forget the degradation history."""
+        self._capacity_fraction = 1.0
+        self._capacity_history = [(0.0, 1.0)]
+
+    def capacity_fraction_at(self, instant: float) -> float:
+        """The capacity fraction in effect at ``instant``."""
+        fraction = self._capacity_history[0][1]
+        for time, value in self._capacity_history:
+            if time > instant:
+                break
+            fraction = value
+        return fraction
+
+    def max_capacity_over(self, start: float, end: float) -> float:
+        """Highest per-direction capacity in effect anywhere in [start, end).
+
+        This is the tightest *sound* bound for a ledger record spanning the
+        interval: a record overlapping both healthy and degraded regimes may
+        legitimately average up to the healthy rate for part of its span.
+        """
+        if end < start:
+            raise ConfigurationError(
+                f"capacity window is reversed: start={start} end={end}"
+            )
+        if not end > start:
+            # Degenerate [t, t) window: the fraction in effect at t.
+            return (self.base_capacity_per_direction
+                    * self.capacity_fraction_at(start))
+        history = self._capacity_history
+        best = 0.0
+        for index, (time, fraction) in enumerate(history):
+            segment_end = (
+                history[index + 1][0] if index + 1 < len(history)
+                else float("inf")
+            )
+            if time < end and segment_end > start:
+                best = max(best, fraction)
+        return self.base_capacity_per_direction * best
 
     @property
     def capacity_bidirectional(self) -> float:

@@ -69,6 +69,7 @@ class NvmeDrive:
             memory=MemoryPool(spec.capacity_bytes, owner=name),
         )
         self._cache_fill_bytes = 0.0
+        self._slowdown = 1.0
 
     @property
     def memory(self) -> MemoryPool:
@@ -77,6 +78,34 @@ class NvmeDrive:
 
     def reset_cache(self) -> None:
         self._cache_fill_bytes = 0.0
+
+    # -- fault injection ----------------------------------------------------
+    @property
+    def slowdown(self) -> float:
+        """Current media-bandwidth slowdown factor (>= 1; 1 is healthy)."""
+        return self._slowdown
+
+    def set_slowdown(self, factor: float) -> None:
+        """Throttle the NAND media to ``1/factor`` of rated bandwidth.
+
+        Models firmware backpressure under thermal throttling or a
+        congested FTL: commands still complete, but sustained throughput
+        collapses (see :mod:`repro.faults`).
+        """
+        if factor < 1.0:
+            raise ConfigurationError("NVMe slowdown factor must be >= 1")
+        self._slowdown = factor
+
+    def clear_slowdown(self) -> None:
+        self._slowdown = 1.0
+
+    @property
+    def effective_nand_read_bandwidth(self) -> float:
+        return self.spec.nand_read_bandwidth / self._slowdown
+
+    @property
+    def effective_nand_write_bandwidth(self) -> float:
+        return self.spec.nand_write_bandwidth / self._slowdown
 
     def drain_cache(self, elapsed: float) -> None:
         """Background FTL flush: the cache drains to NAND between bursts."""
@@ -122,8 +151,8 @@ class NvmeDrive:
         """Steady-state mixed read/write bytes/s (harmonic blend)."""
         if not 0.0 <= read_fraction <= 1.0:
             raise ConfigurationError("read_fraction must be in [0, 1]")
-        r = self.spec.nand_read_bandwidth
-        w = self.spec.nand_write_bandwidth
+        r = self.effective_nand_read_bandwidth
+        w = self.effective_nand_write_bandwidth
         if read_fraction == 0.0:
             return w
         if read_fraction == 1.0:
@@ -180,6 +209,7 @@ class Raid0Volume:
     def reset(self) -> None:
         for d in self.drives:
             d.reset_cache()
+            d.clear_slowdown()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Raid0Volume({self.name!r}, {len(self.drives)} drives)"

@@ -77,9 +77,15 @@ class Route:
         return self.latency() + num_bytes / self.bandwidth(profile)
 
     def record(self, start: float, end: float, num_bytes: float) -> None:
-        """Charge ``num_bytes`` over [start, end] to every link's ledger."""
+        """Charge ``num_bytes`` over [start, end] to every link's ledger.
+
+        Each link's record is stamped with its *current* degradation
+        state; the flow network settles intervals before any capacity
+        change is applied, so the stamp is valid for the whole interval.
+        """
         for link in self.links:
-            link.ledger.record(start, end, num_bytes)
+            link.ledger.record(start, end, num_bytes,
+                               degraded=link.is_degraded)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         hops = " -> ".join(str(link.link_class) for link in self.links)
@@ -143,6 +149,14 @@ class Topology:
 
     def links_of_class(self, link_class: LinkClass) -> List[Link]:
         return [link for link in self._links if link.link_class is link_class]
+
+    def links_of_device(self, name: str) -> List[Link]:
+        """Every link with ``name`` as an endpoint (fault-injection blast
+        radius of a device outage: a dark NIC takes its PCIe and RoCE
+        attachments with it)."""
+        if name not in self._devices:
+            raise TopologyError(f"unknown device {name!r}")
+        return list(self._adjacency.get(name, ()))
 
     def ledgers_by_class(self) -> Dict[LinkClass, List[BandwidthLedger]]:
         out: Dict[LinkClass, List[BandwidthLedger]] = {}

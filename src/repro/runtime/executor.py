@@ -21,10 +21,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.liveness import check_liveness
-from ..collectives.nccl import NcclCommunicator
+from ..collectives.nccl import NcclCommunicator, RetryPolicy
 from ..collectives.primitives import CollectiveOp
 from .. import calibration
 from ..errors import ConfigurationError, SimulationError
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..hardware.cluster import Cluster
 from ..hardware.cpu import CPU_ADAM_BYTES_PER_PARAM, cpu_adam_step_time
 from ..hardware.nvme import Raid0Volume
@@ -43,7 +45,7 @@ from ..parallel.schedule import (
 from ..sim.engine import BaseEvent, Engine
 from ..sim.flows import FlowNetwork
 from ..telemetry.timeline import Lane, Timeline
-from .kernels import KernelKind
+from .kernels import KernelKind, straggler_multiplier
 
 
 @dataclass
@@ -102,7 +104,9 @@ class Executor:
     def __init__(self, cluster: Cluster, schedule: IterationSchedule, *,
                  traffic_profile: TrafficProfile = TrafficProfile.BURSTY,
                  swap_volumes: Optional[Dict[int, Raid0Volume]] = None,
-                 internode_rate_efficiency: float = 0.35) -> None:
+                 internode_rate_efficiency: float = 0.35,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         schedule.validate()
         self.cluster = cluster
         self.schedule = schedule
@@ -111,6 +115,13 @@ class Executor:
         self.engine = Engine()
         self.network = FlowNetwork(self.engine)
         self.timeline = Timeline()
+        self.retry_policy = retry_policy
+        # An empty (or absent) plan registers no hooks and schedules no
+        # events, so a fault-free run is bit-identical with or without it.
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(fault_plan, cluster, self.engine, self.network)
+            if fault_plan is not None else None
+        )
         self._gates: Dict[Tuple[str, int, str], _CollectiveGate] = {}
         self._keyed_events: Dict[Tuple[int, str], BaseEvent] = {}
         self._communicators = self._build_communicators(internode_rate_efficiency)
@@ -126,6 +137,7 @@ class Executor:
                     self.cluster, self.engine, self.network, group,
                     profile=self.traffic_profile,
                     internode_rate_efficiency=internode_rate_efficiency,
+                    retry_policy=self.retry_policy,
                 )
         return comms
 
@@ -134,6 +146,11 @@ class Executor:
         if num_iterations < 1:
             raise ConfigurationError("need at least one iteration")
         iteration_times: List[float] = []
+        # Training ends when the driver does.  engine.run() keeps draining
+        # whatever else is queued (e.g. fault-revert callbacks scheduled
+        # past the last iteration), and that trailing housekeeping must
+        # not stretch total_time and dilute the bandwidth statistics.
+        finished_at: List[float] = [0.0]
 
         def driver():
             for iteration in range(num_iterations):
@@ -147,14 +164,15 @@ class Executor:
                 ]
                 yield self.engine.all_of(processes)
                 iteration_times.append(self.engine.now - started)
+            finished_at[0] = self.engine.now
 
         self.engine.process(driver(), name="driver")
-        total = self.engine.run()
+        self.engine.run()
         check_liveness(self.engine)
         return ExecutionResult(
             iteration_times=iteration_times,
             timeline=self.timeline,
-            total_time=total,
+            total_time=finished_at[0],
         )
 
     # -- per-rank interpretation ------------------------------------------------
@@ -163,7 +181,15 @@ class Executor:
         for step in self.schedule.steps_by_rank[rank]:
             if isinstance(step, ComputeStep):
                 start = self.engine.now
-                yield self.engine.timeout(step.duration)
+                duration = step.duration
+                if self.faults is not None:
+                    # Sampled at kernel launch: a straggler window opening
+                    # mid-kernel stretches the *next* kernel, matching how
+                    # a clock drop only affects instructions not yet run.
+                    duration *= straggler_multiplier(
+                        step.kind, self.faults.compute_multiplier(rank)
+                    )
+                yield self.engine.timeout(duration)
                 self.timeline.record(rank, Lane.COMPUTE, step.kind, step.name,
                                      start, self.engine.now)
             elif isinstance(step, IdleStep):
@@ -285,10 +311,12 @@ class Executor:
         for drive in volume.drives:
             if reading:
                 route = topology.route(drive.device.name, dram)
-                media = drive.spec.nand_read_bandwidth * calibration.AIO_EFFICIENCY
+                media = (drive.effective_nand_read_bandwidth
+                         * calibration.AIO_EFFICIENCY)
             else:
                 route = topology.route(dram, drive.device.name)
-                media = drive.spec.nand_write_bandwidth * calibration.AIO_EFFICIENCY
+                media = (drive.effective_nand_write_bandwidth
+                         * calibration.AIO_EFFICIENCY)
             # The drive's NAND media, not its PCIe x4 link, bounds
             # sustained swap traffic; scale the flow's pool consumption so
             # aggregate throughput stays at media rate no matter how many

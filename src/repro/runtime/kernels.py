@@ -48,6 +48,31 @@ class KernelKind(enum.Enum):
         )
 
 
+#: Kernel kinds a straggler GPU's degraded clocks stretch.  Communication,
+#: host I/O, and idle time are paced by the fabric or by other ranks, not
+#: by this GPU's SMs, so a straggler fault leaves them untouched.
+STRAGGLER_KINDS = frozenset({
+    KernelKind.GEMM,
+    KernelKind.ELEMENTWISE,
+    KernelKind.TRANSFORM,
+    KernelKind.MEMORY,
+    KernelKind.OPTIMIZER,
+})
+
+
+def straggler_multiplier(kind: "KernelKind", factor: float) -> float:
+    """Duration multiplier a straggler fault applies to one kernel.
+
+    ``factor`` is the rank's current compute slowdown (>= 1, where 1 is
+    healthy); only SM-bound kernel kinds are stretched.
+    """
+    if factor < 1.0:
+        raise ConfigurationError(
+            f"straggler slowdown factor must be >= 1, got {factor}"
+        )
+    return factor if kind in STRAGGLER_KINDS else 1.0
+
+
 @dataclass(frozen=True)
 class GpuComputeModel:
     """Turns FLOPs/bytes into kernel durations for one GPU.

@@ -176,9 +176,20 @@ class Engine:
         self._counter = itertools.count()
         self._processed = 0
         self._processes: List["Process"] = []
+        self._start_hooks: List[Callable[["Engine"], None]] = []
 
     def register_process(self, process: "Process") -> None:
         self._processes.append(process)
+
+    def add_start_hook(self, hook: Callable[["Engine"], None]) -> None:
+        """Register a callback invoked once when :meth:`run` first drains.
+
+        This is how external subsystems arm themselves against a run they
+        did not build: the fault injector (:mod:`repro.faults`) uses it to
+        schedule its fault apply/revert callbacks onto the queue at the
+        moment the simulation actually starts, whatever ``now`` is then.
+        """
+        self._start_hooks.append(hook)
 
     @property
     def processes(self) -> Tuple["Process", ...]:
@@ -238,6 +249,10 @@ class Engine:
         Returns the final simulated time.  ``max_events`` guards against
         runaway schedules.
         """
+        if self._start_hooks:
+            hooks, self._start_hooks = self._start_hooks, []
+            for hook in hooks:
+                hook(self)
         budget = max_events
         while self._queue:
             if until is not None and self._queue[0][0] > until:

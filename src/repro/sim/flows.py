@@ -49,24 +49,14 @@ class Flow:
         self.profile = profile
         self.bytes_total = float(num_bytes)
         self.bytes_remaining = float(num_bytes)
-        derate = route.bandwidth(profile)
-        bottleneck = (
-            min(link.capacity_per_direction for link in route.links)
-            if route.links else float("inf")
-        )
-        #: extra pool capacity consumed per delivered byte (>= 1).
-        #: ``weight_multiplier`` models protocol inefficiency (e.g. NCCL's
-        #: proxy path over RoCE): the aggregate attainable rate over a pool
-        #: scales down by the multiplier no matter how many flows pile on.
-        self.weight = (
-            bottleneck / derate * weight_multiplier if route.links else 1.0
-        )
-        #: hard per-flow rate ceiling: the derated route bandwidth, further
-        #: clamped by any caller-supplied cap (e.g. NVMe media bandwidth).
-        self.cap = derate if cap is None else min(derate, cap)
+        self._user_cap = cap
+        self.weight_multiplier = weight_multiplier
+        self.weight = 1.0
+        self.cap = float("inf")
         self.rate = 0.0
         self.completion: Optional[SimEvent] = None
         self.started_at: Optional[float] = None
+        self.refresh_capacity()
 
     #: residues below this are floating-point dust, not real payload
     EPSILON_BYTES = 1e-3
@@ -74,6 +64,41 @@ class Flow:
     @property
     def done(self) -> bool:
         return self.bytes_remaining <= self.EPSILON_BYTES
+
+    def refresh_capacity(self) -> None:
+        """Recompute ``weight`` and ``cap`` from the route's current state.
+
+        Link capacities are time-varying under fault injection, so both
+        values are refreshed on every rate allocation:
+
+        * ``weight`` — extra pool capacity consumed per delivered byte
+          (>= 1).  ``weight_multiplier`` models protocol inefficiency
+          (e.g. NCCL's proxy path over RoCE): the aggregate attainable
+          rate over a pool scales down by the multiplier no matter how
+          many flows pile on.
+        * ``cap`` — hard per-flow rate ceiling: the derated route
+          bandwidth, further clamped by any caller-supplied cap (e.g.
+          NVMe media bandwidth).  A fully-down link on the route pins the
+          cap to zero; the flow stalls until the link is restored.
+        """
+        if not self.route.links:
+            self.weight = 1.0
+            self.cap = (
+                float("inf") if self._user_cap is None else self._user_cap
+            )
+            return
+        derate = self.route.bandwidth(self.profile)
+        if derate <= 0.0:
+            self.weight = self.weight_multiplier
+            self.cap = 0.0
+            return
+        bottleneck = min(
+            link.capacity_per_direction for link in self.route.links
+        )
+        self.weight = bottleneck / derate * self.weight_multiplier
+        self.cap = (
+            derate if self._user_cap is None else min(derate, self._user_cap)
+        )
 
 
 class FlowNetwork:
@@ -124,6 +149,27 @@ class FlowNetwork:
         """
         self._settle()
 
+    def rebalance(self) -> None:
+        """Recompute fair-share rates after an external capacity change.
+
+        The fault injector calls :meth:`settle` *before* degrading or
+        restoring link capacity (so in-flight intervals are accounted at
+        the rates that actually applied) and this afterwards, so every
+        active flow's rate reflects the new capacities from this instant.
+        """
+        self._settle()
+        self._reallocate()
+
+    def _ordered_active(self) -> List[Flow]:
+        """Active flows in creation order.
+
+        ``_active`` is a set of objects whose iteration order follows
+        memory addresses; every float accumulation over the flows must
+        instead use this deterministic order, or repeated runs of the
+        same configuration drift in the last ulp.
+        """
+        return sorted(self._active, key=lambda flow: flow.id)
+
     # -- internals -----------------------------------------------------------------
     def _activate(self, flow: Flow) -> None:
         flow.started_at = self.engine.now
@@ -136,7 +182,7 @@ class FlowNetwork:
         now = self.engine.now
         elapsed = now - self._last_update
         if elapsed > 0:
-            for flow in self._active:
+            for flow in self._ordered_active():
                 moved = min(flow.rate * elapsed, flow.bytes_remaining)
                 if moved > 0:
                     # Absorb floating-point dust: crediting rate x elapsed
@@ -153,7 +199,7 @@ class FlowNetwork:
     def _reallocate(self) -> None:
         """Weighted max-min fair rates, then schedule the next completion."""
         self._generation += 1
-        finished = [flow for flow in self._active if flow.done]
+        finished = [flow for flow in self._ordered_active() if flow.done]
         for flow in finished:
             self._active.discard(flow)
             self.completed_flows += 1
@@ -165,16 +211,20 @@ class FlowNetwork:
         self._schedule_next_completion()
 
     def _compute_rates(self) -> None:
+        ordered = self._ordered_active()
         pools: Dict[PoolKey, float] = {}
         pool_members: Dict[PoolKey, List[Flow]] = {}
-        for flow in self._active:
+        for flow in ordered:
+            # Link capacities may have changed since the last allocation
+            # (fault injection); re-derive the flow's ceiling and weight.
+            flow.refresh_capacity()
             for key in self._pool_keys(flow.route):
                 if key not in pools:
                     link = key[0]
                     pools[key] = link.capacity_per_direction
                 pool_members.setdefault(key, []).append(flow)
-        rates = {flow: 0.0 for flow in self._active}
-        unfrozen = set(self._active)
+        rates = {flow: 0.0 for flow in ordered}
+        unfrozen = set(ordered)
         guard = len(self._active) + len(pools) + 4
         while unfrozen and guard > 0:
             guard -= 1
@@ -221,6 +271,13 @@ class FlowNetwork:
             if flow.rate > 0:
                 soonest = min(soonest, flow.bytes_remaining / flow.rate)
         if soonest == float("inf"):
+            if any(flow.cap <= 0.0 for flow in self._active):
+                # Every runnable flow is stalled behind a fully-down link.
+                # No completion can be scheduled; the fault injector's
+                # restore callback will rebalance and resume them.  If no
+                # restore is pending the engine drains and the liveness
+                # diagnostics name the stalled processes.
+                return
             raise SimulationError(
                 "active flows exist but none has a positive rate"
             )

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..hardware.cluster import Cluster
-from ..hardware.link import Link, LinkClass
+from ..hardware.link import Link, LinkClass, merge_intervals
 from ..units import GB
 
 #: Default counter sampling period; AMD uProf / nvidia-smi class tooling
@@ -114,6 +114,28 @@ class BandwidthMonitor:
         return BandwidthStats.from_samples(
             self.series(link_class, start, end, node_index=node_index)
         )
+
+    def degraded_windows(self, link_class: Optional[LinkClass] = None, *,
+                         node_index: Optional[int] = None
+                         ) -> List[tuple]:
+        """Merged [start, end) intervals during which traffic of a class
+        (or of every class) moved over degraded links.
+
+        Pulled from the per-record ``degraded`` annotation the fault
+        injector leaves in the ledgers — the telemetry view of how much
+        of the run was spent on an unhealthy fabric.
+        """
+        if link_class is None:
+            links = list(self.cluster.topology.links)
+            if node_index is not None:
+                prefix = f"node{node_index}/"
+                links = [ln for ln in links if ln.name.startswith(prefix)]
+        else:
+            links = self.links_for(link_class, node_index)
+        intervals = []
+        for link in links:
+            intervals.extend(link.ledger.degraded_intervals())
+        return merge_intervals(intervals)
 
     def table(self, start: float, end: float, *,
               node_index: Optional[int] = 0,

@@ -1,0 +1,16 @@
+"""Shared pytest configuration.
+
+Adds the ``--update-golden`` flag used by ``tests/test_golden.py`` to
+rewrite the committed golden snapshots from the current simulator
+output (after an intentional model change)::
+
+    PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/*.json from the current simulator "
+             "output instead of comparing against it",
+    )

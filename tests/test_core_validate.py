@@ -145,6 +145,31 @@ class TestFailurePaths:
         assert "ledger_within_link_capacity" not in self._failed(
             cluster, metrics)
 
+    def test_over_rate_against_degraded_capacity(self, run):
+        cluster, metrics = run
+        link = cluster.topology.links_of_class(LinkClass.NVLINK)[0]
+        # Halve the link from t=0.01 on; traffic at 80 % of the *rated*
+        # capacity inside the degraded window is over-rate against the
+        # time-varying bound even though it would pass at full capacity.
+        link.set_capacity_fraction(0.5, at_time=0.01)
+        link.ledger.record(0.02, 0.12,
+                           link.base_capacity_per_direction * 0.08)
+        assert "ledger_within_link_capacity" in self._failed(
+            cluster, metrics)
+
+    def test_full_rate_before_degradation_passes(self, run):
+        cluster, metrics = run
+        link = cluster.topology.links_of_class(LinkClass.NVLINK)[0]
+        # Drop the run's own traffic so only the synthetic record below
+        # is judged against the time-varying bound.
+        link.ledger.clear()
+        link.set_capacity_fraction(0.5, at_time=0.05)
+        # At rated capacity but entirely before the degradation begins.
+        link.ledger.record(0.0, 0.04,
+                           link.base_capacity_per_direction * 0.04)
+        assert "ledger_within_link_capacity" not in self._failed(
+            cluster, metrics)
+
     def test_missing_communication(self, run):
         cluster, metrics = run
         for link in cluster.topology.links_of_class(LinkClass.NVLINK):

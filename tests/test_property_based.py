@@ -9,6 +9,10 @@ from repro.collectives.primitives import (
     ring_step_count,
     ring_traffic_factor,
 )
+from repro.core.runner import run_training
+from repro.core.search import model_for_billions
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+from repro.hardware import single_node_cluster
 from repro.hardware.link import BandwidthLedger
 from repro.model.config import paper_model
 from repro.model.params import layers_for_target_params, total_parameters
@@ -17,6 +21,7 @@ from repro.model.states import (
     ZeroStage,
     zero_states,
 )
+from repro.parallel import zero2
 from repro.parallel.schedule import layer_chunks
 from repro.sim.engine import Engine
 from repro.workloads.dataset import LmDataset
@@ -158,6 +163,86 @@ def test_dataset_windows_cover_prefix_exactly(tokens, seq):
     ds = LmDataset(tokens, seq)
     flattened = [int(x) for i in range(len(ds)) for x in ds[i]]
     assert flattened == list(tokens[:len(ds) * seq])
+
+
+# --- fault injection --------------------------------------------------------
+_FAULT_WINDOW = (0.05, 1.05)  # covers most of the 0.7B/2-iteration run
+
+
+def _fault_run(plan):
+    cluster = single_node_cluster()
+    metrics = run_training(cluster, zero2(), model_for_billions(0.7),
+                           iterations=2, fault_plan=plan)
+    return cluster, metrics
+
+
+_BASELINE_TIME = None
+
+
+def _baseline_time():
+    global _BASELINE_TIME
+    if _BASELINE_TIME is None:
+        _, metrics = _fault_run(None)
+        _BASELINE_TIME = metrics.execution.total_time
+    return _BASELINE_TIME
+
+
+@given(
+    magnitude=st.floats(0.0, 0.9),
+    straggler=st.booleans(),
+)
+@settings(max_examples=5, deadline=None)
+def test_faults_never_increase_throughput(magnitude, straggler):
+    """A fault can only remove capacity, so runs never get faster."""
+    start, end = _FAULT_WINDOW
+    if straggler:
+        event = FaultEvent(target="rank0", kind=FaultKind.GPU_STRAGGLER,
+                           start=start, duration=end - start,
+                           magnitude=magnitude)
+    else:
+        event = FaultEvent(target="node0/gpu0", kind=FaultKind.LINK_DEGRADE,
+                           start=start, duration=end - start,
+                           magnitude=magnitude)
+    _, metrics = _fault_run(FaultPlan(events=[event]))
+    assert metrics.execution.total_time >= _baseline_time() - 1e-9
+
+
+@given(
+    kind=st.sampled_from([FaultKind.LINK_DEGRADE, FaultKind.GPU_STRAGGLER,
+                          FaultKind.NVME_SLOWDOWN]),
+    start=st.floats(0.0, 10.0),
+    duration=st.floats(1e-6, 10.0),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_zero_magnitude_plans_materialize_empty(kind, start, duration, seed):
+    """mag=0 faults are no-ops by construction, not by near-cancellation."""
+    plan = FaultPlan(events=[FaultEvent(
+        target="node0/gpu0", kind=kind, start=start, duration=duration,
+        magnitude=0.0,
+    )], seed=seed)
+    assert plan.materialize() == []
+
+
+@given(loss=st.floats(0.3, 0.9))
+@settings(max_examples=4, deadline=None)
+def test_degraded_window_bounds_ledger_rates(loss):
+    """No record fully inside a degraded window moves faster than the
+    degraded capacity allows (small tolerance for flow-split rounding)."""
+    start, end = _FAULT_WINDOW
+    event = FaultEvent(target="node0/gpu0", kind=FaultKind.LINK_DEGRADE,
+                       start=start, duration=end - start, magnitude=loss)
+    cluster, _ = _fault_run(FaultPlan(events=[event]))
+    checked = 0
+    for link in cluster.topology.links_of_device("node0/gpu0"):
+        degraded_capacity = link.base_capacity_per_direction * (1.0 - loss)
+        for record in link.ledger:
+            span = record.end - record.start
+            if span <= 1e-9 or record.start < start or record.end > end:
+                continue
+            checked += 1
+            assert record.num_bytes / span <= degraded_capacity * 1.05
+    assert checked > 0  # the fault window did see traffic
 
 
 @given(words=st.lists(
