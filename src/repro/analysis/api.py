@@ -5,10 +5,11 @@
 * :func:`analyze_run_config` — convenience wrapper building the context
   from the same arguments :func:`repro.core.runner.run_training` takes;
   with ``cheap_only=True`` this is exactly the pre-run hook;
-* :func:`analyze_source` — the unit-hygiene lint over a source tree
+* :func:`analyze_source` — the ``source`` family (unit hygiene plus the
+  ``DET0xx`` determinism lints) over a source tree
   (``repro analyze --self``).
 
-Importing this module registers the built-in config and topology passes.
+Importing this module registers every built-in pass.
 """
 
 from __future__ import annotations
@@ -24,14 +25,16 @@ from ..parallel.placement import PlacementConfig
 from ..parallel.strategy import TrainingStrategy
 from .context import AnalysisContext
 from .findings import Finding, Report, Severity
-from .registry import iter_passes
+from .registry import claim_codes, iter_passes
 from . import config_lints as _config_lints    # noqa: F401  (registers passes)
 from . import fault_lints as _fault_lints      # noqa: F401  (registers passes)
 from . import topology_lints as _topology_lints  # noqa: F401  (registers passes)
-from .source_lints import PASS_NAME as _SOURCE_PASS, lint_source_tree
+from . import source_lints as _source_lints    # noqa: F401  (registers passes)
+from .determinism import det_lints as _det_lints  # noqa: F401  (registers passes)
+from .source_lints import DEFAULT_SOURCE_ROOT
 
-#: The simulator's own package root, for ``repro analyze --self``.
-DEFAULT_SOURCE_ROOT = Path(__file__).resolve().parent.parent
+#: The CFG000 probe-error wrapper below is a reporter of its own.
+claim_codes("run-passes", ("CFG000",))
 
 
 def run_passes(ctx: AnalysisContext,
@@ -85,9 +88,11 @@ def analyze_run_config(cluster: Cluster,
 
 
 def analyze_source(root: Union[str, Path, None] = None) -> Report:
-    """Run the unit-hygiene lint over ``root`` (default: ``src/repro``)."""
+    """Run the ``source`` passes over ``root`` (default: ``src/repro``).
+
+    Covers unit hygiene (``SRC00x``) and the determinism hazard lints
+    (``DET0xx``); no cluster is involved.
+    """
     tree_root = Path(root) if root is not None else DEFAULT_SOURCE_ROOT
-    report = Report()
-    report.passes_run.append(_SOURCE_PASS)
-    report.extend(lint_source_tree(tree_root))
-    return report
+    ctx = AnalysisContext(source_root=tree_root)
+    return run_passes(ctx, ("source",))

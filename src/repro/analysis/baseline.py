@@ -1,0 +1,139 @@
+"""Accepted-findings baseline for ``repro analyze``.
+
+Advisory findings that have been reviewed and accepted (e.g. a
+``DET001`` set-iteration warning the perturbation differ refuted) live
+in a committed JSON baseline; applying it filters them out of a report
+so CI stays quiet about known, vetted advisories while new findings
+still fail the build.
+
+Matching is deliberately line-number-free: an entry matches on the
+finding ``code``, the *file* part of its location, and (when the entry
+gives one) the ``subject`` — so unrelated edits shifting line numbers do
+not invalidate the baseline, while a second hazard appearing in another
+file does surface.
+
+File format (``analysis-baseline.json`` at the repo root)::
+
+    {
+      "version": 1,
+      "accepted": [
+        {"code": "DET001", "file": "sim/flows.py",
+         "note": "why this is accepted"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..errors import ConfigurationError
+from .findings import Finding, Report
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding."""
+
+    code: str
+    file: str
+    subject: str = ""
+    note: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.code != self.code:
+            return False
+        if _location_file(finding.location) != self.file:
+            return False
+        return not self.subject or self.subject == finding.subject
+
+    def to_dict(self) -> Dict[str, str]:
+        out = {"code": self.code, "file": self.file}
+        if self.subject:
+            out["subject"] = self.subject
+        if self.note:
+            out["note"] = self.note
+        return out
+
+
+def _location_file(location: str) -> str:
+    """The file part of a ``file:line`` location anchor."""
+    return location.rsplit(":", 1)[0] if ":" in location else location
+
+
+def load_baseline(path: Union[str, Path]) -> List[BaselineEntry]:
+    """Parse a baseline file; raise ConfigurationError on bad shape."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigurationError(f"cannot read baseline {path}: {error}")
+    if not isinstance(payload, dict) or "accepted" not in payload:
+        raise ConfigurationError(
+            f"baseline {path} must be an object with an 'accepted' list"
+        )
+    version = payload.get("version", BASELINE_VERSION)
+    if version != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"baseline {path} has version {version!r}; this build "
+            f"understands version {BASELINE_VERSION}"
+        )
+    entries: List[BaselineEntry] = []
+    for raw in payload["accepted"]:
+        if not isinstance(raw, dict) or "code" not in raw or "file" not in raw:
+            raise ConfigurationError(
+                f"baseline {path}: every entry needs 'code' and 'file' "
+                f"keys, got {raw!r}"
+            )
+        entries.append(BaselineEntry(
+            code=str(raw["code"]), file=str(raw["file"]),
+            subject=str(raw.get("subject", "")),
+            note=str(raw.get("note", "")),
+        ))
+    return entries
+
+
+def apply_baseline(report: Report, entries: List[BaselineEntry]
+                   ) -> Tuple[Report, List[BaselineEntry]]:
+    """Filter accepted findings out of ``report``.
+
+    Returns the filtered report plus the *stale* entries that matched
+    nothing — candidates for deletion once the underlying code is fixed.
+    """
+    filtered = Report(passes_run=list(report.passes_run))
+    used = [False] * len(entries)
+    for finding in report.findings:
+        matched = False
+        for index, entry in enumerate(entries):
+            if entry.matches(finding):
+                used[index] = True
+                matched = True
+                break
+        if not matched:
+            filtered.add(finding)
+    stale = [entry for entry, hit in zip(entries, used) if not hit]
+    return filtered, stale
+
+
+def write_baseline(report: Report, path: Union[str, Path], *,
+                   note: str = "accepted via --update-baseline") -> None:
+    """Write a baseline accepting every finding in ``report``."""
+    seen = set()
+    accepted: List[Dict[str, str]] = []
+    for finding in report.findings:
+        entry = BaselineEntry(
+            code=finding.code, file=_location_file(finding.location),
+            subject=finding.subject, note=note,
+        )
+        key = (entry.code, entry.file, entry.subject)
+        if key in seen:
+            continue
+        seen.add(key)
+        accepted.append(entry.to_dict())
+    payload = {"version": BASELINE_VERSION, "accepted": accepted}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")

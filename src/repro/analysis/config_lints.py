@@ -50,6 +50,7 @@ def _mismatch(actual: float, expected: float) -> bool:
 @register_pass(
     "parallel-degrees", family="config",
     description="DP/TP/PP degrees must divide (and cover) the world size",
+    codes=("CFG001", "CFG002", "CFG003", "CFG004", "CFG005"),
 )
 def parallel_degrees(ctx: AnalysisContext) -> Iterator[Finding]:
     world = ctx.world_size
@@ -116,6 +117,7 @@ def _tier_bytes(plan, label: str) -> float:
 @register_pass(
     "zero-partition-accounting", family="config",
     description="partitioned model states must sum back to 16 B/parameter",
+    codes=("CFG010", "CFG011", "CFG012", "CFG013", "CFG019"),
 )
 def zero_partition_accounting(ctx: AnalysisContext) -> Iterator[Finding]:
     strategy = ctx.strategy
@@ -201,6 +203,7 @@ def zero_partition_accounting(ctx: AnalysisContext) -> Iterator[Finding]:
 @register_pass(
     "offload-placement", family="config",
     description="offload targets legal for the stage; NVMe wiring present",
+    codes=("CFG020", "CFG021"),
 )
 def offload_placement(ctx: AnalysisContext) -> Iterator[Finding]:
     strategy = ctx.strategy
@@ -223,7 +226,7 @@ def offload_placement(ctx: AnalysisContext) -> Iterator[Finding]:
     if not plan.nvme:
         return
     placement = ctx.placement if ctx.placement is not None else DEFAULT_PLACEMENT
-    for node in ctx.cluster.nodes:
+    for node in ctx.require_cluster().nodes:
         have = len(node.scratch_drives)
         if have < placement.num_scratch_drives:
             yield Finding(
@@ -243,6 +246,7 @@ def offload_placement(ctx: AnalysisContext) -> Iterator[Finding]:
 @register_pass(
     "memory-capacity", family="config", cheap=False,
     description="predict pool/pinned/NVMe over-capacity without allocating",
+    codes=("CFG030", "CFG031", "CFG032", "CFG033", "CFG034"),
 )
 def memory_capacity(ctx: AnalysisContext) -> Iterator[Finding]:
     """Replicates :func:`repro.core.runner.apply_memory_plan` arithmetic.
@@ -256,7 +260,7 @@ def memory_capacity(ctx: AnalysisContext) -> Iterator[Finding]:
         return
     sctx = ctx.strategy_context()
     plan = strategy.memory_plan(sctx)
-    cluster = ctx.cluster
+    cluster = ctx.require_cluster()
 
     pinned_labels = calibration.PINNED_LABELS
     gpu_use: Dict[str, float] = {}
@@ -361,6 +365,7 @@ def _pipeline_shape(ctx: AnalysisContext) -> Optional[Tuple[int, int]]:
 @register_pass(
     "pipeline-divisibility", family="config",
     description="batch/micro-batch divisibility for pipeline schedules",
+    codes=("CFG040", "CFG041", "CFG042"),
 )
 def pipeline_divisibility(ctx: AnalysisContext) -> Iterator[Finding]:
     shape = _pipeline_shape(ctx)

@@ -1,0 +1,37 @@
+"""Nondeterminism race detector: static DET passes + dynamic tools.
+
+Three layers, one subsystem (see DESIGN.md, "Determinism guarantees"):
+
+* :mod:`~repro.analysis.determinism.det_lints` — AST passes (``DET0xx``)
+  flagging hazard *patterns* in the simulation packages;
+* :mod:`repro.sim.sanitizer` — the runtime schedule sanitizer observing
+  same-timestamp ties and auditing ledger capacity;
+  :mod:`~repro.analysis.determinism.dynamic` converts its report into
+  findings (``DET101``/``DET110``);
+* :mod:`~repro.analysis.determinism.differ` — the perturbation differ
+  that reruns a configuration under legal tie-order permutations and
+  reports any headline divergence as a confirmed race (``DET120``).
+
+The differ is deliberately *not* imported here: it depends on
+:func:`repro.core.runner.run_training`, which imports the analysis
+package for its pre-run hook.  Import it explicitly::
+
+    from repro.analysis.determinism.differ import perturbation_diff
+"""
+
+from . import det_lints  # noqa: F401  (registers the DET0xx passes)
+from .det_lints import SIM_PACKAGES
+from .dynamic import (
+    DIFFER_PASS,
+    SANITIZER_PASS,
+    divergence_finding,
+    sanitizer_findings,
+)
+
+__all__ = [
+    "DIFFER_PASS",
+    "SANITIZER_PASS",
+    "SIM_PACKAGES",
+    "divergence_finding",
+    "sanitizer_findings",
+]

@@ -1,0 +1,70 @@
+"""Convert dynamic determinism evidence into analysis findings.
+
+The schedule sanitizer (:mod:`repro.sim.sanitizer`) and the perturbation
+differ (:mod:`repro.analysis.determinism.differ`) are dynamic tools, so
+they are not registered passes; this module gives their output the same
+:class:`~repro.analysis.findings.Finding` shape the static passes use,
+and claims their codes in the registry's ownership table:
+
+* ``DET101`` — tie groups whose members touched a shared resource
+  (WARNING: suspects for the differ to confirm or refute);
+* ``DET110`` — a ledger interval double-books a link beyond the
+  capacity in effect (ERROR: accounting is broken regardless of order);
+* ``DET120`` — a headline metric diverged under a legal tie-order
+  perturbation (ERROR: a confirmed schedule race).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...sim.sanitizer import SanitizerReport
+from ..findings import Finding, Severity
+from ..registry import claim_codes
+
+SANITIZER_PASS = "schedule-sanitizer"
+DIFFER_PASS = "perturbation-differ"
+
+claim_codes(SANITIZER_PASS, ("DET101", "DET110"))
+claim_codes(DIFFER_PASS, ("DET120",))
+
+
+def sanitizer_findings(report: SanitizerReport) -> List[Finding]:
+    """Findings for one sanitized run's report."""
+    findings: List[Finding] = []
+    if report.conflict_groups:
+        contested = sorted({
+            resource
+            for conflict in report.conflicts
+            for resource in conflict.resources
+        })
+        shown = ", ".join(contested[:6])
+        more = len(contested) - 6
+        suffix = f" (+{more} more)" if more > 0 else ""
+        findings.append(Finding(
+            SANITIZER_PASS, Severity.WARNING, "DET101",
+            f"{report.conflict_groups} of {report.tie_groups} "
+            f"same-timestamp tie groups touched a shared resource "
+            f"({shown}{suffix}); their order is decided only by "
+            f"insertion seq — run the perturbation differ to confirm "
+            f"or refute",
+            subject=contested[0] if contested else "",
+        ))
+    for violation in report.capacity_violations:
+        findings.append(Finding(
+            SANITIZER_PASS, Severity.ERROR, "DET110",
+            f"ledger interval double-books a link: {violation}",
+            subject=violation.split(":", 1)[0],
+        ))
+    return findings
+
+
+def divergence_finding(field: str, detail: str, *,
+                       strategy: str = "") -> Finding:
+    """The ERROR finding for one diverged headline field."""
+    return Finding(
+        DIFFER_PASS, Severity.ERROR, "DET120",
+        f"headline field {field!r} diverged under a legal tie-order "
+        f"perturbation: {detail} — a confirmed schedule race",
+        subject=strategy or field,
+    )

@@ -23,14 +23,16 @@ from .registry import register_pass
 @register_pass(
     "fault-plan", family="faults",
     description="fault targets resolve on the cluster; events fit the horizon",
+    codes=("FLT001", "FLT011", "FLT012", "FLT013"),
 )
 def fault_plan_lint(ctx: AnalysisContext) -> Iterator[Finding]:
     plan = ctx.fault_plan
     if plan is None or not plan.events:
         return
+    cluster = ctx.require_cluster()
     for index, event in enumerate(plan.events):
         try:
-            resolve_target(ctx.cluster, event)
+            resolve_target(cluster, event)
         except FaultPlanError as error:
             yield Finding(
                 "fault-plan", Severity.ERROR, "FLT001",

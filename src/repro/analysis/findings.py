@@ -91,7 +91,19 @@ class Report:
     @property
     def exit_code(self) -> int:
         """Process exit status for CLI use: 1 on errors, 0 otherwise."""
-        return 0 if self.ok else 1
+        return self.exit_code_at(Severity.ERROR)
+
+    def exit_code_at(self, threshold: Severity) -> int:
+        """Exit status failing at ``threshold`` or worse.
+
+        ``repro analyze --fail-on warning`` maps to
+        ``exit_code_at(Severity.WARNING)``: warnings then fail the run
+        too, the strict-CI posture.
+        """
+        if not self.findings:
+            return 0
+        worst = max(f.severity for f in self.findings)
+        return 1 if worst >= threshold else 0
 
     def summary(self) -> str:
         return (

@@ -20,6 +20,9 @@ from typing import List, Optional
 from ..errors import SimulationError
 from ..sim.engine import AllOf, AnyOf, BaseEvent, Engine, Process, SimEvent, Timeout
 from .findings import Finding, Severity
+from .registry import claim_codes
+
+claim_codes("des-liveness", ("LIVE001",))
 
 
 def describe_wait(event: Optional[BaseEvent]) -> str:

@@ -23,9 +23,14 @@ from pathlib import Path
 from typing import Iterator, List
 
 from .. import units
+from .context import AnalysisContext
 from .findings import Finding, Severity
+from .registry import register_pass
 
 PASS_NAME = "unit-hygiene"
+
+#: The simulator's own package root — what ``repro analyze --self`` scans.
+DEFAULT_SOURCE_ROOT = Path(__file__).resolve().parent.parent
 
 #: Literal values with a canonical :mod:`repro.units` name.  Time
 #: constants (1e-3, 1e-6, 1e-9) are deliberately absent: the same values
@@ -169,6 +174,18 @@ def _yields_event_factory(node: ast.Yield) -> bool:
         and isinstance(value.func, ast.Attribute)
         and value.func.attr in _EVENT_FACTORIES
     )
+
+
+@register_pass(
+    PASS_NAME, family="source", cheap=False,
+    description="units vocabulary used; no float== on times; "
+                "processes yield events",
+    codes=("SRC000", "SRC001", "SRC002", "SRC003"),
+)
+def unit_hygiene(ctx: AnalysisContext) -> Iterator[Finding]:
+    root = (ctx.source_root if ctx.source_root is not None
+            else DEFAULT_SOURCE_ROOT)
+    yield from lint_source_tree(root)
 
 
 def lint_source_tree(root: Path) -> List[Finding]:

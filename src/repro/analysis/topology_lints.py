@@ -45,9 +45,10 @@ _SOCKET_LOCAL = frozenset({
 @register_pass(
     "link-symmetry", family="topology",
     description="links full-duplex unless declared asymmetric (DRAM)",
+    codes=("TOPO001", "TOPO002"),
 )
 def link_symmetry(ctx: AnalysisContext) -> Iterator[Finding]:
-    for link in ctx.cluster.topology.links:
+    for link in ctx.require_cluster().topology.links:
         if link.endpoint_a == link.endpoint_b:
             yield Finding(
                 "link-symmetry", Severity.ERROR, "TOPO002",
@@ -66,9 +67,10 @@ def link_symmetry(ctx: AnalysisContext) -> Iterator[Finding]:
 @register_pass(
     "bandwidth-bounds", family="topology",
     description="per-link bandwidth within sane bounds of Table III",
+    codes=("TOPO010", "TOPO011"),
 )
 def bandwidth_bounds(ctx: AnalysisContext) -> Iterator[Finding]:
-    for link in ctx.cluster.topology.links:
+    for link in ctx.require_cluster().topology.links:
         per_direction = link.spec.bandwidth_per_direction
         if per_direction > 10.0 * TB or per_direction < 1.0 * MB:
             yield Finding(
@@ -97,15 +99,17 @@ def bandwidth_bounds(ctx: AnalysisContext) -> Iterator[Finding]:
 @register_pass(
     "reachability", family="topology",
     description="every device reachable from every GPU",
+    codes=("TOPO020",),
 )
 def reachability(ctx: AnalysisContext) -> Iterator[Finding]:
-    topology = ctx.cluster.topology
+    cluster = ctx.require_cluster()
+    topology = cluster.topology
     adjacency: Dict[str, Set[str]] = {d.name: set() for d in topology.devices}
     for link in topology.links:
         adjacency[link.endpoint_a].add(link.endpoint_b)
         adjacency[link.endpoint_b].add(link.endpoint_a)
     all_names = set(adjacency)
-    for gpu in ctx.cluster.all_gpus():
+    for gpu in cluster.all_gpus():
         visited = {gpu.name}
         frontier = deque([gpu.name])
         while frontier:
@@ -128,9 +132,10 @@ def reachability(ctx: AnalysisContext) -> Iterator[Finding]:
 @register_pass(
     "numa-affinity", family="topology",
     description="socket-local links stay socket-local; xGMI crosses sockets",
+    codes=("TOPO030", "TOPO031", "TOPO032"),
 )
 def numa_affinity(ctx: AnalysisContext) -> Iterator[Finding]:
-    topology = ctx.cluster.topology
+    topology = ctx.require_cluster().topology
     for link in topology.links:
         a = topology.device(link.endpoint_a)
         b = topology.device(link.endpoint_b)

@@ -23,7 +23,16 @@ import json
 import sys
 from typing import List, Optional
 
-from .analysis import analyze_run_config, analyze_source, render_json, render_text
+from .analysis import (
+    Severity,
+    analyze_run_config,
+    analyze_source,
+    apply_baseline,
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
 from .core.runner import run_training
 from .core.search import max_model_size, model_for_billions
 from .errors import ReproError
@@ -150,7 +159,22 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    if args.self:
+    if args.self and args.sanitize:
+        print("error: --self and --sanitize are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    diff_result = None
+    if args.sanitize:
+        # Deferred: the differ pulls in the training runner, which the
+        # static-only paths never need.
+        from .analysis.determinism.differ import perturbation_diff
+        diff_result = perturbation_diff(
+            args.strategy, size_billions=args.size, nodes=args.nodes,
+            placement=args.placement, iterations=args.iterations,
+            seed=args.seed,
+        )
+        report = diff_result.report()
+    elif args.self:
         report = analyze_source()
     else:
         strategy = make_strategy(args.strategy)
@@ -162,8 +186,43 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             tensor_parallel=args.tensor_parallel,
             pipeline_parallel=args.pipeline_parallel,
         )
-    print(render_json(report) if args.json else render_text(report))
-    return report.exit_code
+
+    if args.update_baseline:
+        if not args.baseline:
+            print("error: --update-baseline requires --baseline PATH",
+                  file=sys.stderr)
+            return 2
+        write_baseline(report, args.baseline)
+        print(f"baseline written: {args.baseline} "
+              f"({len(report.findings)} accepted findings)")
+        return 0
+    if args.baseline:
+        report, stale = apply_baseline(report, load_baseline(args.baseline))
+        for entry in stale:
+            print(f"note: stale baseline entry matched nothing: "
+                  f"{entry.code} in {entry.file}", file=sys.stderr)
+
+    if args.json:
+        payload = report.to_dict()
+        if diff_result is not None:
+            payload["perturbation_diff"] = diff_result.to_dict()
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_text(report))
+        if diff_result is not None:
+            verdict = ("RACES CONFIRMED" if diff_result.races_confirmed
+                       else "no divergence")
+            sanitizer = diff_result.sanitizer
+            suspects = (sanitizer.conflict_groups
+                        if sanitizer is not None else 0)
+            print(f"perturbation diff [{diff_result.strategy}]: "
+                  f"{diff_result.fields_compared} fields x "
+                  f"{len(diff_result.orders)} perturbed orders "
+                  f"({', '.join(diff_result.orders)}): {verdict}; "
+                  f"{suspects} suspect tie groups")
+    threshold = (Severity.WARNING if args.fail_on == "warning"
+                 else Severity.ERROR)
+    return report.exit_code_at(threshold)
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
@@ -302,8 +361,29 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--pipeline-parallel", type=int, default=None,
                          help="lint an explicit pipeline-parallel degree")
     analyze.add_argument("--self", action="store_true",
-                         help="run the unit-hygiene lint over the "
+                         help="run the source lints (unit hygiene + "
+                              "DET0xx determinism hazards) over the "
                               "simulator's own source instead")
+    analyze.add_argument("--sanitize", action="store_true",
+                         help="run the configuration under the schedule "
+                              "sanitizer and diff it across legal "
+                              "tie-order perturbations (race detector)")
+    analyze.add_argument("--seed", type=int, default=7,
+                         help="seed for the shuffled tie order "
+                              "(--sanitize)")
+    analyze.add_argument("--iterations", type=int, default=2,
+                         help="simulated iterations per sanitized run "
+                              "(--sanitize)")
+    analyze.add_argument("--fail-on", choices=("error", "warning"),
+                         default="error",
+                         help="lowest severity that makes the exit "
+                              "status non-zero")
+    analyze.add_argument("--baseline", default=None, metavar="PATH",
+                         help="JSON baseline of accepted findings to "
+                              "filter out")
+    analyze.add_argument("--update-baseline", action="store_true",
+                         help="write the current findings to --baseline "
+                              "and exit")
     analyze.add_argument("--json", action="store_true")
     analyze.set_defaults(func=_cmd_analyze)
     return parser

@@ -26,6 +26,8 @@ from ..model.params import total_parameters
 from ..parallel.placement import DEFAULT_PLACEMENT, PlacementConfig
 from ..parallel.strategy import MemoryPlan, StrategyContext, TrainingStrategy
 from ..runtime.executor import ExecutionResult, Executor
+from ..sim.engine import TieOrder
+from ..sim.sanitizer import SanitizerReport
 from ..telemetry.bandwidth import BandwidthMonitor, BandwidthStats
 from ..telemetry.flops_profiler import FlopsProfiler, ThroughputReport
 from ..telemetry.memory import MemoryReport, snapshot
@@ -57,6 +59,11 @@ class RunMetrics:
     @property
     def billions_of_parameters(self) -> float:
         return self.model_parameters / GB
+
+    @property
+    def sanitizer(self) -> Optional[SanitizerReport]:
+        """The schedule-sanitizer report, for sanitized runs only."""
+        return self.execution.sanitizer
 
 
 def apply_memory_plan(cluster: Cluster, plan: MemoryPlan,
@@ -110,6 +117,8 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
                  swap_volumes: Optional[Dict[int, Raid0Volume]] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  retry_policy: Optional[RetryPolicy] = None,
+                 tie_order: Optional[TieOrder] = None,
+                 sanitize: bool = False,
                  preflight: bool = True) -> RunMetrics:
     """Simulate ``iterations`` optimizer steps and measure everything.
 
@@ -120,6 +129,12 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
     ``fault_plan`` injects deterministic hardware faults into the run
     (see :mod:`repro.faults`); ``retry_policy`` tunes how collectives
     ride out transient link outages.
+
+    ``tie_order`` perturbs how the engine orders same-timestamp events (a
+    legal schedule permutation; see :class:`~repro.sim.engine.TieOrder`)
+    and ``sanitize=True`` attaches the schedule sanitizer, whose report
+    lands in ``metrics.sanitizer`` — both are the determinism subsystem's
+    hooks (:mod:`repro.analysis.determinism`).
 
     Unless ``preflight=False``, the cheap static-analysis passes run
     first and any error-severity finding aborts the run before the DES
@@ -156,6 +171,8 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
         internode_rate_efficiency=strategy.calibration.internode_efficiency,
         fault_plan=fault_plan,
         retry_policy=retry_policy,
+        tie_order=tie_order,
+        sanitize=sanitize,
     )
     result = executor.run(iterations)
 

@@ -178,6 +178,7 @@ class FaultInjector:
         return 1.0 if event.kind is FaultKind.LINK_DOWN else event.magnitude
 
     def _apply(self, event: FaultEvent, resolved: ResolvedTarget) -> None:
+        self.engine.note_touch(f"injector:{event.target}")
         if resolved.links:
             self.network.settle()
             for link in resolved.links:
@@ -197,6 +198,7 @@ class FaultInjector:
             resolved.drive.set_slowdown(self._product(factors))
 
     def _revert(self, event: FaultEvent, resolved: ResolvedTarget) -> None:
+        self.engine.note_touch(f"injector:{event.target}")
         if resolved.links:
             self.network.settle()
             for link in resolved.links:

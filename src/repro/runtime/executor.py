@@ -42,8 +42,9 @@ from ..parallel.schedule import (
     WaitForStep,
     WaitPendingStep,
 )
-from ..sim.engine import BaseEvent, Engine
+from ..sim.engine import BaseEvent, Engine, TieOrder
 from ..sim.flows import FlowNetwork
+from ..sim.sanitizer import SanitizerReport, ScheduleSanitizer
 from ..telemetry.timeline import Lane, Timeline
 from .kernels import KernelKind, straggler_multiplier
 
@@ -55,6 +56,8 @@ class ExecutionResult:
     iteration_times: List[float]
     timeline: Timeline
     total_time: float
+    #: populated only for sanitized runs (``Executor(..., sanitize=True)``)
+    sanitizer: Optional[SanitizerReport] = None
 
     @property
     def mean_iteration_time(self) -> float:
@@ -106,13 +109,16 @@ class Executor:
                  swap_volumes: Optional[Dict[int, Raid0Volume]] = None,
                  internode_rate_efficiency: float = 0.35,
                  fault_plan: Optional[FaultPlan] = None,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 tie_order: Optional[TieOrder] = None,
+                 sanitize: bool = False) -> None:
         schedule.validate()
         self.cluster = cluster
         self.schedule = schedule
         self.traffic_profile = traffic_profile
         self.swap_volumes = swap_volumes or {}
-        self.engine = Engine()
+        self.engine = Engine(tie_order=tie_order)
+        self.sanitizer = ScheduleSanitizer(self.engine) if sanitize else None
         self.network = FlowNetwork(self.engine)
         self.timeline = Timeline()
         self.retry_policy = retry_policy
@@ -169,10 +175,15 @@ class Executor:
         self.engine.process(driver(), name="driver")
         self.engine.run()
         check_liveness(self.engine)
+        report = (
+            self.sanitizer.finalize(self.cluster)
+            if self.sanitizer is not None else None
+        )
         return ExecutionResult(
             iteration_times=iteration_times,
             timeline=self.timeline,
             total_time=finished_at[0],
+            sanitizer=report,
         )
 
     # -- per-rank interpretation ------------------------------------------------
@@ -269,6 +280,7 @@ class Executor:
         spec = self.schedule.communicators[step.comm]
         group_index, group = spec.group_of(rank)
         gate_key = (step.comm, group_index, self._iter_key(iteration, step.key))
+        self.engine.note_touch(f"stream:{step.comm}[{group_index}]")
         gate = self._gates.get(gate_key)
         if gate is None:
             comm = self._communicators[(step.comm, group_index)]

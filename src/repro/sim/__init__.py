@@ -1,7 +1,19 @@
 """Discrete-event simulation kernel and fluid-flow transfer network."""
 
-from .engine import AllOf, AnyOf, BaseEvent, Engine, Process, SimEvent, Timeout
+from .engine import (
+    AllOf,
+    AnyOf,
+    BaseEvent,
+    Engine,
+    Process,
+    ReversedTies,
+    SeededTies,
+    SimEvent,
+    TieOrder,
+    Timeout,
+)
 from .flows import Flow, FlowNetwork
+from .sanitizer import SanitizerReport, ScheduleSanitizer, TieConflict
 
 __all__ = [
     "AllOf",
@@ -11,6 +23,12 @@ __all__ = [
     "Flow",
     "FlowNetwork",
     "Process",
+    "ReversedTies",
+    "SanitizerReport",
+    "ScheduleSanitizer",
+    "SeededTies",
     "SimEvent",
+    "TieConflict",
+    "TieOrder",
     "Timeout",
 ]

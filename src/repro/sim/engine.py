@@ -16,9 +16,68 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+import random
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sanitizer import ScheduleSanitizer
+
+
+class TieOrder:
+    """Policy ordering callbacks scheduled at the *same* timestamp.
+
+    Events sharing a simulated instant have no defined mutual order: the
+    engine's FIFO default (insertion ``seq``) is one legal schedule among
+    many, and a correct simulation must produce the same physics under any
+    of them.  The determinism sanitizer's perturbation differ
+    (:mod:`repro.analysis.determinism.differ`) reruns a configuration under
+    the alternates below and field-diffs the results; divergence is a
+    confirmed scheduling race.
+
+    ``key(seq)`` returns the secondary sort key used between equal
+    timestamps; ``seq`` itself stays in the heap tuple as the final
+    tie-breaker so every order is total and reproducible.
+    """
+
+    name = "fifo"
+
+    def key(self, seq: int) -> float:
+        return 0.0
+
+
+class ReversedTies(TieOrder):
+    """Run same-timestamp callbacks in reverse insertion order."""
+
+    name = "reversed"
+
+    def key(self, seq: int) -> float:
+        return float(-seq)
+
+
+class SeededTies(TieOrder):
+    """Permute same-timestamp callbacks with a seeded PRNG.
+
+    The key derives from ``seed`` and ``seq`` only (never ``hash()`` or
+    ``id()``), so one seed always produces the same legal permutation.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        self.name = f"seeded[{self.seed}]"
+
+    def key(self, seq: int) -> float:
+        return random.Random(self.seed * 1_000_003 + seq).random()
 
 
 class BaseEvent:
@@ -168,15 +227,33 @@ class Process(BaseEvent):
 
 
 class Engine:
-    """The event loop: a priority queue of (time, seq, callback)."""
+    """The event loop: a priority queue of (time, tie_key, seq, callback).
 
-    def __init__(self) -> None:
+    ``tie_order`` perturbs the order of same-timestamp callbacks (see
+    :class:`TieOrder`); the default is FIFO by insertion ``seq``.  An
+    attached :class:`~repro.sim.sanitizer.ScheduleSanitizer` observes every
+    popped callback and the shared resources it touches.
+    """
+
+    def __init__(self, tie_order: Optional[TieOrder] = None) -> None:
         self.now = 0.0
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._queue: List[
+            Tuple[float, float, int, Callable[..., None], Tuple[Any, ...]]
+        ] = []
         self._counter = itertools.count()
         self._processed = 0
         self._processes: List["Process"] = []
         self._start_hooks: List[Callable[["Engine"], None]] = []
+        self.tie_order = tie_order if tie_order is not None else TieOrder()
+        #: opt-in schedule sanitizer; None keeps the hot path untouched
+        self.sanitizer: Optional["ScheduleSanitizer"] = None
+
+    def note_touch(self, resource: str) -> None:
+        """Tell the attached sanitizer the current callback touched a
+        shared resource (a link ledger, the flow allocator, the fault
+        injector).  No-op without a sanitizer."""
+        if self.sanitizer is not None:
+            self.sanitizer.touch(resource)
 
     def register_process(self, process: "Process") -> None:
         self._processes.append(process)
@@ -203,9 +280,10 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < now {self.now}"
             )
+        seq = next(self._counter)
         heapq.heappush(
             self._queue,
-            (max(time, self.now), next(self._counter), lambda: callback(*args)),
+            (max(time, self.now), self.tie_order.key(seq), seq, callback, args),
         )
 
     # -- user-facing factories ------------------------------------------------
@@ -237,10 +315,17 @@ class Engine:
         """Run the single next callback, advancing the clock to it."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        time, _seq, callback = heapq.heappop(self._queue)
+        time, _key, seq, callback, args = heapq.heappop(self._queue)
         self.now = time
         self._processed += 1
-        callback()
+        if self.sanitizer is None:
+            callback(*args)
+        else:
+            self.sanitizer.begin_callback(time, seq, callback)
+            try:
+                callback(*args)
+            finally:
+                self.sanitizer.end_callback()
 
     def run(self, until: Optional[float] = None,
             max_events: int = 50_000_000) -> float:

@@ -173,6 +173,7 @@ class FlowNetwork:
     # -- internals -----------------------------------------------------------------
     def _activate(self, flow: Flow) -> None:
         flow.started_at = self.engine.now
+        self.engine.note_touch("flows:allocator")
         self._settle()
         self._active.add(flow)
         self._reallocate()
@@ -185,6 +186,8 @@ class FlowNetwork:
             for flow in self._ordered_active():
                 moved = min(flow.rate * elapsed, flow.bytes_remaining)
                 if moved > 0:
+                    for link in flow.route.links:
+                        self.engine.note_touch(f"ledger:{link.name}")
                     # Absorb floating-point dust: crediting rate x elapsed
                     # can undershoot the true remainder by ~1 ulp, which
                     # would otherwise strand a nanobyte whose completion
@@ -198,6 +201,7 @@ class FlowNetwork:
 
     def _reallocate(self) -> None:
         """Weighted max-min fair rates, then schedule the next completion."""
+        self.engine.note_touch("flows:allocator")
         self._generation += 1
         finished = [flow for flow in self._ordered_active() if flow.done]
         for flow in finished:

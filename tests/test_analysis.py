@@ -3,23 +3,32 @@
 import dataclasses
 import json
 import textwrap
+from pathlib import Path
 
 import pytest
 
 from repro.analysis import (
     AnalysisContext,
+    AnalysisPass,
+    BaselineEntry,
     Finding,
     Report,
     Severity,
     analyze_run_config,
     analyze_source,
+    apply_baseline,
     check_liveness,
+    claim_codes,
+    code_owners,
     diagnose,
     iter_passes,
+    load_baseline,
     register_pass,
     render_json,
     render_text,
     run_passes,
+    self_check,
+    write_baseline,
 )
 from repro.analysis.registry import get_pass
 from repro.analysis.source_lints import lint_source_tree
@@ -49,6 +58,16 @@ class TestReport:
         report.add(Finding("p", Severity.ERROR, "X002", "bad"))
         assert not report.ok and report.exit_code == 1
         assert len(report.errors) == 1 and len(report.warnings) == 1
+
+    def test_exit_code_at_threshold(self):
+        report = Report()
+        assert report.exit_code_at(Severity.WARNING) == 0
+        report.add(Finding("p", Severity.WARNING, "X001", "meh"))
+        assert report.exit_code_at(Severity.ERROR) == 0
+        assert report.exit_code_at(Severity.WARNING) == 1
+        report.add(Finding("p", Severity.ERROR, "X002", "bad"))
+        assert report.exit_code_at(Severity.ERROR) == 1
+        assert report.exit_code == report.exit_code_at(Severity.ERROR)
 
     def test_raise_on_error_message_contains_codes(self):
         report = Report()
@@ -103,6 +122,113 @@ class TestRegistry:
 
     def test_get_pass(self):
         assert get_pass("memory-capacity").cheap is False
+
+
+# ---------------------------------------------------------------------------
+# Finding-code registry discipline
+# ---------------------------------------------------------------------------
+
+class TestRegistryCodes:
+    def test_self_check_passes_on_builtin_registry(self):
+        stats = self_check()
+        assert stats["passes"] >= 16
+        assert stats["claimed_codes"] >= 48
+        assert "determinism" not in stats["families"]  # DET lives in source
+
+    def test_code_owner_spot_checks(self):
+        owners = code_owners()
+        assert owners["CFG001"] == "parallel-degrees"
+        assert owners["LIVE001"] == "des-liveness"
+        assert owners["DET001"] == "det-set-iteration"
+        assert owners["DET110"] == "schedule-sanitizer"
+        assert owners["DET120"] == "perturbation-differ"
+
+    def test_cross_owner_code_collision_rejected(self):
+        claim_codes("collision-test-owner", ("ZZZ901",))
+        claim_codes("collision-test-owner", ("ZZZ901",))  # reclaim OK
+        with pytest.raises(ConfigurationError, match="ZZZ901"):
+            claim_codes("some-other-owner", ("ZZZ901",))
+
+    def test_malformed_code_rejected(self):
+        with pytest.raises(ConfigurationError):
+            claim_codes("malformed-test-owner", ("not-a-code",))
+
+    def test_register_pass_with_colliding_code_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_pass("x-colliding-pass", family="config",
+                          description="steals CFG001",
+                          codes=("CFG001",))(lambda ctx: [])
+        with pytest.raises(KeyError):
+            get_pass("x-colliding-pass")  # collision kept it unregistered
+
+    def test_pass_emitting_undeclared_code_rejected(self):
+        rogue = AnalysisPass(
+            name="x-rogue", family="source", description="lies about codes",
+            cheap=True,
+            fn=lambda ctx: [Finding("x-rogue", Severity.INFO, "ZZZ999", "m")],
+            codes=("ZZZ998",),
+        )
+        with pytest.raises(ConfigurationError, match="ZZZ999"):
+            rogue.run(AnalysisContext())
+
+
+# ---------------------------------------------------------------------------
+# Accepted-findings baseline
+# ---------------------------------------------------------------------------
+
+class TestBaseline:
+    def _report(self):
+        report = Report()
+        report.add(Finding("p", Severity.WARNING, "DET001", "racy fold",
+                           subject="pending", location="sim/x.py:12"))
+        report.add(Finding("p", Severity.ERROR, "DET020", "wall clock",
+                           location="sim/y.py:3"))
+        return report
+
+    def test_write_load_apply_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(self._report(), path)
+        entries = load_baseline(path)
+        assert len(entries) == 2
+        filtered, stale = apply_baseline(self._report(), entries)
+        assert filtered.findings == []
+        assert stale == []
+
+    def test_matching_ignores_line_numbers(self):
+        entry = BaselineEntry(code="DET001", file="sim/x.py")
+        shifted = Finding("p", Severity.WARNING, "DET001", "racy fold",
+                          location="sim/x.py:99")
+        assert entry.matches(shifted)
+
+    def test_subject_narrows_the_match(self):
+        entry = BaselineEntry(code="DET001", file="sim/x.py",
+                              subject="pending")
+        other = Finding("p", Severity.WARNING, "DET001", "racy fold",
+                        subject="other_set", location="sim/x.py:12")
+        assert not entry.matches(other)
+
+    def test_stale_entries_surface(self):
+        entries = [BaselineEntry(code="DET030", file="gone.py")]
+        filtered, stale = apply_baseline(self._report(), entries)
+        assert len(filtered.findings) == 2
+        assert stale == entries
+
+    def test_bad_baseline_files_raise(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(ConfigurationError):
+            load_baseline(missing)
+        bad_shape = tmp_path / "bad.json"
+        bad_shape.write_text('{"version": 1}')
+        with pytest.raises(ConfigurationError):
+            load_baseline(bad_shape)
+        bad_version = tmp_path / "v9.json"
+        bad_version.write_text('{"version": 9, "accepted": []}')
+        with pytest.raises(ConfigurationError):
+            load_baseline(bad_version)
+        bad_entry = tmp_path / "entry.json"
+        bad_entry.write_text('{"version": 1, "accepted": [{"code": "X"}]}')
+        with pytest.raises(ConfigurationError):
+            load_baseline(bad_entry)
 
 
 # ---------------------------------------------------------------------------
@@ -415,11 +541,15 @@ class TestSourceLints:
         findings = self._lint(tmp_path, "def broken(:\n")
         assert [f.code for f in findings] == ["SRC000"]
 
-    def test_own_tree_is_clean(self):
+    def test_own_tree_is_clean_modulo_baseline(self):
         report = analyze_source()
         assert report.ok, [f.message for f in report.errors]
-        assert report.findings == [], [
-            f"{f.location}: {f.message}" for f in report.findings
+        baseline = load_baseline(
+            Path(__file__).parent.parent / "analysis-baseline.json")
+        filtered, stale = apply_baseline(report, baseline)
+        assert stale == [], [e.to_dict() for e in stale]
+        assert filtered.findings == [], [
+            f"{f.location}: {f.message}" for f in filtered.findings
         ]
 
 

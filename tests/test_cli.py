@@ -98,6 +98,60 @@ class TestAnalyze:
         assert code == 0
         assert "0 errors" in capsys.readouterr().out
 
+    def test_self_lint_fail_on_warning_needs_the_baseline(self, capsys):
+        # The accepted DET001 advisory on sim/flows.py fails the strict
+        # threshold without the committed baseline, and passes with it.
+        assert main(["analyze", "--self", "--fail-on", "warning"]) == 1
+        capsys.readouterr()
+        code = main(["analyze", "--self", "--fail-on", "warning",
+                     "--baseline", "analysis-baseline.json"])
+        assert code == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_stale_baseline_entry_reported_on_stderr(self, tmp_path, capsys):
+        stale = tmp_path / "baseline.json"
+        stale.write_text(json.dumps({
+            "version": 1,
+            "accepted": [{"code": "DET030", "file": "gone/nowhere.py"}],
+        }))
+        code = main(["analyze", "--self", "--baseline", str(stale)])
+        assert code == 0
+        assert "stale" in capsys.readouterr().err.lower()
+
+    def test_update_baseline_round_trips(self, tmp_path, capsys):
+        path = tmp_path / "baseline.json"
+        code = main(["analyze", "--self", "--update-baseline",
+                     "--baseline", str(path)])
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert any(e["code"] == "DET001" for e in payload["accepted"])
+        code = main(["analyze", "--self", "--fail-on", "warning",
+                     "--baseline", str(path)])
+        assert code == 0
+
+    def test_update_baseline_requires_baseline_path(self, capsys):
+        code = main(["analyze", "--self", "--update-baseline"])
+        assert code == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_self_and_sanitize_are_mutually_exclusive(self, capsys):
+        code = main(["analyze", "--self", "--sanitize"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_sanitize_smoke_single_node(self, capsys):
+        code = main(["analyze", "--sanitize", "--strategy", "ddp",
+                     "--size", "0.7", "--nodes", "1",
+                     "--iterations", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        diff = payload["perturbation_diff"]
+        assert diff["races_confirmed"] is False
+        assert diff["diffs"] == []
+        assert diff["sanitizer"]["capacity_violations"] == []
+
 
 class TestExperiment:
     def test_experiment_prints_table(self, capsys):

@@ -2,7 +2,8 @@
 
 Committed JSON snapshots in ``tests/golden/`` pin the headline metrics
 of the paper's key experiments (Fig. 5 timeline, Fig. 6 max model size,
-Fig. 7 throughput, Fig. 11 offload throughput).  Any change that moves a
+Fig. 7 throughput, Fig. 9/10 communication patterns, Fig. 11 offload
+throughput).  Any change that moves a
 number — an intentional calibration change or an accidental regression —
 fails here with a readable field-level diff, also written to
 ``tests/golden/diffs/<id>.diff`` so CI can upload it as an artifact.
@@ -28,7 +29,7 @@ GOLDEN_DIR = Path(__file__).parent / "golden"
 DIFF_DIR = GOLDEN_DIR / "diffs"
 
 #: Experiments whose quick-mode rows are pinned.
-EXPERIMENT_IDS = ("fig5", "fig6", "fig7", "fig11")
+EXPERIMENT_IDS = ("fig5", "fig6", "fig7", "fig9", "fig10", "fig11")
 
 SIG_FIGS = 6
 
