@@ -1,16 +1,20 @@
 """Command-line interface.
 
-Seven subcommands mirror the paper's workflow::
+Eight subcommands mirror the paper's workflow::
 
     repro run      --strategy zero2 --size 1.4 --nodes 1     # one training run
+    repro run      --strategy ddp --trace out.json           # + Perfetto trace
     repro search   --strategy zero3 --nodes 2                # max model size
     repro stress   --duration 10                             # Fig. 3/4 tests
-    repro topology --nodes 2 --placement G                   # Fig. 2 wiring
+    repro topology --nodes 2 --placement G [--json]          # Fig. 2 wiring
     repro experiment fig7 [--full]                           # any table/figure
     repro analyze  --strategy zero3_nvme --size 20           # pre-run lints
     repro faults   --strategy zero3 \
                    --fault "node0.nic0:down@t=2ms,dur=1ms" --seed 7
                                                   # degraded-fabric run
+    repro trace diff a.json b.json                # compare two traces
+    repro trace summary out.json                  # span/byte summary
+    repro trace check out.json                    # schema validation
 
 Installed as the ``repro`` console script; also runnable via
 ``python -m repro.cli``.
@@ -41,7 +45,7 @@ from .experiments.common import ALL_STRATEGIES, make_strategy
 from .faults import FaultPlan, degradation_report
 from .telemetry.bandwidth import BandwidthMonitor
 from .hardware import Cluster, ClusterSpec, dual_node_cluster, single_node_cluster
-from .hardware.render import render_cluster
+from .hardware.render import render_cluster, render_cluster_json
 from .parallel.placement import PLACEMENTS
 from .stress import full_stress_suite, latency_sweep
 from .telemetry.report import format_table
@@ -63,7 +67,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     model = model_for_billions(args.size)
     metrics = run_training(cluster, strategy, model,
                            iterations=args.iterations,
-                           placement=PLACEMENTS[args.placement])
+                           placement=PLACEMENTS[args.placement],
+                           trace=args.trace is not None)
+    if args.trace is not None:
+        from .trace import write_trace
+        assert metrics.trace is not None
+        write_trace(metrics.trace, args.trace)
+        print(f"trace written: {args.trace} "
+              f"({len(metrics.trace.spans)} spans, "
+              f"{len(metrics.trace.flows)} flows, "
+              f"{len(metrics.trace.links)} links) — load it in "
+              f"https://ui.perfetto.dev or chrome://tracing",
+              file=sys.stderr)
     payload = {
         "strategy": strategy.name,
         "model_billions": round(metrics.billions_of_parameters, 3),
@@ -154,7 +169,42 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     placement = PLACEMENTS[args.placement]
     cluster = Cluster(ClusterSpec(num_nodes=args.nodes,
                                   node=placement.node_spec()))
-    print(render_cluster(cluster))
+    if args.json:
+        print(json.dumps(render_cluster_json(cluster), indent=2))
+    else:
+        print(render_cluster(cluster))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .trace import (
+        diff_traces,
+        load_document,
+        load_trace,
+        summarize,
+        trace_from_document,
+        validate_chrome_trace,
+    )
+    if args.trace_command == "diff":
+        diff = diff_traces(load_trace(args.a), load_trace(args.b))
+        print(diff.render())
+        return 0 if diff.clean else 1
+    if args.trace_command == "summary":
+        summary = summarize(load_trace(args.path))
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    # check: Chrome Trace schema validation + native-schema readability
+    doc = load_document(args.path)
+    problems = validate_chrome_trace(doc)
+    trace = trace_from_document(doc)
+    if problems:
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 1
+    print(f"{args.path}: valid ({len(trace.spans)} spans, "
+          f"{len(trace.flows)} flows, {len(trace.collectives)} collectives, "
+          f"{len(trace.links)} link accounts, "
+          f"{len(trace.counters)} counter tracks)")
     return 0
 
 
@@ -294,6 +344,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--nodes", type=int, default=1, choices=(1, 2))
     run.add_argument("--iterations", type=int, default=4)
     run.add_argument("--placement", choices=sorted(PLACEMENTS), default="B")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="record a structured execution trace and write "
+                          "it as Perfetto-loadable Chrome Trace JSON")
     run.add_argument("--json", action="store_true")
     run.set_defaults(func=_cmd_run)
 
@@ -314,7 +367,27 @@ def build_parser() -> argparse.ArgumentParser:
     topology.add_argument("--nodes", type=int, default=2, choices=(1, 2))
     topology.add_argument("--placement", choices=sorted(PLACEMENTS),
                           default="B")
+    topology.add_argument("--json", action="store_true",
+                          help="emit the wiring as structured JSON "
+                               "(devices, links, bandwidths)")
     topology.set_defaults(func=_cmd_topology)
+
+    trace = sub.add_parser(
+        "trace", help="inspect, validate, and compare exported traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_diff = trace_sub.add_parser(
+        "diff", help="field-compare two traces (span counts, busy "
+                     "times, per-link bytes, counter integrals)")
+    trace_diff.add_argument("a")
+    trace_diff.add_argument("b")
+    trace_summary = trace_sub.add_parser(
+        "summary", help="print a trace's flattened summary table")
+    trace_summary.add_argument("path")
+    trace_check = trace_sub.add_parser(
+        "check", help="validate a trace file against the Chrome Trace "
+                      "Event schema rules")
+    trace_check.add_argument("path")
+    trace.set_defaults(func=_cmd_trace)
 
     experiment = sub.add_parser("experiment",
                                 help="reproduce one table/figure")

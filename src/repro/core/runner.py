@@ -31,6 +31,8 @@ from ..sim.sanitizer import SanitizerReport
 from ..telemetry.bandwidth import BandwidthMonitor, BandwidthStats
 from ..telemetry.flops_profiler import FlopsProfiler, ThroughputReport
 from ..telemetry.memory import MemoryReport, snapshot
+from ..trace.model import Trace
+from ..trace.recorder import TraceRecorder, build_trace
 from ..units import GB
 
 
@@ -47,6 +49,8 @@ class RunMetrics:
     bandwidth: Dict[LinkClass, BandwidthStats]
     execution: ExecutionResult
     measurement_window: Tuple[float, float]
+    #: populated only for traced runs (``run_training(..., trace=True)``)
+    trace: Optional[Trace] = None
 
     @property
     def tflops(self) -> float:
@@ -119,6 +123,7 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
                  retry_policy: Optional[RetryPolicy] = None,
                  tie_order: Optional[TieOrder] = None,
                  sanitize: bool = False,
+                 trace: bool = False,
                  preflight: bool = True) -> RunMetrics:
     """Simulate ``iterations`` optimizer steps and measure everything.
 
@@ -135,6 +140,12 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
     and ``sanitize=True`` attaches the schedule sanitizer, whose report
     lands in ``metrics.sanitizer`` — both are the determinism subsystem's
     hooks (:mod:`repro.analysis.determinism`).
+
+    ``trace=True`` attaches a :class:`~repro.trace.TraceRecorder` and
+    assembles a full :class:`~repro.trace.model.Trace` (kernel/collective/
+    flow/fault spans, per-link accounts, counter tracks) into
+    ``metrics.trace``.  Tracing is schedule-invariant: every headline
+    metric and ledger value is identical with it on or off.
 
     Unless ``preflight=False``, the cheap static-analysis passes run
     first and any error-severity finding aborts the run before the DES
@@ -164,6 +175,7 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
     apply_memory_plan(cluster, plan, swap_volumes)
 
     schedule = strategy.build_schedule(ctx)
+    recorder = TraceRecorder() if trace else None
     executor = Executor(
         cluster, schedule,
         traffic_profile=strategy.traffic_profile,
@@ -173,6 +185,7 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
         retry_policy=retry_policy,
         tie_order=tie_order,
         sanitize=sanitize,
+        trace_recorder=recorder,
     )
     result = executor.run(iterations)
 
@@ -188,6 +201,18 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
     monitor = BandwidthMonitor(cluster)
     bandwidth = monitor.table(*window)
 
+    # Built after _record_host_background so the trace's link accounts
+    # cover every ledger charge and reconcile exactly (see repro.trace).
+    built_trace = (
+        build_trace(cluster, result, recorder, meta={
+            "strategy": strategy.name,
+            "num_nodes": cluster.num_nodes,
+            "num_gpus": cluster.num_gpus,
+            "model_parameters": total_parameters(model),
+        })
+        if trace else None
+    )
+
     return RunMetrics(
         strategy_name=strategy.name,
         model_parameters=total_parameters(model),
@@ -198,6 +223,7 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
         bandwidth=bandwidth,
         execution=result,
         measurement_window=window,
+        trace=built_trace,
     )
 
 

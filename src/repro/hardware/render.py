@@ -1,19 +1,22 @@
-"""ASCII rendering of the cluster topology (paper Fig. 2 analog).
+"""Rendering of the cluster topology (paper Fig. 2 analog).
 
 ``render_node`` draws one XE8545's internal wiring — sockets, DRAM,
 GPUs with their NVLink mesh, NICs, and NVMe drives with their socket
 attachment — and ``render_cluster`` adds the switch fan-in.  Used by the
 ``repro topology`` CLI subcommand and handy when debugging placement
-configurations.
+configurations.  ``render_cluster_json`` emits the same wiring as a
+structured document (every device and link with its class, endpoints,
+and rated bandwidth) for tooling: ``repro topology --json``.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from .cluster import Cluster
 from ..units import GB
-from .link import LinkClass
+from .devices import Device
+from .link import Link, LinkClass
 from .node import Node
 
 
@@ -73,3 +76,65 @@ def render_cluster(cluster: Cluster) -> str:
         f"{cluster.total_host_memory() / GB:.0f} GB DRAM"
     )
     return "\n\n".join(blocks + [summary])
+
+
+def _device_json(device: Device) -> Dict[str, object]:
+    out: Dict[str, object] = {
+        "name": device.name,
+        "kind": str(device.kind),
+        "node": device.node_index,
+        "socket": device.socket_index,
+    }
+    if device.memory is not None:
+        out["memory_capacity_bytes"] = device.memory.capacity_bytes
+    return out
+
+
+def _link_json(link: Link) -> Dict[str, object]:
+    return {
+        "name": link.name,
+        "class": str(link.link_class),
+        "endpoints": [link.endpoint_a, link.endpoint_b],
+        "count": link.count,
+        "duplex": link.spec.duplex,
+        "bandwidth_per_direction_bytes_per_s": link.spec.bandwidth_per_direction,
+        "attainable_per_direction_bytes_per_s": link.base_capacity_per_direction,
+        "latency_s": link.latency,
+    }
+
+
+def render_cluster_json(cluster: Cluster) -> Dict[str, object]:
+    """The cluster wiring as a structured JSON-ready document.
+
+    Mirrors what :func:`render_cluster` draws: every device (with kind,
+    node/socket placement, and memory capacity where present) and every
+    link (class, endpoints, aggregated lane count, rated and attainable
+    per-direction bandwidth, latency), plus the headline summary counts.
+    """
+    return {
+        "nodes": [
+            {
+                "name": node.name,
+                "devices": [
+                    _device_json(device)
+                    for device in (node.cpus + node.drams + node.gpus
+                                   + node.nics
+                                   + [d.device for d in node.nvme_drives])
+                ],
+            }
+            for node in cluster.nodes
+        ],
+        "switch": (_device_json(cluster.switch)
+                   if cluster.switch is not None else None),
+        "links": [
+            _link_json(link)
+            for link in sorted(cluster.topology.links,
+                               key=lambda link: link.name)
+        ],
+        "summary": {
+            "num_nodes": cluster.num_nodes,
+            "num_gpus": cluster.num_gpus,
+            "total_gpu_memory_bytes": cluster.total_gpu_memory(),
+            "total_host_memory_bytes": cluster.total_host_memory(),
+        },
+    }

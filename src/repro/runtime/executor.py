@@ -17,7 +17,7 @@ experiments need in a single pass.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.liveness import check_liveness
@@ -25,6 +25,7 @@ from ..collectives.nccl import NcclCommunicator, RetryPolicy
 from ..collectives.primitives import CollectiveOp
 from .. import calibration
 from ..errors import ConfigurationError, SimulationError
+from ..faults.events import FaultEvent
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..hardware.cluster import Cluster
@@ -46,6 +47,7 @@ from ..sim.engine import BaseEvent, Engine, TieOrder
 from ..sim.flows import FlowNetwork
 from ..sim.sanitizer import SanitizerReport, ScheduleSanitizer
 from ..telemetry.timeline import Lane, Timeline
+from ..trace.recorder import TraceRecorder
 from .kernels import KernelKind, straggler_multiplier
 
 
@@ -58,6 +60,9 @@ class ExecutionResult:
     total_time: float
     #: populated only for sanitized runs (``Executor(..., sanitize=True)``)
     sanitizer: Optional[SanitizerReport] = None
+    #: the materialized fault windows the injector applied (empty for
+    #: fault-free runs); the trace builder turns these into fault spans
+    fault_events: List[FaultEvent] = field(default_factory=list)
 
     @property
     def mean_iteration_time(self) -> float:
@@ -71,13 +76,16 @@ class _CollectiveGate:
 
     def __init__(self, executor: "Executor", comm: NcclCommunicator,
                  op: CollectiveOp, kernel: KernelKind,
-                 group: List[int], launch_count: int = 1) -> None:
+                 group: List[int], launch_count: int = 1,
+                 comm_name: str = "", group_index: int = 0) -> None:
         self.executor = executor
         self.comm = comm
         self.op = op
         self.kernel = kernel
         self.group = group
         self.launch_count = launch_count
+        self.comm_name = comm_name
+        self.group_index = group_index
         self.arrived = 0
         self.event = executor.engine.event()
 
@@ -98,6 +106,13 @@ class _CollectiveGate:
                 rank, Lane.COMMUNICATION, self.kernel, str(self.op.kind),
                 started_at, now,
             )
+        recorder = self.executor.recorder
+        if recorder is not None:
+            recorder.collective_phase(
+                self.comm_name, self.group_index, str(self.op.kind),
+                self.op.payload_bytes, self.launch_count,
+                tuple(self.group), started_at, now,
+            )
         self.event.succeed(None)
 
 
@@ -111,7 +126,8 @@ class Executor:
                  fault_plan: Optional[FaultPlan] = None,
                  retry_policy: Optional[RetryPolicy] = None,
                  tie_order: Optional[TieOrder] = None,
-                 sanitize: bool = False) -> None:
+                 sanitize: bool = False,
+                 trace_recorder: Optional[TraceRecorder] = None) -> None:
         schedule.validate()
         self.cluster = cluster
         self.schedule = schedule
@@ -121,6 +137,11 @@ class Executor:
         self.sanitizer = ScheduleSanitizer(self.engine) if sanitize else None
         self.network = FlowNetwork(self.engine)
         self.timeline = Timeline()
+        # The recorder's hooks are append-only (no engine interaction),
+        # so attaching one cannot change the schedule; when absent every
+        # hook site is a single None check.
+        self.recorder = trace_recorder
+        self.network.recorder = trace_recorder
         self.retry_policy = retry_policy
         # An empty (or absent) plan registers no hooks and schedules no
         # events, so a fault-free run is bit-identical with or without it.
@@ -184,6 +205,10 @@ class Executor:
             timeline=self.timeline,
             total_time=finished_at[0],
             sanitizer=report,
+            fault_events=(
+                list(self.faults.applied_events)
+                if self.faults is not None else []
+            ),
         )
 
     # -- per-rank interpretation ------------------------------------------------
@@ -286,7 +311,9 @@ class Executor:
             comm = self._communicators[(step.comm, group_index)]
             op = CollectiveOp(step.kind, step.payload_bytes, comm.size)
             gate = _CollectiveGate(self, comm, op, step.kernel_kind, group,
-                                   launch_count=step.op_count)
+                                   launch_count=step.op_count,
+                                   comm_name=step.comm,
+                                   group_index=group_index)
             self._gates[gate_key] = gate
         return gate.arrive()
 

@@ -111,6 +111,11 @@ class FlowNetwork:
         self._last_update = engine.now
         self.completed_flows = 0
         self.total_bytes_moved = 0.0
+        #: optional :class:`repro.trace.TraceRecorder`.  Its hooks only
+        #: append to Python lists — they never schedule events or touch
+        #: engine state — so an attached recorder cannot perturb the
+        #: simulated schedule.
+        self.recorder = None
 
     # -- public API -------------------------------------------------------------
     def transfer(self, route: Route, num_bytes: float, *,
@@ -173,6 +178,8 @@ class FlowNetwork:
     # -- internals -----------------------------------------------------------------
     def _activate(self, flow: Flow) -> None:
         flow.started_at = self.engine.now
+        if self.recorder is not None:
+            self.recorder.flow_started(flow)
         self.engine.note_touch("flows:allocator")
         self._settle()
         self._active.add(flow)
@@ -207,6 +214,8 @@ class FlowNetwork:
         for flow in finished:
             self._active.discard(flow)
             self.completed_flows += 1
+            if self.recorder is not None:
+                self.recorder.flow_finished(flow, self.engine.now)
             assert flow.completion is not None
             flow.completion.succeed(None)
         if not self._active:

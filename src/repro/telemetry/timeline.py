@@ -1,107 +1,69 @@
 """Execution timelines — the nsys-style traces of paper Fig. 5.
 
-The executor records every step it runs as a :class:`TraceRecord` with a
-rank, a lane (compute / communication / host-IO, mirroring concurrent CUDA
-streams), a kernel kind, and an interval.  :class:`Timeline` offers
-queries (busy time by kind, idle fraction) and an ASCII rendering that
-reproduces Fig. 5's at-a-glance comparison of strategies.
+The executor records every step it runs as a
+:class:`~repro.trace.model.Span` with a rank, a lane (compute /
+communication / host-IO, mirroring concurrent CUDA streams), a kernel
+kind, and an interval.  :class:`Timeline` offers queries (busy time by
+kind, idle fraction) and an ASCII rendering that reproduces Fig. 5's
+at-a-glance comparison of strategies.
+
+This module is a facade: the span model, the query functions, and the
+rendering all live in :mod:`repro.trace` (the structured tracing
+subsystem), so the ASCII figure and the exported Perfetto traces share
+one source of truth.  ``TraceRecord`` is an alias of the trace span for
+backward compatibility.
 """
 
 from __future__ import annotations
 
-import enum
-from collections import defaultdict
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..runtime.kernels import KernelKind
+from ..trace import query as _query
+from ..trace.ascii import GLYPHS, legend_text, render_rank
+from ..trace.model import Lane, Span
 
+#: Backward-compatible alias: timeline records *are* trace spans.
+TraceRecord = Span
 
-class Lane(enum.IntEnum):
-    """Concurrent activity lanes per rank (akin to CUDA streams)."""
-
-    COMPUTE = 0
-    COMMUNICATION = 1
-    HOST_IO = 2
-
-
-#: Single-character glyphs for the ASCII rendering, by kernel kind.
-GLYPHS: Dict[KernelKind, str] = {
-    KernelKind.GEMM: "G",
-    KernelKind.ELEMENTWISE: "e",
-    KernelKind.TRANSFORM: "t",
-    KernelKind.MEMORY: "m",
-    KernelKind.OPTIMIZER: "O",
-    KernelKind.NCCL_ALL_REDUCE: "R",
-    KernelKind.NCCL_REDUCE: "r",
-    KernelKind.NCCL_ALL_GATHER: "A",
-    KernelKind.NCCL_BROADCAST: "B",
-    KernelKind.NCCL_SEND_RECV: "s",
-    KernelKind.HOST_TRANSFER: "H",
-    KernelKind.NVME_IO: "N",
-    KernelKind.CPU_OPTIMIZER: "C",
-    KernelKind.IDLE: ".",
-}
-
-
-@dataclass(frozen=True)
-class TraceRecord:
-    rank: int
-    lane: Lane
-    kind: KernelKind
-    name: str
-    start: float
-    end: float
-
-    @property
-    def duration(self) -> float:
-        return self.end - self.start
+__all__ = ["GLYPHS", "Lane", "Timeline", "TraceRecord"]
 
 
 class Timeline:
     """An append-only store of trace records with summary queries."""
 
     def __init__(self) -> None:
-        self._records: List[TraceRecord] = []
+        self._records: List[Span] = []
 
     def record(self, rank: int, lane: Lane, kind: KernelKind, name: str,
                start: float, end: float) -> None:
         if end < start:
             raise ConfigurationError("trace interval is reversed")
-        self._records.append(TraceRecord(rank, lane, kind, name, start, end))
+        self._records.append(Span(rank, lane, kind, name, start, end))
 
     def __len__(self) -> int:
         return len(self._records)
 
+    @property
+    def spans(self) -> List[Span]:
+        """The recorded spans, in recording order (trace-model view)."""
+        return list(self._records)
+
     def records(self, *, rank: Optional[int] = None,
                 lane: Optional[Lane] = None,
-                kind: Optional[KernelKind] = None) -> List[TraceRecord]:
-        out = self._records
-        if rank is not None:
-            out = [r for r in out if r.rank == rank]
-        if lane is not None:
-            out = [r for r in out if r.lane == lane]
-        if kind is not None:
-            out = [r for r in out if r.kind == kind]
-        return list(out)
+                kind: Optional[KernelKind] = None) -> List[Span]:
+        return _query.filter_spans(self._records, rank=rank, lane=lane,
+                                   kind=kind)
 
     @property
     def span(self) -> Tuple[float, float]:
-        if not self._records:
-            return (0.0, 0.0)
-        return (
-            min(r.start for r in self._records),
-            max(r.end for r in self._records),
-        )
+        return _query.span_bounds(self._records)
 
     # -- summaries ---------------------------------------------------------------
     def busy_time_by_kind(self, rank: int,
                           lane: Optional[Lane] = None) -> Dict[KernelKind, float]:
-        out: Dict[KernelKind, float] = defaultdict(float)
-        for r in self.records(rank=rank, lane=lane):
-            out[r.kind] += r.duration
-        return dict(out)
+        return _query.busy_time_by_kind(self._records, rank, lane)
 
     def compute_busy_fraction(self, rank: int) -> float:
         """Fraction of wall time the GPU compute lane is non-idle.
@@ -109,20 +71,13 @@ class Timeline:
         The complement is Fig. 5's "white" idle time — communication or
         offload stalls the GPU cannot hide.
         """
-        start, end = self.span
-        wall = end - start
-        if wall <= 0:
-            return 0.0
-        busy = sum(
-            r.duration for r in self.records(rank=rank, lane=Lane.COMPUTE)
-            if r.kind is not KernelKind.IDLE
-        )
-        return min(1.0, busy / wall)
+        return _query.compute_busy_fraction(self._records, rank)
 
     def communication_time(self, rank: int) -> float:
-        return sum(
-            r.duration for r in self.records(rank=rank, lane=Lane.COMMUNICATION)
-        )
+        return _query.communication_time(self._records, rank)
+
+    def idle_fraction(self, rank: int) -> float:
+        return _query.idle_fraction(self._records, rank)
 
     # -- rendering -----------------------------------------------------------------
     def render(self, rank: int, *, width: int = 100,
@@ -132,41 +87,7 @@ class Timeline:
         Each lane is a row of ``width`` characters; the dominant kernel
         kind within each time bin picks the glyph.
         """
-        if width < 1:
-            raise ConfigurationError("width must be positive")
-        start, end = window if window is not None else self.span
-        if end <= start:
-            return ""
-        bin_width = (end - start) / width
-        rows = []
-        for lane in Lane:
-            occupancy: List[Dict[KernelKind, float]] = [
-                defaultdict(float) for _ in range(width)
-            ]
-            for r in self.records(rank=rank, lane=lane):
-                lo = max(r.start, start)
-                hi = min(r.end, end)
-                if hi <= lo:
-                    continue
-                first = int((lo - start) / bin_width)
-                last = min(int((hi - start) / bin_width), width - 1)
-                for b in range(first, last + 1):
-                    b_lo = start + b * bin_width
-                    b_hi = b_lo + bin_width
-                    overlap = min(hi, b_hi) - max(lo, b_lo)
-                    if overlap > 0:
-                        occupancy[b][r.kind] += overlap
-            chars = []
-            for cell in occupancy:
-                if not cell:
-                    chars.append(" ")
-                    continue
-                kind = max(cell, key=lambda k: cell[k])
-                chars.append(GLYPHS.get(kind, "?"))
-            rows.append(f"{lane.name.lower():>13} |{''.join(chars)}|")
-        return "\n".join(rows)
+        return render_rank(self._records, rank, width=width, window=window)
 
     def legend(self) -> str:
-        return "  ".join(
-            f"{glyph}={kind.value}" for kind, glyph in GLYPHS.items()
-        )
+        return legend_text()

@@ -1,0 +1,121 @@
+"""Trace summarization and field-level trace diffing.
+
+:func:`summarize` flattens a trace into a stable ``{key: value}`` table
+(span counts and busy seconds per lane/kind, flow and collective
+totals, per-link bytes, counter integrals, fault counts) — the compact
+artifact the golden harness snapshots.  :func:`diff_traces` compares two
+summaries after rounding floats to :data:`SIG_FIGS` significant figures
+(the same tolerance the determinism differ uses), reporting keys that
+appeared, vanished, or changed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .model import Lane, Trace
+from .query import busy_time_by_kind
+
+#: Significant figures kept when comparing float fields (matches the
+#: perturbation differ's tolerance; see repro.analysis.determinism).
+SIG_FIGS = 6
+
+
+def round_sig(value: float, sig_figs: int = SIG_FIGS) -> float:
+    """Round to significant figures (0/NaN/inf pass through)."""
+    if value == 0 or not math.isfinite(value):
+        return value
+    magnitude = math.floor(math.log10(abs(value)))
+    return round(value, sig_figs - 1 - magnitude)
+
+
+def summarize(trace: Trace) -> Dict[str, object]:
+    """Flatten a trace into a deterministic, diffable key/value table."""
+    out: Dict[str, object] = {
+        "meta/total_time": trace.meta.get("total_time", 0.0),
+        "meta/iterations": trace.meta.get("iterations", 0),
+        "spans/count": len(trace.spans),
+        "collectives/count": len(trace.collectives),
+        "flows/count": len(trace.flows),
+        "faults/count": len(trace.faults),
+        "links/count": len(trace.links),
+        "counters/count": len(trace.counters),
+    }
+    for lane in Lane:
+        merged: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for rank in trace.ranks:
+            for kind, busy in busy_time_by_kind(
+                trace.spans, rank, lane
+            ).items():
+                merged[kind.value] = merged.get(kind.value, 0.0) + busy
+            for span in trace.spans:
+                if span.rank == rank and span.lane is lane:
+                    counts[span.kind.value] = counts.get(span.kind.value, 0) + 1
+        for kind_name in sorted(merged):
+            prefix = f"spans/{lane}/{kind_name}"
+            out[f"{prefix}/count"] = counts[kind_name]
+            out[f"{prefix}/busy"] = merged[kind_name]
+    out["flows/bytes"] = sum(f.num_bytes for f in trace.flows)
+    out["collectives/payload_bytes"] = sum(
+        c.payload_bytes for c in trace.collectives
+    )
+    for account in sorted(trace.links, key=lambda a: a.name):
+        out[f"links/{account.name}/bytes"] = account.total_bytes
+        out[f"links/{account.name}/records"] = account.record_count
+    for track in sorted(trace.counters, key=lambda t: t.name):
+        out[f"counters/{track.name}/integral"] = track.integral()
+    return out
+
+
+@dataclass
+class TraceDiff:
+    """Field-level differences between two trace summaries."""
+
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    changed: Dict[str, Tuple[object, object]] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+    def render(self) -> str:
+        if self.clean:
+            return "traces match"
+        lines: List[str] = []
+        for key in self.removed:
+            lines.append(f"- {key}")
+        for key in self.added:
+            lines.append(f"+ {key}")
+        for key, (old, new) in self.changed.items():
+            lines.append(f"~ {key}: {old!r} -> {new!r}")
+        return "\n".join(lines)
+
+
+def _normalize(value: object, sig_figs: int) -> object:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return round_sig(value, sig_figs)
+    return value
+
+
+def diff_traces(a: Trace, b: Trace, *, sig_figs: int = SIG_FIGS) -> TraceDiff:
+    """Compare two traces via their summaries (floats rounded)."""
+    summary_a = summarize(a)
+    summary_b = summarize(b)
+    diff = TraceDiff()
+    for key in sorted(set(summary_a) | set(summary_b)):
+        if key not in summary_a:
+            diff.added.append(key)
+        elif key not in summary_b:
+            diff.removed.append(key)
+        else:
+            old = _normalize(summary_a[key], sig_figs)
+            new = _normalize(summary_b[key], sig_figs)
+            if old != new:
+                diff.changed[key] = (summary_a[key], summary_b[key])
+    return diff

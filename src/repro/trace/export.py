@@ -1,0 +1,283 @@
+"""Chrome Trace Event export, loading, and schema validation.
+
+:func:`to_chrome` turns a :class:`~repro.trace.model.Trace` into the
+Chrome Trace Event JSON object format that Perfetto and
+``chrome://tracing`` load directly:
+
+* one *process* per rank (``pid`` = rank) with one *thread* per lane
+  (compute / communication / host-IO), carrying complete ``X`` events
+  for every kernel span;
+* per-rank memory counters attached to the rank's process and per-link
+  utilization counters under a dedicated "links" process (``C`` events);
+* flow transfers, collective phases, and fault windows as async ``b``/
+  ``e`` pairs under their own processes, so they render as named tracks.
+
+The native schema rides along under the top-level ``"repro"`` key —
+trace viewers ignore unknown keys, so one file serves both the viewer
+and the query/diff/reconcile tooling (:func:`load_trace` reads it back).
+
+:func:`validate_chrome_trace` is the schema check CI runs on exported
+files: phases restricted to ``X``/``C``/``M``/``b``/``e``, ``X``
+timestamps monotone per ``(pid, tid)`` track, every ``b`` matched by an
+``e``, and every ``X`` categorized with a known kernel kind.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from ..runtime.kernels import KernelKind
+from ..units import US
+from .model import TRACE_SCHEMA, Lane, Trace
+
+#: Seconds-to-microseconds: Chrome Trace timestamps are in us.
+S_TO_US = 1.0 / US
+
+#: Synthetic process ids for the non-rank tracks (ranks use pid = rank).
+LINKS_PID = 9000
+FLOWS_PID = 9001
+COLLECTIVES_PID = 9002
+FAULTS_PID = 9003
+
+#: Chrome reserved color names per kernel kind (every kind must map).
+CHROME_COLORS: Dict[KernelKind, str] = {
+    KernelKind.GEMM: "thread_state_running",
+    KernelKind.ELEMENTWISE: "rail_animation",
+    KernelKind.TRANSFORM: "rail_response",
+    KernelKind.MEMORY: "rail_load",
+    KernelKind.OPTIMIZER: "cq_build_passed",
+    KernelKind.NCCL_ALL_REDUCE: "rail_idle",
+    KernelKind.NCCL_REDUCE: "cq_build_attempt_passed",
+    KernelKind.NCCL_ALL_GATHER: "startup",
+    KernelKind.NCCL_BROADCAST: "good",
+    KernelKind.NCCL_SEND_RECV: "generic_work",
+    KernelKind.HOST_TRANSFER: "yellow",
+    KernelKind.NVME_IO: "olive",
+    KernelKind.CPU_OPTIMIZER: "thread_state_runnable",
+    KernelKind.IDLE: "grey",
+}
+
+
+def to_chrome(trace: Trace) -> Dict[str, object]:
+    """Render the trace as a Chrome Trace Event JSON object."""
+    events: List[Dict[str, object]] = []
+
+    # -- process/thread metadata ----------------------------------------------
+    for rank in trace.ranks:
+        events.append(_meta("process_name", rank, 0, f"rank{rank}"))
+        events.append(_meta("process_sort_index", rank, 0, rank))
+        for lane in Lane:
+            events.append(_meta("thread_name", rank, int(lane), str(lane)))
+    for pid, name in (
+        (LINKS_PID, "links"),
+        (FLOWS_PID, "flows"),
+        (COLLECTIVES_PID, "collectives"),
+        (FAULTS_PID, "faults"),
+    ):
+        events.append(_meta("process_name", pid, 0, name))
+        events.append(_meta("process_sort_index", pid, 0, pid))
+
+    # -- rank-lane spans as complete X events (sorted: monotone per track) -----
+    for span in sorted(trace.spans,
+                       key=lambda s: (s.rank, int(s.lane), s.start, s.end)):
+        events.append({
+            "name": span.name,
+            "cat": span.kind.value,
+            "ph": "X",
+            "ts": span.start * S_TO_US,
+            "dur": span.duration * S_TO_US,
+            "pid": span.rank,
+            "tid": int(span.lane),
+            "cname": CHROME_COLORS[span.kind],
+        })
+
+    # -- counters --------------------------------------------------------------
+    for track in trace.counters:
+        pid = LINKS_PID
+        if track.name.startswith("rank"):
+            pid = int(track.name[4:track.name.index(":")])
+        for index, value in enumerate(track.values):
+            events.append({
+                "name": track.name,
+                "ph": "C",
+                "ts": (track.start + index * track.period) * S_TO_US,
+                "pid": pid,
+                "tid": 0,
+                "args": {track.unit: value},
+            })
+
+    # -- async tracks: flows, collectives, faults ------------------------------
+    for flow in trace.flows:
+        args = {
+            "bytes": flow.num_bytes,
+            "src": flow.source,
+            "dst": flow.destination,
+            "links": list(flow.links),
+            "completed": flow.completed,
+        }
+        name = flow.label or f"flow{flow.flow_id}"
+        events.append(_async("b", name, "flow", flow.flow_id, FLOWS_PID,
+                             flow.start, args))
+        events.append(_async("e", name, "flow", flow.flow_id, FLOWS_PID,
+                             flow.end))
+    for index, coll in enumerate(trace.collectives):
+        args = {
+            "payload_bytes": coll.payload_bytes,
+            "launch_count": coll.launch_count,
+            "ranks": list(coll.ranks),
+        }
+        name = f"{coll.comm}[{coll.group_index}]:{coll.kind}"
+        events.append(_async("b", name, "collective", index, COLLECTIVES_PID,
+                             coll.start, args))
+        events.append(_async("e", name, "collective", index, COLLECTIVES_PID,
+                             coll.end))
+    for index, fault in enumerate(trace.faults):
+        args = {"magnitude": fault.magnitude, "target": fault.target}
+        name = f"{fault.kind}:{fault.target}"
+        events.append(_async("b", name, "fault", index, FAULTS_PID,
+                             fault.start, args))
+        events.append(_async("e", name, "fault", index, FAULTS_PID,
+                             fault.end))
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA},
+        "repro": trace.to_dict(),
+    }
+
+
+def _meta(name: str, pid: int, tid: int, value: object) -> Dict[str, object]:
+    key = "sort_index" if name.endswith("sort_index") else "name"
+    return {"name": name, "ph": "M", "ts": 0, "pid": pid, "tid": tid,
+            "args": {key: value}}
+
+
+def _async(ph: str, name: str, cat: str, event_id: int, pid: int,
+           when: float, args: object = None) -> Dict[str, object]:
+    event: Dict[str, object] = {
+        "name": name, "cat": cat, "ph": ph, "ts": when * S_TO_US,
+        "pid": pid, "tid": 0, "id": str(event_id),
+    }
+    if args is not None:
+        event["args"] = args
+    return event
+
+
+def write_trace(trace: Trace, path: str) -> None:
+    """Write the Chrome Trace JSON (with the native schema embedded)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome(trace), handle, separators=(",", ":"))
+        handle.write("\n")
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace written by :func:`write_trace` back into a :class:`Trace`."""
+    return trace_from_document(load_document(path))
+
+
+def load_document(path: str) -> Dict[str, object]:
+    """Read an exported trace file as the raw Chrome Trace JSON object."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as error:
+        raise ConfigurationError(f"{path}: cannot read trace file "
+                                 f"({error})") from error
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"{path}: not valid JSON "
+                                 f"({error})") from error
+    if not isinstance(doc, dict):
+        raise ConfigurationError(f"{path}: not a Chrome Trace JSON object")
+    return doc
+
+
+def trace_from_document(doc: Dict[str, object]) -> Trace:
+    native = doc.get("repro")
+    if not isinstance(native, dict):
+        raise ConfigurationError(
+            "trace file has no embedded native schema under 'repro'"
+        )
+    return Trace.from_dict(native)
+
+
+_VALID_PHASES = frozenset({"X", "C", "M", "b", "e"})
+_KERNEL_VALUES = frozenset(kind.value for kind in KernelKind)
+
+
+def validate_chrome_trace(doc: Dict[str, object]) -> List[str]:
+    """Schema-check an exported document; returns problem strings.
+
+    Rules: ``traceEvents`` must be a list of events whose phases are all
+    in ``{X, C, M, b, e}``; every event needs ``name``/``pid``/``tid``
+    and a non-negative ``ts``; ``X`` events need a non-negative ``dur``,
+    a known kernel-kind ``cat``, and monotone non-decreasing ``ts``
+    within their ``(pid, tid)`` track; every async ``b`` needs exactly
+    one matching ``e`` (same ``cat``/``id``/``pid``) that does not
+    precede it; ``C`` events need numeric args.
+    """
+    problems: List[str] = []
+    raw = doc.get("traceEvents")
+    if not isinstance(raw, list):
+        return ["traceEvents is missing or not a list"]
+    last_ts: Dict[Tuple[object, object], float] = {}
+    open_async: Dict[Tuple[object, object, object], Tuple[int, float]] = {}
+    for index, event in enumerate(raw):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _VALID_PHASES:
+            problems.append(f"{where}: unsupported phase {ph!r}")
+            continue
+        for field in ("name", "pid", "tid"):
+            if field not in event:
+                problems.append(f"{where}: missing {field!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+            continue
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event with bad dur {dur!r}")
+            cat = event.get("cat")
+            if cat not in _KERNEL_VALUES:
+                problems.append(
+                    f"{where}: X event cat {cat!r} is not a kernel kind"
+                )
+            track = (event.get("pid"), event.get("tid"))
+            if ts < last_ts.get(track, 0.0):
+                problems.append(
+                    f"{where}: ts {ts} regresses on track pid={track[0]} "
+                    f"tid={track[1]}"
+                )
+            last_ts[track] = max(last_ts.get(track, 0.0), float(ts))
+        elif ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(f"{where}: C event without numeric args")
+        elif ph == "b":
+            key = (event.get("cat"), event.get("id"), event.get("pid"))
+            if key in open_async:
+                problems.append(f"{where}: duplicate open async id {key!r}")
+            open_async[key] = (index, float(ts))
+        elif ph == "e":
+            key = (event.get("cat"), event.get("id"), event.get("pid"))
+            opened = open_async.pop(key, None)
+            if opened is None:
+                problems.append(f"{where}: e event with no matching b {key!r}")
+            elif float(ts) < opened[1]:
+                problems.append(
+                    f"{where}: e event precedes its b (id {key!r})"
+                )
+    for key, (index, _ts) in sorted(open_async.items(), key=lambda kv: kv[1]):
+        problems.append(
+            f"traceEvents[{index}]: b event with no matching e {key!r}"
+        )
+    return problems

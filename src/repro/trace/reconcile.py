@@ -1,0 +1,103 @@
+"""Trace/ledger reconciliation: the trace must not contradict the books.
+
+The flow network charges every byte it moves to the traversed links'
+:class:`~repro.hardware.link.BandwidthLedger`, and :func:`build_trace`
+copies each ledger's totals into the trace's
+:class:`~repro.trace.model.LinkAccount` rows at export time.  This pass
+re-derives the ledger totals from a live cluster and asserts the
+(possibly JSON-round-tripped) trace still agrees:
+
+* ``TRC001`` — a link's account disagrees with its ledger total (bytes
+  or record count).  Exact comparison: the account was computed by the
+  same summation and ``repr``-exact JSON round-trips floats losslessly.
+* ``TRC002`` — a link with ledger traffic is missing from the trace, or
+  the trace accounts for a link the ledger never saw.
+* ``TRC003`` — the trace's flow spans attribute more bytes to a link
+  than the link's account holds (flows are a subset of ledger traffic —
+  direct charges like host background and CPU-Adam DRAM add on top, so
+  flow bytes may be *under* but never *over* the account).  Checked with
+  a small relative tolerance for floating-point dust.
+
+Codes are claimed in :mod:`repro.analysis.registry` at import time like
+the other dynamic reporters (DET101/DET120), so ``self_check()`` keeps
+guarding against collisions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..analysis.findings import Finding, Report, Severity
+from ..analysis.registry import claim_codes
+from .model import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hardware.cluster import Cluster
+
+#: Reporter name under which the TRC codes are claimed.
+TRACE_RECONCILE_PASS = "trace-reconcile"
+
+#: Relative slack for the flow-attribution check (TRC003 only; the
+#: per-link account comparison is exact).
+FLOW_BYTES_RTOL = 1e-9
+
+claim_codes(TRACE_RECONCILE_PASS, ("TRC001", "TRC002", "TRC003"))
+
+
+def reconcile_findings(trace: Trace, cluster: "Cluster") -> List[Finding]:
+    """Compare a trace's link accounts against the cluster's live ledgers."""
+    findings: List[Finding] = []
+    accounts = {account.name: account for account in trace.links}
+    seen = set()
+    for link in cluster.topology.links:
+        ledger = link.ledger
+        account = accounts.get(link.name)
+        if account is None:
+            if len(ledger) > 0:
+                findings.append(Finding(
+                    TRACE_RECONCILE_PASS, Severity.ERROR, "TRC002",
+                    f"link {link.name!r} moved "
+                    f"{ledger.total_bytes:.6g} bytes but has no account "
+                    f"in the trace",
+                    subject=link.name,
+                ))
+            continue
+        seen.add(link.name)
+        if (account.total_bytes != ledger.total_bytes
+                or account.record_count != len(ledger)):
+            findings.append(Finding(
+                TRACE_RECONCILE_PASS, Severity.ERROR, "TRC001",
+                f"link {link.name!r}: trace accounts "
+                f"{account.total_bytes!r} bytes in {account.record_count} "
+                f"records, ledger holds {ledger.total_bytes!r} bytes in "
+                f"{len(ledger)} records",
+                subject=link.name,
+            ))
+    for name in sorted(set(accounts) - seen):
+        findings.append(Finding(
+            TRACE_RECONCILE_PASS, Severity.ERROR, "TRC002",
+            f"trace accounts for link {name!r} which the cluster "
+            f"topology does not contain",
+            subject=name,
+        ))
+    flow_bytes = trace.flow_bytes_by_link()
+    for name in sorted(flow_bytes):
+        account = accounts.get(name)
+        total = account.total_bytes if account is not None else 0.0
+        slack = abs(total) * FLOW_BYTES_RTOL
+        if flow_bytes[name] > total + slack:
+            findings.append(Finding(
+                TRACE_RECONCILE_PASS, Severity.ERROR, "TRC003",
+                f"link {name!r}: flow spans attribute "
+                f"{flow_bytes[name]:.6g} bytes but the account holds only "
+                f"{total:.6g}",
+                subject=name,
+            ))
+    return findings
+
+
+def reconcile_report(trace: Trace, cluster: "Cluster") -> Report:
+    """:func:`reconcile_findings` wrapped in a standard analysis report."""
+    report = Report(passes_run=[TRACE_RECONCILE_PASS])
+    report.extend(reconcile_findings(trace, cluster))
+    return report

@@ -1,0 +1,177 @@
+"""Opt-in live recorder plus the post-run trace builder.
+
+:class:`TraceRecorder` is the only live instrumentation tracing adds.
+It is deliberately inert: every hook appends to a Python list and never
+touches the engine (no events, no timeouts, no ``note_touch``), so an
+attached recorder cannot perturb the schedule — the tracing-invariance
+test pins this with the perturbation differ.  When no recorder is
+attached the hook sites are a single ``is None`` check, which is the
+zero-cost-when-disabled guarantee.
+
+Everything else a trace holds is *derived after the run ends* by
+:func:`build_trace`: rank-lane spans come from the executor's timeline,
+fault windows from the injector's materialized plan, link accounts and
+counter tracks from the bandwidth ledgers (sampled on a
+:data:`DEFAULT_COUNTER_SAMPLES`-bin grid), and per-rank memory from the
+pools.  Post-run derivation keeps the recording surface minimal and
+guarantees the accounts reconcile with the ledgers by construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .model import (
+    CollectiveSpan,
+    CounterTrack,
+    FaultSpan,
+    FlowSpan,
+    LinkAccount,
+    Span,
+    Trace,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hardware.cluster import Cluster
+    from ..runtime.executor import ExecutionResult
+    from ..sim.flows import Flow
+
+#: Bins in each per-link utilization counter track.
+DEFAULT_COUNTER_SAMPLES = 200
+
+
+class TraceRecorder:
+    """Collects flow and collective phases as they happen.
+
+    Attach one to :class:`~repro.runtime.executor.Executor` via its
+    ``trace_recorder`` argument; it threads the recorder into the flow
+    network.  All methods are append-only.
+    """
+
+    def __init__(self) -> None:
+        self.flows: List[FlowSpan] = []
+        self.collectives: List[CollectiveSpan] = []
+        self._open_flows: Dict[int, "Flow"] = {}
+
+    # -- flow network hooks ----------------------------------------------------
+    def flow_started(self, flow: "Flow") -> None:
+        self._open_flows[flow.id] = flow
+
+    def flow_finished(self, flow: "Flow", end: float) -> None:
+        self._open_flows.pop(flow.id, None)
+        self.flows.append(self._span_of(flow, end, completed=True))
+
+    # -- executor hook ---------------------------------------------------------
+    def collective_phase(self, comm: str, group_index: int, kind: str,
+                         payload_bytes: float, launch_count: int,
+                         ranks: Tuple[int, ...], start: float,
+                         end: float) -> None:
+        self.collectives.append(CollectiveSpan(
+            comm=comm,
+            group_index=group_index,
+            kind=kind,
+            payload_bytes=payload_bytes,
+            launch_count=launch_count,
+            ranks=ranks,
+            start=start,
+            end=end,
+        ))
+
+    # -- finalization ----------------------------------------------------------
+    def drain_open_flows(self, end: float) -> None:
+        """Close out flows still streaming when the run ended.
+
+        Their spans cover only the bytes that actually moved, and are
+        marked ``completed=False``.
+        """
+        for flow_id in sorted(self._open_flows):
+            flow = self._open_flows[flow_id]
+            self.flows.append(self._span_of(flow, end, completed=False))
+        self._open_flows.clear()
+
+    @staticmethod
+    def _span_of(flow: "Flow", end: float, *, completed: bool) -> FlowSpan:
+        moved = flow.bytes_total - (0.0 if completed else flow.bytes_remaining)
+        return FlowSpan(
+            flow_id=flow.id,
+            label=flow.label,
+            source=flow.route.source,
+            destination=flow.route.destination,
+            links=tuple(link.name for link in flow.route.links),
+            num_bytes=moved,
+            start=flow.started_at if flow.started_at is not None else end,
+            end=end,
+            completed=completed,
+        )
+
+
+def build_trace(cluster: "Cluster", result: "ExecutionResult",
+                recorder: Optional[TraceRecorder] = None, *,
+                meta: Optional[Dict[str, object]] = None,
+                counter_samples: int = DEFAULT_COUNTER_SAMPLES) -> Trace:
+    """Assemble the full :class:`Trace` for one finished run.
+
+    Call this *after* all ledger charges are in (in particular after
+    :func:`repro.core.runner._record_host_background`), so the link
+    accounts equal the final ledger state exactly.
+    """
+    trace = Trace(meta=dict(meta or {}))
+    trace.meta.setdefault("total_time", result.total_time)
+    trace.meta.setdefault("iterations", len(result.iteration_times))
+
+    trace.spans = list(result.timeline.spans)
+    if recorder is not None:
+        recorder.drain_open_flows(result.total_time)
+        trace.flows = list(recorder.flows)
+        trace.collectives = list(recorder.collectives)
+
+    trace.faults = [
+        FaultSpan(
+            kind=str(event.kind),
+            target=event.target,
+            magnitude=event.magnitude,
+            start=event.start,
+            end=event.end,
+        )
+        for event in result.fault_events
+    ]
+
+    duration = result.total_time
+    for link in cluster.topology.links:
+        ledger = link.ledger
+        if len(ledger) == 0:
+            continue
+        trace.links.append(LinkAccount(
+            name=link.name,
+            link_class=str(link.link_class),
+            total_bytes=ledger.total_bytes,
+            record_count=len(ledger),
+            degraded=tuple(ledger.degraded_intervals()),
+        ))
+        if duration > 0 and counter_samples > 0:
+            trace.counters.append(CounterTrack(
+                name=f"link:{link.name}",
+                unit="bytes/s",
+                start=0.0,
+                period=duration / counter_samples,
+                values=tuple(ledger.sample(0.0, duration, counter_samples)),
+            ))
+
+    for rank in range(cluster.num_gpus):
+        gpu = cluster.gpu(rank)
+        dram = cluster.dram_for_rank(rank)
+        trace.counters.append(CounterTrack(
+            name=f"rank{rank}:device_mem",
+            unit="bytes",
+            start=0.0,
+            period=duration if duration > 0 else 1.0,
+            values=(gpu.memory.used_bytes,),
+        ))
+        trace.counters.append(CounterTrack(
+            name=f"rank{rank}:host_mem",
+            unit="bytes",
+            start=0.0,
+            period=duration if duration > 0 else 1.0,
+            values=(dram.memory.used_bytes,),
+        ))
+    return trace

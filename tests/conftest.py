@@ -5,7 +5,28 @@ rewrite the committed golden snapshots from the current simulator
 output (after an intentional model change)::
 
     PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden
+
+Also hosts the session-scoped ``traced_ddp`` fixture: one traced
+training run shared by every trace-subsystem test module, so the DES
+only pays for it once per session.
 """
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def traced_ddp():
+    """One traced quick DDP run: ``(cluster, metrics)``, run once."""
+    from repro.core.runner import run_training
+    from repro.core.search import model_for_billions
+    from repro.experiments.common import make_strategy
+    from repro.hardware.presets import dual_node_cluster
+
+    cluster = dual_node_cluster()
+    metrics = run_training(cluster, make_strategy("ddp"),
+                           model_for_billions(0.7), iterations=2,
+                           trace=True)
+    return cluster, metrics
 
 
 def pytest_addoption(parser):

@@ -16,6 +16,13 @@ class TestParser:
         assert args.command == "search"
         args = parser.parse_args(["experiment", "fig1"])
         assert args.id == "fig1"
+        args = parser.parse_args(["trace", "diff", "a.json", "b.json"])
+        assert args.command == "trace"
+        assert args.trace_command == "diff"
+
+    def test_trace_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
 
     def test_unknown_strategy_rejected(self):
         parser = build_parser()
@@ -51,6 +58,80 @@ class TestRun:
                      "--iterations", "2"])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestTrace:
+    @pytest.fixture()
+    def trace_file(self, tmp_path, capsys):
+        path = tmp_path / "ddp.json"
+        code = main(["run", "--strategy", "ddp", "--size", "0.7",
+                     "--iterations", "2", "--json",
+                     "--trace", str(path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "trace written" in captured.err
+        # --trace must not disturb the normal output contract.
+        assert json.loads(captured.out)["tflops"] > 0
+        return path
+
+    def test_run_trace_writes_a_valid_chrome_trace(self, trace_file):
+        from repro.trace import validate_chrome_trace
+
+        doc = json.loads(trace_file.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["repro"]["meta"]["strategy"] == "ddp"
+
+    def test_trace_check_accepts_the_export(self, trace_file, capsys):
+        assert main(["trace", "check", str(trace_file)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_trace_check_rejects_corruption(self, trace_file, tmp_path,
+                                            capsys):
+        doc = json.loads(trace_file.read_text())
+        doc["traceEvents"][0]["ph"] = "Q"
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(doc))
+        assert main(["trace", "check", str(bad)]) == 1
+        assert "phase" in capsys.readouterr().err
+
+    def test_trace_summary_prints_flat_table(self, trace_file, capsys):
+        assert main(["trace", "summary", str(trace_file)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans/count"] > 0
+        assert any(key.startswith("links/") for key in payload)
+
+    def test_trace_self_diff_is_clean(self, trace_file, capsys):
+        code = main(["trace", "diff", str(trace_file), str(trace_file)])
+        assert code == 0
+        assert "traces match" in capsys.readouterr().out
+
+    def test_trace_diff_detects_divergence(self, trace_file, tmp_path,
+                                           capsys):
+        doc = json.loads(trace_file.read_text())
+        doc["repro"]["links"][0]["bytes"] *= 2
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps(doc))
+        code = main(["trace", "diff", str(trace_file), str(other)])
+        assert code == 1
+        assert "~ links/" in capsys.readouterr().out
+
+
+class TestTopology:
+    def test_ascii_render(self, capsys):
+        assert main(["topology", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "NVLink mesh" in out
+
+    def test_json_render(self, capsys):
+        assert main(["topology", "--nodes", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["num_nodes"] == 2
+        assert payload["summary"]["num_gpus"] == 8
+        assert len(payload["nodes"]) == 2
+        names = {link["name"] for link in payload["links"]}
+        assert any("nvlink" in name for name in names)
+        for link in payload["links"]:
+            assert link["bandwidth_per_direction_bytes_per_s"] > 0
 
 
 class TestSearch:

@@ -24,6 +24,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.registry import run_experiment
+from repro.trace.diff import summarize
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 DIFF_DIR = GOLDEN_DIR / "diffs"
@@ -117,6 +118,55 @@ def test_golden_metrics(experiment_id, request):
             f"golden drift in {experiment_id} "
             f"({len(drift)} field(s); full diff at {diff_path}):\n"
             + "\n".join(drift[:20])
+        )
+
+
+def test_fig5_ascii_render_byte_identical(request):
+    """The Fig. 5 rendering is pinned byte-for-byte, not just metric-wise.
+
+    The ASCII renderer moved from ``repro.telemetry.timeline`` into
+    ``repro.trace.ascii``; this snapshot proves the refactor (and any
+    future one) changes nothing in the output.
+    """
+    rendered = run_experiment("fig5", quick=True).rendered
+    path = GOLDEN_DIR / "fig5_render.txt"
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(rendered)
+        pytest.skip(f"golden render {path.name} rewritten")
+    if not path.exists():
+        pytest.fail(f"missing golden render {path}; create it with "
+                    f"pytest tests/test_golden.py --update-golden")
+    assert rendered == path.read_text()
+
+
+def test_golden_trace_summary(request, traced_ddp):
+    """The traced DDP run's summary table is pinned like the experiments."""
+    _, metrics = traced_ddp
+    current = {key: sanitize(value)
+               for key, value in summarize(metrics.trace).items()}
+    path = GOLDEN_DIR / "trace_ddp_summary.json"
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"golden trace summary {path.name} rewritten")
+    if not path.exists():
+        pytest.fail(f"missing golden trace summary {path}; create it with "
+                    f"pytest tests/test_golden.py --update-golden")
+    golden = json.loads(path.read_text())
+    drift = []
+    for key in sorted(set(golden) | set(current)):
+        g_val = golden.get(key, "<missing>")
+        c_val = current.get(key, "<missing>")
+        if g_val != c_val:
+            drift.append(f"[{key}]: golden={g_val!r} current={c_val!r}")
+    if drift:
+        DIFF_DIR.mkdir(exist_ok=True)
+        diff_path = DIFF_DIR / "trace_ddp_summary.diff"
+        diff_path.write_text("\n".join(drift) + "\n")
+        pytest.fail(
+            f"golden trace-summary drift ({len(drift)} field(s); full "
+            f"diff at {diff_path}):\n" + "\n".join(drift[:20])
         )
 
 

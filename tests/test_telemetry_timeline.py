@@ -4,7 +4,9 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.runtime.kernels import KernelKind
-from repro.telemetry.timeline import GLYPHS, Lane, Timeline
+from repro.telemetry.timeline import GLYPHS, Lane, Timeline, TraceRecord
+from repro.trace.model import Span
+from repro.trace.query import overlap_fraction
 
 
 @pytest.fixture()
@@ -50,6 +52,32 @@ class TestSummaries:
     def test_communication_time(self, timeline):
         assert timeline.communication_time(0) == pytest.approx(0.3)
         assert timeline.communication_time(1) == 0.0
+
+    def test_idle_fraction_is_busy_complement(self, timeline):
+        assert timeline.idle_fraction(0) == pytest.approx(0.2)
+        assert timeline.idle_fraction(1) == pytest.approx(0.0)
+
+    def test_overlap_fraction_over_timeline_spans(self, timeline):
+        # Communication 0.4-0.7 vs non-idle compute 0.0-0.5 + 0.7-1.0:
+        # only 0.4-0.5 is hidden.
+        assert overlap_fraction(timeline.spans, 0) == pytest.approx(1 / 3)
+
+
+class TestTraceFacade:
+    """Timeline is now a facade over the repro.trace span model."""
+
+    def test_trace_record_is_the_trace_span(self):
+        assert TraceRecord is Span
+
+    def test_spans_property_returns_copies(self, timeline):
+        spans = timeline.spans
+        assert len(spans) == 5
+        assert all(isinstance(span, Span) for span in spans)
+        spans.clear()
+        assert len(timeline.spans) == 5  # the timeline is unaffected
+
+    def test_records_and_spans_agree(self, timeline):
+        assert timeline.records() == timeline.spans
 
 
 class TestRendering:

@@ -1,0 +1,193 @@
+"""Chrome Trace export: schema validity, round trips, the validator."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.kernels import KernelKind
+from repro.trace import (
+    CHROME_COLORS,
+    GLYPHS,
+    diff_traces,
+    load_document,
+    load_trace,
+    to_chrome,
+    trace_from_document,
+    validate_chrome_trace,
+    write_trace,
+)
+from repro.trace.export import LINKS_PID
+from repro.trace.model import TRACE_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def chrome_doc(traced_ddp):
+    _, metrics = traced_ddp
+    return to_chrome(metrics.trace)
+
+
+class TestKindCoverage:
+    def test_every_kernel_kind_has_a_color(self):
+        assert set(CHROME_COLORS) == set(KernelKind)
+
+    def test_every_kernel_kind_has_a_glyph(self):
+        assert set(GLYPHS) == set(KernelKind)
+
+
+class TestExportedDocument:
+    def test_validator_finds_no_problems(self, chrome_doc):
+        assert validate_chrome_trace(chrome_doc) == []
+
+    def test_schema_tag_rides_along(self, chrome_doc):
+        assert chrome_doc["otherData"]["schema"] == TRACE_SCHEMA
+        assert chrome_doc["repro"]["schema"] == TRACE_SCHEMA
+
+    def test_every_b_has_a_matching_e(self, chrome_doc):
+        opened = {}
+        for event in chrome_doc["traceEvents"]:
+            key = (event.get("cat"), event.get("id"), event.get("pid"))
+            if event["ph"] == "b":
+                assert key not in opened
+                opened[key] = event["ts"]
+            elif event["ph"] == "e":
+                assert key in opened
+                assert event["ts"] >= opened.pop(key)
+        assert opened == {}
+
+    def test_x_timestamps_monotone_per_track(self, chrome_doc):
+        last = {}
+        for event in chrome_doc["traceEvents"]:
+            if event["ph"] != "X":
+                continue
+            track = (event["pid"], event["tid"])
+            assert event["ts"] >= last.get(track, 0.0)
+            assert event["dur"] >= 0.0
+            last[track] = event["ts"]
+
+    def test_x_events_categorized_by_kernel_kind(self, chrome_doc):
+        kinds = {kind.value for kind in KernelKind}
+        x_events = [e for e in chrome_doc["traceEvents"] if e["ph"] == "X"]
+        assert x_events
+        assert all(e["cat"] in kinds for e in x_events)
+
+    def test_one_process_per_rank(self, chrome_doc, traced_ddp):
+        _, metrics = traced_ddp
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in chrome_doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        for rank in metrics.trace.ranks:
+            assert names[rank] == f"rank{rank}"
+        assert names[LINKS_PID] == "links"
+
+    def test_link_counters_live_under_the_links_process(self, chrome_doc):
+        counters = [e for e in chrome_doc["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        for event in counters:
+            if event["name"].startswith("link:"):
+                assert event["pid"] == LINKS_PID
+            else:  # rankN:device_mem / rankN:host_mem
+                assert event["pid"] == int(
+                    event["name"].split(":")[0][len("rank"):]
+                )
+            assert all(isinstance(v, (int, float))
+                       for v in event["args"].values())
+
+
+class TestRoundTrip:
+    def test_write_load_preserves_the_trace(self, traced_ddp, tmp_path):
+        _, metrics = traced_ddp
+        path = tmp_path / "trace.json"
+        write_trace(metrics.trace, str(path))
+        again = load_trace(str(path))
+        assert diff_traces(metrics.trace, again).clean
+        # The reloaded file is itself a valid Chrome trace.
+        assert validate_chrome_trace(load_document(str(path))) == []
+
+    def test_document_without_native_schema_rejected(self):
+        with pytest.raises(ConfigurationError):
+            trace_from_document({"traceEvents": []})
+
+    def test_non_object_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ConfigurationError):
+            load_document(str(path))
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json at all")
+        with pytest.raises(ConfigurationError):
+            load_document(str(path))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_document(str(tmp_path / "nope.json"))
+
+
+class TestValidatorCatchesCorruption:
+    """The validator must demonstrably fail on planted schema breaks."""
+
+    def _events(self, chrome_doc):
+        return json.loads(json.dumps(chrome_doc["traceEvents"]))
+
+    def test_unknown_phase(self, chrome_doc):
+        events = self._events(chrome_doc)
+        events[0]["ph"] = "Q"
+        assert any("phase" in p
+                   for p in validate_chrome_trace({"traceEvents": events}))
+
+    def test_negative_timestamp(self, chrome_doc):
+        events = self._events(chrome_doc)
+        events[0]["ts"] = -1.0
+        assert any("bad ts" in p
+                   for p in validate_chrome_trace({"traceEvents": events}))
+
+    def test_unknown_kernel_category(self, chrome_doc):
+        events = self._events(chrome_doc)
+        x = next(e for e in events if e["ph"] == "X")
+        x["cat"] = "mystery"
+        assert any("not a kernel kind" in p
+                   for p in validate_chrome_trace({"traceEvents": events}))
+
+    def test_timestamp_regression_on_a_track(self, chrome_doc):
+        events = self._events(chrome_doc)
+        xs = [e for e in events if e["ph"] == "X"]
+        track = (xs[0]["pid"], xs[0]["tid"])
+        last = [e for e in xs if (e["pid"], e["tid"]) == track][-1]
+        last["ts"] = 0.0
+        problems = validate_chrome_trace({"traceEvents": events})
+        # Either the moved event regresses or its successors now do.
+        assert any("regresses" in p for p in problems) or last is xs[0]
+
+    def test_unmatched_b_event(self, chrome_doc):
+        events = self._events(chrome_doc)
+        b = next(e for e in events if e["ph"] == "b")
+        events.remove(next(
+            e for e in events
+            if e["ph"] == "e" and (e["cat"], e["id"], e["pid"])
+            == (b["cat"], b["id"], b["pid"])
+        ))
+        assert any("no matching e" in p
+                   for p in validate_chrome_trace({"traceEvents": events}))
+
+    def test_orphan_e_event(self, chrome_doc):
+        events = self._events(chrome_doc)
+        b = next(e for e in events if e["ph"] == "b")
+        events.remove(b)
+        assert any("no matching b" in p
+                   for p in validate_chrome_trace({"traceEvents": events}))
+
+    def test_counter_without_numeric_args(self, chrome_doc):
+        events = self._events(chrome_doc)
+        c = next(e for e in events if e["ph"] == "C")
+        c["args"] = {"bytes/s": "lots"}
+        assert any("numeric args" in p
+                   for p in validate_chrome_trace({"traceEvents": events}))
+
+    def test_missing_trace_events(self):
+        assert validate_chrome_trace({}) == [
+            "traceEvents is missing or not a list"
+        ]

@@ -1,0 +1,124 @@
+"""Trace/ledger reconciliation: TRC findings and registry ownership."""
+
+import json
+
+import pytest
+
+from repro.analysis.findings import Severity
+from repro.analysis.registry import code_owners, self_check
+from repro.trace.model import FlowSpan, LinkAccount, Trace
+from repro.trace.reconcile import (
+    TRACE_RECONCILE_PASS,
+    reconcile_findings,
+    reconcile_report,
+)
+
+
+def round_tripped(trace):
+    """The trace after a repr-exact JSON round trip (what files hold)."""
+    return Trace.from_dict(json.loads(json.dumps(trace.to_dict())))
+
+
+@pytest.fixture()
+def run(traced_ddp):
+    cluster, metrics = traced_ddp
+    return cluster, metrics.trace
+
+
+class TestCleanRun:
+    def test_traced_run_reconciles_exactly(self, run):
+        cluster, trace = run
+        assert reconcile_findings(trace, cluster) == []
+
+    def test_reconciles_after_json_round_trip(self, run):
+        cluster, trace = run
+        assert reconcile_findings(round_tripped(trace), cluster) == []
+
+    def test_report_names_the_pass(self, run):
+        cluster, trace = run
+        report = reconcile_report(trace, cluster)
+        assert TRACE_RECONCILE_PASS in report.passes_run
+        assert report.ok
+
+    def test_accounts_cover_every_active_link(self, run):
+        cluster, trace = run
+        accounted = {account.name for account in trace.links}
+        for link in cluster.topology.links:
+            if len(link.ledger) > 0:
+                assert link.name in accounted
+
+
+class TestTamperedTraces:
+    def _codes(self, findings):
+        return sorted({f.code for f in findings})
+
+    def test_wrong_byte_total_raises_trc001(self, run):
+        cluster, trace = run
+        tampered = round_tripped(trace)
+        account = tampered.links[0]
+        tampered.links[0] = LinkAccount(
+            account.name, account.link_class,
+            account.total_bytes + 1.0, account.record_count,
+            account.degraded,
+        )
+        assert "TRC001" in self._codes(reconcile_findings(tampered, cluster))
+
+    def test_wrong_record_count_raises_trc001(self, run):
+        cluster, trace = run
+        tampered = round_tripped(trace)
+        account = tampered.links[0]
+        tampered.links[0] = LinkAccount(
+            account.name, account.link_class,
+            account.total_bytes, account.record_count + 1,
+            account.degraded,
+        )
+        assert "TRC001" in self._codes(reconcile_findings(tampered, cluster))
+
+    def test_dropped_account_raises_trc002(self, run):
+        cluster, trace = run
+        tampered = round_tripped(trace)
+        dropped = tampered.links.pop(0)
+        findings = reconcile_findings(tampered, cluster)
+        assert "TRC002" in self._codes(findings)
+        assert any(f.subject == dropped.name for f in findings)
+
+    def test_phantom_account_raises_trc002(self, run):
+        cluster, trace = run
+        tampered = round_tripped(trace)
+        tampered.links.append(
+            LinkAccount("node9.fake-link", "nvlink", 1.0, 1)
+        )
+        findings = reconcile_findings(tampered, cluster)
+        assert any(f.code == "TRC002"
+                   and f.subject == "node9.fake-link" for f in findings)
+
+    def test_inflated_flow_bytes_raise_trc003(self, run):
+        cluster, trace = run
+        tampered = round_tripped(trace)
+        link_name = tampered.links[0].name
+        tampered.flows.append(FlowSpan(
+            10 ** 9, "bogus", "a", "b", (link_name,),
+            tampered.links[0].total_bytes * 2, 0.0, 1.0,
+        ))
+        findings = reconcile_findings(tampered, cluster)
+        assert any(f.code == "TRC003" and f.subject == link_name
+                   for f in findings)
+
+    def test_all_findings_are_errors_from_this_pass(self, run):
+        cluster, trace = run
+        tampered = round_tripped(trace)
+        tampered.links.pop(0)
+        for finding in reconcile_findings(tampered, cluster):
+            assert finding.pass_name == TRACE_RECONCILE_PASS
+            assert finding.severity is Severity.ERROR
+
+
+class TestRegistryOwnership:
+    def test_registry_self_check_passes(self):
+        summary = self_check()
+        assert summary["passes"] > 0
+
+    def test_trc_codes_claimed_by_the_reconcile_pass(self):
+        owners = code_owners()
+        for code in ("TRC001", "TRC002", "TRC003"):
+            assert owners[code] == TRACE_RECONCILE_PASS
