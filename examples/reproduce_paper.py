@@ -1,17 +1,24 @@
 #!/usr/bin/env python3
 """Reproduce every table and figure of the paper in one run.
 
-Drives the experiment registry in paper order and prints each
-reproduction table/plot.  ``--full`` uses the paper's iteration counts
-(slower); the default quick mode is what CI runs.
+Expands the paper's experiments into a campaign, executes it across a
+worker pool, and prints each reproduction table/plot in paper order.
+Results go through the content-addressed cache, so a second invocation
+(same code version) replays from disk instead of resimulating; pass
+``--no-cache`` to force recomputation.  ``--full`` uses the paper's
+iteration counts (slower); the default quick mode is what CI runs.
 
 Run:  python examples/reproduce_paper.py [--full] [--only fig7,table5]
+          [--workers 4] [--cache-dir .repro-cache] [--no-cache]
 """
 
 import argparse
+import multiprocessing
+import sys
 import time
 
-from repro.experiments import PAPER_EXPERIMENTS, run_experiment
+from repro.campaign import CampaignSpec, ResultCache, run_campaign
+from repro.experiments import PAPER_EXPERIMENTS
 
 
 def main() -> None:
@@ -22,6 +29,13 @@ def main() -> None:
                         help="comma-separated experiment ids")
     parser.add_argument("--ablations", action="store_true",
                         help="also run the design-choice ablations")
+    parser.add_argument("--workers", type=int,
+                        default=min(4, multiprocessing.cpu_count()),
+                        help="worker processes (1 = serial)")
+    parser.add_argument("--cache-dir", default=".repro-cache",
+                        help="content-addressed result cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute everything; don't touch the cache")
     args = parser.parse_args()
 
     ids = ([x.strip() for x in args.only.split(",") if x.strip()]
@@ -30,17 +44,23 @@ def main() -> None:
         ids += ["ablation_serdes", "ablation_overlap", "ablation_nvme",
                 "ablation_buffers"]
 
+    campaign = CampaignSpec(name="reproduce-paper",
+                            experiments=tuple(ids), full=args.full)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
     started = time.time()
-    for experiment_id in ids:
-        t0 = time.time()
-        result = run_experiment(experiment_id, quick=not args.full)
+    report = run_campaign(campaign, workers=args.workers, cache=cache,
+                          progress=lambda m: print(m, file=sys.stderr))
+    for job in report.jobs:
         print()
         print("=" * 78)
-        print(result.rendered)
-        print(f"[{experiment_id}: {time.time() - t0:.1f} s]")
+        print(job.payload["rendered"])
+        source = "cache" if job.cached else f"{job.elapsed_s:.1f} s"
+        print(f"[{job.payload['experiment_id']}: {source}]")
     print()
-    print(f"reproduced {len(ids)} artifacts in "
-          f"{time.time() - started:.1f} s wall time")
+    print(f"reproduced {len(report.jobs)} artifacts in "
+          f"{time.time() - started:.1f} s wall time "
+          f"({report.workers} workers, {report.hits} from cache)")
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ Every table and figure of the paper is reproducible through
 """
 
 from . import calibration, errors, units
+from .api import RunSpec, run_spec
 from .core import (
     PAPER_SIZE_GRID,
     RunMetrics,
@@ -54,6 +55,7 @@ __all__ = [
     "PAPER_SIZE_GRID",
     "ReproError",
     "RunMetrics",
+    "RunSpec",
     "SearchResult",
     "SimulationError",
     "TopologyError",
@@ -66,6 +68,7 @@ __all__ = [
     "model_for_billions",
     "paper_model",
     "plan_only",
+    "run_spec",
     "run_training",
     "total_parameters",
     "units",

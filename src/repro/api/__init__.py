@@ -1,0 +1,52 @@
+"""Public facade: the canonical :class:`RunSpec` API.
+
+The one import new code needs for spec-driven simulation::
+
+    from repro.api import RunSpec, run_spec
+
+    metrics = run_spec(RunSpec("zero2", size_billions=1.4))
+
+``RunSpec`` consolidates :func:`repro.core.runner.run_training`'s
+keyword sprawl into one frozen, JSON-round-trippable value with a
+documented stable :meth:`~repro.api.spec.RunSpec.cache_key` — the hash
+the campaign result cache (:mod:`repro.campaign`) is keyed on.
+``run_training`` itself remains supported as the object-level shim for
+callers that already hold live ``Cluster``/strategy/model objects; see
+DESIGN.md ("Campaigns & caching") for the deprecation path.
+"""
+
+from .build import (
+    build_cluster,
+    build_fault_plan,
+    build_model,
+    build_placement,
+    build_retry_policy,
+    build_strategy,
+    build_tie_order,
+    build_training,
+    run_spec,
+)
+from .spec import (
+    TIE_ORDERS,
+    RunSpec,
+    canonical_json,
+    default_salt,
+    stable_key,
+)
+
+__all__ = [
+    "RunSpec",
+    "TIE_ORDERS",
+    "build_cluster",
+    "build_fault_plan",
+    "build_model",
+    "build_placement",
+    "build_retry_policy",
+    "build_strategy",
+    "build_tie_order",
+    "build_training",
+    "canonical_json",
+    "default_salt",
+    "run_spec",
+    "stable_key",
+]

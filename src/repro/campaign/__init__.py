@@ -1,0 +1,39 @@
+"""Parallel experiment campaigns over a content-addressed result cache.
+
+The tentpole workflow::
+
+    from repro.campaign import CampaignSpec, ResultCache, run_campaign
+
+    campaign = CampaignSpec(name="smoke", experiments=("fig1", "fig4"),
+                            strategies=("ddp", "zero2"),
+                            sizes_billions=(1.4,), nodes=(1, 2))
+    cache = ResultCache(".repro-cache")
+    report = run_campaign(campaign, workers=4, cache=cache)
+    print(report.summary())
+
+Re-running the same campaign serves every job from the cache; editing
+the code (version bump) or the results schema invalidates it wholesale
+via the cache-key salt.  ``diff_reports`` certifies serial and parallel
+executions field-identical.
+"""
+
+from .cache import CACHE_CODES, OBJECT_SCHEMA, ResultCache, payload_checksum
+from .report import CampaignReport, JobResult, diff_reports, flatten_job
+from .runner import execute_job, run_campaign
+from .spec import CampaignSpec, Job, load_campaign
+
+__all__ = [
+    "CACHE_CODES",
+    "CampaignReport",
+    "CampaignSpec",
+    "Job",
+    "JobResult",
+    "OBJECT_SCHEMA",
+    "ResultCache",
+    "diff_reports",
+    "execute_job",
+    "flatten_job",
+    "load_campaign",
+    "payload_checksum",
+    "run_campaign",
+]

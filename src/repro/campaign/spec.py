@@ -1,0 +1,161 @@
+"""Declarative campaign specs and their expansion into jobs.
+
+A :class:`CampaignSpec` names *what* to reproduce — experiment ids plus
+an optional strategy x model-size x node-count sweep — and
+:meth:`CampaignSpec.expand` materializes it into an ordered list of
+:class:`Job`\\ s, each wrapping one canonical spec
+(:class:`~repro.experiments.common.ExperimentSpec` or
+:class:`~repro.api.RunSpec`).  Expansion order is a pure function of the
+spec (experiments first, then the sweep in listed order), so a campaign
+enumerates — and reports — identically no matter how many workers
+execute it or in which order they finish.
+
+Jobs are independent: the dependency graph is the trivial DAG, which is
+what makes the worker pool safe.  The one in-repo exception (``fig8``
+re-deriving from ``fig7``) is internal to the experiment module and
+invisible at this layer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Dict, List, Mapping, Tuple, Union
+
+from ..api.spec import RunSpec
+from ..errors import ConfigurationError
+from ..experiments.common import ExperimentSpec
+
+JobSpec = Union[ExperimentSpec, RunSpec]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of campaign work: a canonical spec plus a stable id."""
+
+    job_id: str
+    kind: str  # "experiment" | "run"
+    spec: JobSpec
+
+    def cache_key(self, *, salt: str = None) -> str:
+        return self.spec.cache_key(salt=salt)
+
+    def to_payload(self) -> Dict[str, object]:
+        """A picklable/JSON-safe form (what crosses the worker boundary)."""
+        return {"job_id": self.job_id, "kind": self.kind,
+                "spec": self.spec.to_dict()}
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative sweep: experiments plus a training-run grid.
+
+    ``experiments`` run through the registry at the quick or ``full``
+    profile; the cross product ``strategies x sizes_billions x nodes``
+    becomes one :class:`~repro.api.RunSpec` job per cell.  Either side
+    may be empty, but not both.
+    """
+
+    name: str = "campaign"
+    experiments: Tuple[str, ...] = ()
+    strategies: Tuple[str, ...] = ()
+    sizes_billions: Tuple[float, ...] = ()
+    nodes: Tuple[int, ...] = (1,)
+    placement: str = "B"
+    iterations: int = 3
+    warmup_iterations: int = 1
+    full: bool = False
+
+    def __post_init__(self) -> None:
+        for attr in ("experiments", "strategies", "sizes_billions", "nodes"):
+            value = getattr(self, attr)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, attr, tuple(value))
+        if not self.name:
+            raise ConfigurationError("campaign needs a name")
+        if not self.experiments and not self.strategies:
+            raise ConfigurationError(
+                "campaign is empty: list experiments and/or strategies"
+            )
+        if self.strategies and not self.sizes_billions:
+            raise ConfigurationError(
+                "campaign sweeps strategies but lists no sizes_billions"
+            )
+
+    def expand(self) -> List[Job]:
+        """The campaign's jobs, in canonical (deterministic) order."""
+        from ..experiments.registry import spec_for
+
+        jobs: List[Job] = []
+        for experiment_id in self.experiments:
+            spec = spec_for(experiment_id, quick=not self.full)
+            jobs.append(Job(f"experiment/{experiment_id}", "experiment",
+                            spec))
+        for strategy in self.strategies:
+            for size in self.sizes_billions:
+                for num_nodes in self.nodes:
+                    spec = RunSpec(
+                        strategy=strategy,
+                        size_billions=size,
+                        nodes=num_nodes,
+                        placement=self.placement,
+                        iterations=self.iterations,
+                        warmup_iterations=self.warmup_iterations,
+                    )
+                    jobs.append(Job(f"run/{spec.label}", "run", spec))
+        seen: Dict[str, int] = {}
+        for job in jobs:
+            seen[job.job_id] = seen.get(job.job_id, 0) + 1
+        duplicates = sorted(k for k, n in seen.items() if n > 1)
+        if duplicates:
+            raise ConfigurationError(
+                f"campaign expands to duplicate jobs: {duplicates}"
+            )
+        return jobs
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "experiments": list(self.experiments),
+            "strategies": list(self.strategies),
+            "sizes_billions": list(self.sizes_billions),
+            "nodes": list(self.nodes),
+            "placement": self.placement,
+            "iterations": self.iterations,
+            "warmup_iterations": self.warmup_iterations,
+            "full": self.full,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "CampaignSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown campaign fields {unknown}; known: {sorted(known)}"
+            )
+        return cls(**dict(payload))
+
+
+def load_campaign(path: Union[str, Path]) -> CampaignSpec:
+    """Read a campaign spec from a JSON file, with clean error rendering."""
+    target = Path(path)
+    try:
+        text = target.read_text()
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot read campaign spec {target}: {error}"
+        ) from error
+    try:
+        payload = json.loads(text)
+    except ValueError as error:
+        raise ConfigurationError(
+            f"campaign spec {target} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"campaign spec {target} must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    return CampaignSpec.from_dict(payload)

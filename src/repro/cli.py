@@ -4,6 +4,9 @@ Eight subcommands mirror the paper's workflow::
 
     repro run      --strategy zero2 --size 1.4 --nodes 1     # one training run
     repro run      --strategy ddp --trace out.json           # + Perfetto trace
+    repro campaign run --experiment fig7 --workers 4         # cached sweeps
+    repro campaign status                                    # cache integrity
+    repro campaign gc                                        # drop stale objects
     repro search   --strategy zero3 --nodes 2                # max model size
     repro stress   --duration 10                             # Fig. 3/4 tests
     repro topology --nodes 2 --placement G [--json]          # Fig. 2 wiring
@@ -37,6 +40,8 @@ from .analysis import (
     render_text,
     write_baseline,
 )
+from .api import RunSpec, run_spec
+from .core.results import metrics_to_dict
 from .core.runner import run_training
 from .core.search import max_model_size, model_for_billions
 from .errors import ReproError
@@ -49,7 +54,7 @@ from .hardware.render import render_cluster, render_cluster_json
 from .parallel.placement import PLACEMENTS
 from .stress import full_stress_suite, latency_sweep
 from .telemetry.report import format_table
-from .units import GB
+from .units import GB, to_billion
 
 
 def _cluster_for(args: argparse.Namespace) -> Cluster:
@@ -62,13 +67,15 @@ def _cluster_for(args: argparse.Namespace) -> Cluster:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    strategy = make_strategy(args.strategy)
-    cluster = _cluster_for(args)
-    model = model_for_billions(args.size)
-    metrics = run_training(cluster, strategy, model,
-                           iterations=args.iterations,
-                           placement=PLACEMENTS[args.placement],
-                           trace=args.trace is not None)
+    spec = RunSpec(
+        strategy=args.strategy,
+        size_billions=args.size,
+        nodes=args.nodes,
+        placement=args.placement,
+        iterations=args.iterations,
+        trace=args.trace is not None,
+    )
+    metrics = run_spec(spec)
     if args.trace is not None:
         from .trace import write_trace
         assert metrics.trace is not None
@@ -79,42 +86,102 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"{len(metrics.trace.links)} links) — load it in "
               f"https://ui.perfetto.dev or chrome://tracing",
               file=sys.stderr)
-    payload = {
-        "strategy": strategy.name,
-        "model_billions": round(metrics.billions_of_parameters, 3),
-        "nodes": metrics.num_nodes,
-        "gpus": metrics.num_gpus,
-        "tflops": round(metrics.tflops, 1),
-        "iteration_seconds": round(metrics.iteration_time, 4),
-        "memory_gb": {
-            "gpu": round(metrics.memory.gpu_used / GB, 1),
-            "cpu": round(metrics.memory.cpu_used / GB, 1),
-            "nvme": round(metrics.memory.nvme_used / GB, 1),
-        },
-        "bandwidth_avg_gbps": {
-            str(cls): round(stats.average_gbps, 2)
-            for cls, stats in metrics.bandwidth.items()
-        },
-    }
+    payload = metrics_to_dict(metrics)
     if args.json:
+        # The same machine-readable schema `save_metrics` writes and the
+        # campaign cache stores (core.results.SCHEMA_VERSION).
         print(json.dumps(payload, indent=2))
     else:
+        memory = payload["memory_bytes"]
         print(format_table(
             ["metric", "value"],
             [["strategy", payload["strategy"]],
-             ["model (B params)", payload["model_billions"]],
+             ["model (B params)",
+              round(to_billion(payload["model_parameters"]), 3)],
              ["nodes x GPUs", f"{payload['nodes']} x {payload['gpus']}"],
-             ["TFLOP/s", payload["tflops"]],
-             ["iteration (s)", payload["iteration_seconds"]],
+             ["TFLOP/s", round(payload["tflops"], 1)],
+             ["iteration (s)", round(payload["iteration_seconds"], 4)],
              ["GPU / CPU / NVMe (GB)",
-              "{gpu} / {cpu} / {nvme}".format(**payload["memory_gb"])]],
+              " / ".join(f"{memory[tier] / GB:.1f}"
+                         for tier in ("gpu", "cpu", "nvme"))],
+             ["cache key", spec.cache_key()[:16]]],
             title="training run",
         ))
         print()
         print(format_table(
             ["interconnect", "avg GB/s"],
-            sorted(payload["bandwidth_avg_gbps"].items()),
+            [[cls, round(stats["avg"], 2)]
+             for cls, stats in sorted(payload["bandwidth_gbps"].items())],
         ))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaign import (
+        CampaignSpec,
+        ResultCache,
+        load_campaign,
+        run_campaign,
+    )
+
+    if args.campaign_command == "status":
+        cache = ResultCache(args.cache_dir)
+        stats = cache.stats()
+        findings = cache.verify()
+        if args.json:
+            print(json.dumps({
+                "stats": stats,
+                "findings": [f.to_dict() for f in findings],
+            }, indent=2))
+        else:
+            print(f"cache {stats['root']}: {stats['objects']} objects, "
+                  f"{stats['bytes']} bytes")
+            for label, count in sorted(stats["by_salt"].items()):
+                print(f"  {label}: {count}")
+            for finding in findings:
+                print(f"  [{finding.code}] {finding.message} "
+                      f"({finding.location})")
+            print("integrity: " + ("ok" if not findings
+                                   else f"{len(findings)} problem(s)"))
+        return 0 if not findings else 1
+
+    if args.campaign_command == "gc":
+        cache = ResultCache(args.cache_dir)
+        counts = cache.gc()
+        print(f"gc {args.cache_dir}: kept {counts['kept']}, removed "
+              f"{counts['removed_stale']} stale + "
+              f"{counts['removed_corrupt']} corrupt object(s)")
+        return 0
+
+    # campaign run
+    if args.spec:
+        campaign = load_campaign(args.spec)
+    else:
+        campaign = CampaignSpec(
+            name=args.name,
+            experiments=tuple(args.experiment or ()),
+            strategies=tuple(args.strategy or ()),
+            sizes_billions=tuple(args.size or ()),
+            nodes=tuple(args.nodes or (1,)),
+            placement=args.placement,
+            iterations=args.iterations,
+            full=args.full,
+        )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    report = run_campaign(
+        campaign, workers=args.workers, cache=cache,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    if args.report:
+        report.save(args.report)
+        print(f"report written: {args.report}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+        for job in report.jobs:
+            source = "cache " if job.cached else f"{job.elapsed_s:5.1f}s"
+            print(f"  [{source}] {job.job_id}")
     return 0
 
 
@@ -347,8 +414,64 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", default=None, metavar="PATH",
                      help="record a structured execution trace and write "
                           "it as Perfetto-loadable Chrome Trace JSON")
-    run.add_argument("--json", action="store_true")
+    run.add_argument("--json", action="store_true",
+                     help="emit the full machine-readable RunMetrics "
+                          "summary (same schema as save_metrics)")
     run.set_defaults(func=_cmd_run)
+
+    campaign = sub.add_parser(
+        "campaign", help="run cached experiment sweeps on a worker pool")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+    campaign_run = campaign_sub.add_parser(
+        "run", help="expand a sweep into jobs and execute them through "
+                    "the result cache")
+    campaign_run.add_argument("--spec", default=None, metavar="PATH",
+                              help="JSON campaign spec file (overrides "
+                                   "the sweep flags below)")
+    campaign_run.add_argument("--name", default="campaign")
+    campaign_run.add_argument("--experiment", action="append",
+                              choices=sorted(EXPERIMENTS), metavar="ID",
+                              help="experiment id to include; repeatable")
+    campaign_run.add_argument("--strategy", action="append",
+                              choices=sorted(ALL_STRATEGIES),
+                              metavar="NAME",
+                              help="strategy for the run sweep; repeatable")
+    campaign_run.add_argument("--size", action="append", type=float,
+                              metavar="BILLIONS",
+                              help="model size for the run sweep; "
+                                   "repeatable")
+    campaign_run.add_argument("--nodes", action="append", type=int,
+                              metavar="N",
+                              help="node count for the run sweep; "
+                                   "repeatable (default 1)")
+    campaign_run.add_argument("--placement", choices=sorted(PLACEMENTS),
+                              default="B")
+    campaign_run.add_argument("--iterations", type=int, default=3)
+    campaign_run.add_argument("--full", action="store_true",
+                              help="paper-length profiles instead of "
+                                   "quick ones")
+    campaign_run.add_argument("--workers", type=int, default=1,
+                              help="worker processes (1 = inline)")
+    campaign_run.add_argument("--cache-dir", default=".repro-cache",
+                              help="content-addressed result cache "
+                                   "directory")
+    campaign_run.add_argument("--no-cache", action="store_true",
+                              help="recompute everything; don't read or "
+                                   "write the cache")
+    campaign_run.add_argument("--report", default=None, metavar="PATH",
+                              help="write the campaign report as JSON")
+    campaign_run.add_argument("--json", action="store_true")
+    campaign_status = campaign_sub.add_parser(
+        "status", help="cache statistics and integrity verification "
+                       "(CMP0xx findings)")
+    campaign_status.add_argument("--cache-dir", default=".repro-cache")
+    campaign_status.add_argument("--json", action="store_true")
+    campaign_gc = campaign_sub.add_parser(
+        "gc", help="remove corrupt objects and objects cached by other "
+                   "code versions")
+    campaign_gc.add_argument("--cache-dir", default=".repro-cache")
+    campaign.set_defaults(func=_cmd_campaign)
 
     search = sub.add_parser("search", help="largest model that fits")
     search.add_argument("--strategy", choices=sorted(ALL_STRATEGIES),

@@ -3,7 +3,9 @@
 from .. import calibration
 from .results import (
     compare_runs,
+    headline_from_payload,
     load_metrics_dict,
+    load_run_spec,
     metrics_to_dict,
     save_metrics,
 )
@@ -28,11 +30,13 @@ __all__ = [
     "compare_runs",
     "calibration",
     "fits",
+    "headline_from_payload",
     "max_model_size",
     "max_model_size_on_grid",
     "model_for_billions",
     "plan_only",
     "load_metrics_dict",
+    "load_run_spec",
     "metrics_to_dict",
     "run_training",
     "save_metrics",

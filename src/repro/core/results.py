@@ -1,21 +1,29 @@
 """Result serialization: RunMetrics <-> plain dicts / JSON files.
 
-Lets the CLI, the benchmark harness, and downstream analysis scripts
-persist simulated measurements without pickling live simulator objects.
-Only the measurement payload is serialized (not timelines/ledgers, which
-can be regenerated deterministically from the same configuration).
+Lets the CLI, the benchmark harness, the campaign result cache, and
+downstream analysis scripts persist simulated measurements without
+pickling live simulator objects.  Only the measurement payload is
+serialized (not timelines/ledgers, which can be regenerated
+deterministically from the same configuration).
+
+Schema v2 embeds the canonical :class:`~repro.api.RunSpec` the run was
+materialized from (``payload["spec"]``, ``None`` for object-level
+``run_training`` calls), making a saved result fully round-trippable:
+:func:`load_run_spec` recovers the exact configuration, and re-running
+it reproduces the payload field for field.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from ..errors import ConfigurationError
 from .runner import RunMetrics
 
-SCHEMA_VERSION = 1
+#: v2: adds the canonical ``spec`` payload (and with it cache-keyability).
+SCHEMA_VERSION = 2
 
 
 def metrics_to_dict(metrics: RunMetrics) -> Dict[str, object]:
@@ -23,6 +31,7 @@ def metrics_to_dict(metrics: RunMetrics) -> Dict[str, object]:
     return {
         "schema_version": SCHEMA_VERSION,
         "strategy": metrics.strategy_name,
+        "spec": metrics.spec.to_dict() if metrics.spec is not None else None,
         "model_parameters": int(metrics.model_parameters),
         "nodes": metrics.num_nodes,
         "gpus": metrics.num_gpus,
@@ -71,6 +80,26 @@ def load_metrics_dict(path: Union[str, Path]) -> Dict[str, object]:
     return payload
 
 
+def load_run_spec(payload: Dict[str, object]):
+    """The :class:`~repro.api.RunSpec` a saved payload was produced from.
+
+    Returns ``None`` for results of object-level ``run_training`` calls
+    (schema v2 payloads with ``spec: null``).  Re-running the returned
+    spec through :func:`repro.api.run_spec` regenerates the payload
+    deterministically — the round trip the campaign cache relies on.
+    """
+    from ..api.spec import RunSpec
+
+    spec_payload = payload.get("spec")
+    if spec_payload is None:
+        return None
+    if not isinstance(spec_payload, dict):
+        raise ConfigurationError(
+            f"results payload has a malformed spec: {type(spec_payload)}"
+        )
+    return RunSpec.from_dict(spec_payload)
+
+
 def compare_runs(runs: List[Dict[str, object]],
                  metric: str = "tflops") -> List[Dict[str, object]]:
     """Rank saved runs by a top-level metric, best first."""
@@ -78,3 +107,27 @@ def compare_runs(runs: List[Dict[str, object]],
     if missing:
         raise ConfigurationError(f"runs missing metric {metric!r}")
     return sorted(runs, key=lambda r: r[metric], reverse=True)
+
+
+def headline_from_payload(payload: Dict[str, object],
+                          prefix: str = "") -> Dict[str, object]:
+    """Flatten a results payload into scalar ``{field: value}`` pairs.
+
+    The campaign runner's field-identity check (serial vs. parallel
+    execution) compares these flats with the perturbation differ's
+    significant-figure rounding; nested dicts flatten with dotted keys.
+    """
+    flat: Dict[str, object] = {}
+    skip = {"schema_version", "spec"}
+    for key, value in payload.items():
+        if key in skip:
+            continue
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(headline_from_payload(value, prefix=f"{name}."))
+        elif isinstance(value, list):
+            for index, item in enumerate(value):
+                flat[f"{name}[{index}]"] = item
+        else:
+            flat[name] = value
+    return flat

@@ -11,7 +11,7 @@ bundle holding everything the paper's tables and figures need.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from .. import calibration
 from ..analysis.api import analyze_run_config
@@ -35,6 +35,9 @@ from ..trace.model import Trace
 from ..trace.recorder import TraceRecorder, build_trace
 from ..units import GB
 
+if TYPE_CHECKING:  # import cycle: repro.api.build materializes via us
+    from ..api.spec import RunSpec
+
 
 @dataclass
 class RunMetrics:
@@ -51,6 +54,9 @@ class RunMetrics:
     measurement_window: Tuple[float, float]
     #: populated only for traced runs (``run_training(..., trace=True)``)
     trace: Optional[Trace] = None
+    #: the canonical spec this run was materialized from, when it came
+    #: through :func:`repro.api.run_spec` — what result caching keys on
+    spec: Optional["RunSpec"] = None
 
     @property
     def tflops(self) -> float:
@@ -124,7 +130,8 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
                  tie_order: Optional[TieOrder] = None,
                  sanitize: bool = False,
                  trace: bool = False,
-                 preflight: bool = True) -> RunMetrics:
+                 preflight: bool = True,
+                 spec: Optional["RunSpec"] = None) -> RunMetrics:
     """Simulate ``iterations`` optimizer steps and measure everything.
 
     The first ``warmup_iterations`` are excluded from throughput and
@@ -153,6 +160,14 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
     prediction is not part of the hook: fitting stays the runtime
     :class:`~repro.errors.OutOfMemoryError` signal the size search
     binary-searches on.
+
+    ``spec`` is the canonical :class:`~repro.api.RunSpec` this call was
+    materialized from, when the caller came through
+    :func:`repro.api.run_spec`; it is stamped into ``metrics.spec`` so
+    serialized results stay traceable (and cacheable) by configuration.
+    New code should prefer constructing a ``RunSpec`` — this function
+    remains the object-level entry point for callers that already hold
+    live cluster/strategy/model instances.
     """
     if training is None:
         training = TrainingConfig()
@@ -224,6 +239,7 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
         execution=result,
         measurement_window=window,
         trace=built_trace,
+        spec=spec,
     )
 
 

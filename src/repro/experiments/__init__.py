@@ -1,12 +1,22 @@
 """One module per paper table/figure, plus ablations and the registry."""
 
-from .common import ExperimentResult
-from .registry import EXPERIMENTS, PAPER_EXPERIMENTS, run_all, run_experiment
+from .common import ExperimentResult, ExperimentSpec
+from .registry import (
+    EXPERIMENTS,
+    PAPER_EXPERIMENTS,
+    run_all,
+    run_experiment,
+    run_spec,
+    spec_for,
+)
 
 __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
+    "ExperimentSpec",
     "PAPER_EXPERIMENTS",
     "run_all",
     "run_experiment",
+    "run_spec",
+    "spec_for",
 ]

@@ -17,7 +17,7 @@ from ..parallel import zero2_cpu_offload
 from ..parallel.strategy import MemoryPlan, StrategyContext
 from ..telemetry.report import format_table
 from ..units import GB, MB
-from .common import ExperimentResult, cluster_for
+from .common import ExperimentResult, ExperimentSpec, cluster_for
 
 
 class _BufferSizedOffload:
@@ -39,8 +39,8 @@ class _BufferSizedOffload:
         return plan
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    del quick
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    del spec  # the search is analytic and fast
     rows: List[dict] = []
     for buffer_gb in (1, 2, 4, 8, 12, 16):
         cluster = cluster_for(1)

@@ -23,16 +23,17 @@ from ..parallel.infinity import zero3_nvme_optimizer
 from ..parallel.placement import PLACEMENTS
 from ..telemetry.report import format_table
 from ..units import GB
-from .common import ExperimentResult, iterations_for
+from .common import ExperimentResult, ExperimentSpec
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("ablation_nvme")
     rows: List[dict] = []
 
     # (a) DRAM-cache sweep: absorb a 16 GB burst with varying cache.
     for cache_gb in (0, 2, 4, 8, 16):
-        spec = replace(NvmeSpec(), dram_cache_bytes=cache_gb * GB)
-        drive = NvmeDrive("sweep/nvme", spec)
+        nvme_spec = replace(NvmeSpec(), dram_cache_bytes=cache_gb * GB)
+        drive = NvmeDrive("sweep/nvme", nvme_spec)
         burst = 16 * GB
         seconds = drive.write_time(burst)
         rows.append({
@@ -44,16 +45,16 @@ def run(quick: bool = True) -> ExperimentResult:
 
     # (b) media-bandwidth sweep on the 11.4 B ZeRO-Infinity run.
     model = model_for_billions(11.4)
-    iterations = iterations_for(quick)
+    iterations = spec.iterations
     for scale in (0.5, 1.0, 2.0, 4.0):
         base = NvmeSpec()
-        spec = replace(
+        nvme_spec = replace(
             base,
             nand_read_bandwidth=base.nand_read_bandwidth * scale,
             nand_write_bandwidth=base.nand_write_bandwidth * scale,
         )
         placement = PLACEMENTS["B"]
-        node = replace(placement.node_spec(), nvme=spec)
+        node = replace(placement.node_spec(), nvme=nvme_spec)
         cluster = Cluster(ClusterSpec(num_nodes=1, node=node))
         metrics = run_training(cluster, zero3_nvme_optimizer(), model,
                                iterations=iterations, placement=placement)

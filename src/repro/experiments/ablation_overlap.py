@@ -17,7 +17,7 @@ from ..parallel import zero2, zero3
 from ..parallel.schedule import CollectiveStep, IterationSchedule
 from ..parallel.strategy import StrategyContext, TrainingStrategy
 from ..telemetry.report import format_table
-from .common import ExperimentResult, cluster_for, iterations_for
+from .common import ExperimentResult, ExperimentSpec, cluster_for
 
 
 class _BlockingWrapper(TrainingStrategy):
@@ -50,8 +50,9 @@ class _BlockingWrapper(TrainingStrategy):
         return schedule
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    iterations = iterations_for(quick)
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("ablation_overlap")
+    iterations = spec.iterations
     rows: List[dict] = []
     for num_nodes, size in ((1, 1.4), (2, 6.0)):
         model = model_for_billions(size)

@@ -18,11 +18,12 @@ from ..errors import OutOfMemoryError
 from ..model.config import TrainingConfig
 from ..parallel import DdpStrategy, zero2, zero3
 from ..telemetry.report import format_table
-from .common import ExperimentResult, cluster_for, iterations_for
+from .common import ExperimentResult, ExperimentSpec, cluster_for
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    iterations = iterations_for(quick)
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("ablation_recompute")
+    iterations = spec.iterations
     rows: List[dict] = []
     for recompute in (True, False):
         training = TrainingConfig(activation_recompute=recompute)

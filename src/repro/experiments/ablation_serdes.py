@@ -18,18 +18,19 @@ from ..parallel import MegatronStrategy, zero3
 from ..stress.bandwidth_test import TestKind, run_stress_test
 from ..stress.perftest import SocketPlacement
 from ..telemetry.report import format_table
-from .common import ExperimentResult, iterations_for
+from .common import ExperimentResult, ExperimentSpec
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    iterations = iterations_for(quick)
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("ablation_serdes")
+    iterations = spec.iterations
     rows = []
     for contended in (True, False):
         make = dual_node_cluster if contended else uncontended_cluster
         # Stress test: cross-socket GPU-RoCE attained fraction.
         stress = run_stress_test(make(), TestKind.GPU_ROCE,
                                  SocketPlacement.CROSS_SOCKET,
-                                 duration=2.0 if quick else 10.0)
+                                 duration=spec.duration_s)
         # Training: dual-node Megatron-LM and ZeRO-3 at max size.
         for factory in (MegatronStrategy, zero3):
             cluster = make()

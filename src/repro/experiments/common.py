@@ -1,16 +1,27 @@
 """Shared plumbing for the per-figure/table experiment modules.
 
-Every experiment exposes ``run(quick=...) -> ExperimentResult`` with
-structured rows plus an ASCII rendering; the benchmark harness executes
-them and the EXPERIMENTS.md generator compares their rows against
+Every experiment exposes the uniform parameterized entry point
+``run(spec: ExperimentSpec | None) -> ExperimentResult`` with structured
+rows plus an ASCII rendering; the benchmark harness executes them and
+the EXPERIMENTS.md generator compares their rows against
 :mod:`repro.experiments.paper_data`.
+
+:class:`ExperimentSpec` makes the old per-module ``quick`` conventions
+explicit, serializable fields (simulated iterations, stress duration,
+sweep extent), so the registry's ``run_experiment`` and the campaign
+runner (:mod:`repro.campaign`) share one code path and experiment
+results can be cache-keyed exactly like :class:`~repro.api.RunSpec`
+runs.  Modules with non-default profiles pin them as ``QUICK_SPEC`` /
+``FULL_SPEC`` constants next to their ``run``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from dataclasses import dataclass, field, fields, replace
+from typing import Callable, Dict, List, Mapping, Optional
 
+from ..api.spec import stable_key
+from ..errors import ConfigurationError
 from ..hardware.cluster import Cluster, ClusterSpec
 from ..hardware.presets import dual_node_cluster, single_node_cluster
 from ..parallel.placement import PlacementConfig
@@ -27,6 +38,78 @@ from ..parallel import (
     zero3_nvme_optimizer_params,
 )
 from ..parallel.strategy import TrainingStrategy
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Canonical parameters of one experiment-module invocation.
+
+    The experiment analog of :class:`~repro.api.RunSpec`: every knob the
+    old ``quick=True/False`` convention used to imply, as explicit
+    serializable fields.  ``iterations`` is the simulated optimizer
+    steps per configuration, ``duration_s`` the stress-test window, and
+    ``full_sweep`` selects the paper-length sweep extents (message
+    sizes, node counts, loss grids) over the CI-sized ones.
+    """
+
+    experiment_id: str
+    iterations: int = 3
+    warmup_iterations: int = 1
+    duration_s: float = 2.0
+    full_sweep: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.experiment_id:
+            raise ConfigurationError("ExperimentSpec needs an experiment id")
+        if self.iterations <= self.warmup_iterations:
+            raise ConfigurationError(
+                "need more iterations than warmup iterations"
+            )
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+
+    @classmethod
+    def quick(cls, experiment_id: str, **overrides: object
+              ) -> "ExperimentSpec":
+        """The CI-sized profile (the old ``quick=True``)."""
+        return cls(experiment_id, **overrides)  # type: ignore[arg-type]
+
+    @classmethod
+    def full(cls, experiment_id: str, **overrides: object
+             ) -> "ExperimentSpec":
+        """The paper-length profile (the old ``quick=False``)."""
+        profile: Dict[str, object] = {
+            "iterations": 10, "duration_s": 10.0, "full_sweep": True,
+        }
+        profile.update(overrides)
+        return cls(experiment_id, **profile)  # type: ignore[arg-type]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ExperimentSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ExperimentSpec fields {unknown}; "
+                f"known: {sorted(known)}"
+            )
+        if "experiment_id" not in payload:
+            raise ConfigurationError(
+                "ExperimentSpec payload needs an experiment_id"
+            )
+        return cls(**dict(payload))  # type: ignore[arg-type]
+
+    def cache_key(self, *, salt: Optional[str] = None) -> str:
+        """Stable content hash (same contract as ``RunSpec.cache_key``)."""
+        return stable_key({"kind": "experiment", "spec": self.to_dict()},
+                          salt=salt)
+
+    def for_experiment(self, experiment_id: str) -> "ExperimentSpec":
+        """The same profile pointed at another experiment (delegation)."""
+        return replace(self, experiment_id=experiment_id)
 
 
 @dataclass
@@ -82,13 +165,3 @@ def placement_cluster(placement: PlacementConfig,
     """A cluster wired with a Fig. 14 NVMe placement's node spec."""
     return Cluster(ClusterSpec(num_nodes=num_nodes,
                                node=placement.node_spec()))
-
-
-def iterations_for(quick: bool) -> int:
-    """Simulated optimizer steps per configuration.
-
-    The paper runs 10 iterations and measures from the fifth; the
-    simulator is deterministic at steady state, so ``quick`` mode uses
-    the minimum that still discards one warmup iteration.
-    """
-    return 3 if quick else 10

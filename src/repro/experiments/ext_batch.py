@@ -21,13 +21,19 @@ from ..parallel import zero2, zero3_nvme_optimizer
 from ..parallel.placement import PLACEMENTS
 from ..telemetry.report import format_table
 from ..units import GB
-from .common import ExperimentResult, cluster_for, iterations_for, placement_cluster
+from .common import (
+    ExperimentResult,
+    ExperimentSpec,
+    cluster_for,
+    placement_cluster,
+)
 
 BATCHES = (4, 8, 16, 32, 64)
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    iterations = iterations_for(quick)
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("ext_batch")
+    iterations = spec.iterations
     placement = PLACEMENTS["B"]
     rows: List[dict] = []
     cases = [

@@ -18,11 +18,12 @@ from ..parallel import MegatronStrategy, zero2, zero2_cpu_offload, zero3
 from ..telemetry.energy import estimate_energy
 from ..telemetry.report import format_table
 from . import paper_data
-from .common import ExperimentResult, cluster_for, iterations_for
+from .common import ExperimentResult, ExperimentSpec, cluster_for
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    iterations = iterations_for(quick)
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("ext_energy")
+    iterations = spec.iterations
     rows = []
 
     cases = [

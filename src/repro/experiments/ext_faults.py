@@ -19,7 +19,7 @@ from ..core.runner import run_training
 from ..core.search import model_for_billions
 from ..faults import FaultEvent, FaultKind, FaultPlan
 from ..telemetry.report import format_table
-from .common import ExperimentResult, cluster_for, iterations_for, make_strategy
+from .common import ExperimentResult, ExperimentSpec, cluster_for, make_strategy
 
 #: Fits every swept strategy on the dual-node cluster (DDP's ceiling).
 SWEEP_MODEL_B = 1.4
@@ -48,10 +48,11 @@ def fabric_loss_plan(loss: float, *, seed: int = 0) -> FaultPlan:
     return FaultPlan(events=events, seed=seed)
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    iterations = iterations_for(quick)
-    losses = QUICK_LOSSES if quick else FULL_LOSSES
-    strategies = QUICK_STRATEGIES if quick else FULL_STRATEGIES
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("ext_faults")
+    iterations = spec.iterations
+    losses = FULL_LOSSES if spec.full_sweep else QUICK_LOSSES
+    strategies = FULL_STRATEGIES if spec.full_sweep else QUICK_STRATEGIES
     model = model_for_billions(SWEEP_MODEL_B)
     rows = []
     for name in strategies:

@@ -20,7 +20,7 @@ from ..hardware.gpu import GpuSpec
 from ..hardware.node import NodeSpec
 from ..telemetry.report import format_table
 from ..units import GB
-from .common import CORE_STRATEGIES, ExperimentResult
+from .common import CORE_STRATEGIES, ExperimentResult, ExperimentSpec
 
 
 def a100_80gb_cluster(num_nodes: int = 1) -> Cluster:
@@ -30,8 +30,8 @@ def a100_80gb_cluster(num_nodes: int = 1) -> Cluster:
     return Cluster(ClusterSpec(num_nodes=num_nodes, node=node))
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    del quick  # pure memory-plan search, always fast
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    del spec  # pure memory-plan search, always fast
     rows: List[dict] = []
     for name, factory in CORE_STRATEGIES.items():
         base = max_model_size(Cluster(ClusterSpec(num_nodes=1)), factory())

@@ -17,11 +17,12 @@ from ..model.config import paper_model
 from ..parallel import MegatronStrategy, zero1, zero2
 from ..parallel.hybrid import hybrid_tp_zero1, hybrid_tp_zero2
 from ..telemetry.report import format_table
-from .common import ExperimentResult, cluster_for, iterations_for
+from .common import ExperimentResult, ExperimentSpec, cluster_for
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    iterations = iterations_for(quick)
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("ext_hybrid")
+    iterations = spec.iterations
     rows = []
     for factory in (MegatronStrategy, zero1, zero2,
                     hybrid_tp_zero1, hybrid_tp_zero2):

@@ -18,13 +18,14 @@ from ..hardware.link import LinkClass
 from ..parallel import MegatronStrategy, zero3
 from ..parallel.pipeline import pipeline_1f1b
 from ..telemetry.report import format_table
-from .common import ExperimentResult, cluster_for, iterations_for
+from .common import ExperimentResult, ExperimentSpec, cluster_for
 
 COMPARISON_MODEL_B = 5.5  # largest size every contender fits on 2 nodes
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    iterations = iterations_for(quick)
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("ext_pipeline")
+    iterations = spec.iterations
     model = model_for_billions(COMPARISON_MODEL_B)
     rows = []
 
@@ -44,7 +45,7 @@ def run(quick: bool = True) -> ExperimentResult:
         })
 
     # Bubble amortization: more micro-batches, smaller bubble.
-    for m in (8, 16, 32) if quick else (8, 16, 32, 64):
+    for m in (8, 16, 32, 64) if spec.full_sweep else (8, 16, 32):
         cluster = cluster_for(2)
         metrics = run_training(cluster, pipeline_1f1b(micro_batches=m),
                                model, iterations=iterations)

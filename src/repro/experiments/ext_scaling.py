@@ -15,15 +15,16 @@ from ..core.search import model_for_billions
 from ..hardware.cluster import Cluster, ClusterSpec
 from ..parallel import DdpStrategy, MegatronStrategy, zero2, zero3
 from ..telemetry.report import format_table
-from .common import ExperimentResult, iterations_for
+from .common import ExperimentResult, ExperimentSpec
 
 #: DDP's single-node ceiling: every strategy can train this everywhere.
 SWEEP_MODEL_B = 1.4
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    iterations = iterations_for(quick)
-    node_counts = (1, 2, 4) if quick else (1, 2, 4, 8)
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("ext_scaling")
+    iterations = spec.iterations
+    node_counts = (1, 2, 4, 8) if spec.full_sweep else (1, 2, 4)
     model = model_for_billions(SWEEP_MODEL_B)
     rows = []
     for num_nodes in node_counts:

@@ -9,11 +9,11 @@ from __future__ import annotations
 
 from ..telemetry.report import format_table
 from . import paper_data
-from .common import ExperimentResult
+from .common import ExperimentResult, ExperimentSpec
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    del quick  # data-only experiment
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    del spec  # data-only experiment
     rows = []
     for year, name, billions in paper_data.LLM_SIZE_TREND:
         rows.append({"series": "model", "year": year, "name": name,

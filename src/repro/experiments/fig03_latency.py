@@ -10,12 +10,13 @@ from __future__ import annotations
 from ..hardware.presets import dual_node_cluster
 from ..stress.perftest import MESSAGE_SIZES, SocketPlacement, Verb, latency_sweep
 from ..telemetry.report import format_table
-from .common import ExperimentResult
+from .common import ExperimentResult, ExperimentSpec
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("fig3")
     cluster = dual_node_cluster()
-    sizes = MESSAGE_SIZES[::4] if quick else MESSAGE_SIZES
+    sizes = MESSAGE_SIZES if spec.full_sweep else MESSAGE_SIZES[::4]
     sweep = latency_sweep(cluster, sizes)
     rows = []
     for (verb, placement), samples in sweep.items():

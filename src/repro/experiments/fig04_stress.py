@@ -13,13 +13,12 @@ from ..hardware.presets import dual_node_cluster
 from ..stress.bandwidth_test import full_stress_suite
 from ..telemetry.report import format_table
 from . import paper_data
-from .common import ExperimentResult
+from .common import ExperimentResult, ExperimentSpec
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    cluster = dual_node_cluster()
-    duration = 2.0 if quick else 10.0
-    suite = full_stress_suite(cluster, duration=duration)
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("fig4")
+    suite = full_stress_suite(dual_node_cluster(), duration=spec.duration_s)
     rows = []
     for (kind, placement), result in suite.items():
         paper = paper_data.STRESS_ATTAINED_FRACTION[

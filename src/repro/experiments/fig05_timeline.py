@@ -14,7 +14,12 @@ from ..core.search import model_for_billions
 from ..hardware.presets import single_node_cluster
 from ..parallel.placement import PLACEMENTS
 from . import paper_data
-from .common import ALL_STRATEGIES, ExperimentResult, iterations_for, placement_cluster
+from .common import (
+    ALL_STRATEGIES,
+    ExperimentResult,
+    ExperimentSpec,
+    placement_cluster,
+)
 
 #: Fig. 5's nine configurations, in paper order.
 CONFIGS: List[str] = [
@@ -24,7 +29,8 @@ CONFIGS: List[str] = [
 ]
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("fig5")
     model = model_for_billions(1.4)
     placement = PLACEMENTS["B"]  # 2x NVMe RAID0, the paper's Fig. 5 target
     rows = []
@@ -36,7 +42,7 @@ def run(quick: bool = True) -> ExperimentResult:
         else:
             cluster = single_node_cluster()
         metrics = run_training(cluster, strategy, model,
-                               iterations=iterations_for(quick),
+                               iterations=spec.iterations,
                                placement=placement)
         timeline = metrics.execution.timeline
         busy = timeline.compute_busy_fraction(0)

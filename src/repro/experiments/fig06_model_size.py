@@ -11,11 +11,11 @@ from __future__ import annotations
 from ..core.search import max_model_size
 from ..telemetry.report import format_table
 from . import paper_data
-from .common import CORE_STRATEGIES, ExperimentResult, cluster_for
+from .common import CORE_STRATEGIES, ExperimentResult, ExperimentSpec, cluster_for
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    del quick  # the search is analytic and fast
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    del spec  # the search is analytic and fast
     rows = []
     for num_nodes, paper in ((1, paper_data.ACHIEVED_SIZE_SINGLE_NODE_B),
                              (2, paper_data.ACHIEVED_SIZE_DUAL_NODE_B)):

@@ -13,10 +13,11 @@ from ..core.search import max_model_size
 from ..model.config import paper_model
 from ..telemetry.report import format_table
 from . import paper_data
-from .common import CORE_STRATEGIES, ExperimentResult, cluster_for, iterations_for
+from .common import CORE_STRATEGIES, ExperimentResult, ExperimentSpec, cluster_for
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("fig7")
     rows = []
     for num_nodes, paper in ((1, paper_data.THROUGHPUT_SINGLE_NODE),
                              (2, paper_data.THROUGHPUT_DUAL_NODE)):
@@ -26,7 +27,7 @@ def run(quick: bool = True) -> ExperimentResult:
             search = max_model_size(cluster, strategy)
             model = paper_model(search.max_layers)
             metrics = run_training(cluster, strategy, model,
-                                   iterations=iterations_for(quick))
+                                   iterations=spec.iterations)
             rows.append({
                 "nodes": num_nodes,
                 "strategy": name,

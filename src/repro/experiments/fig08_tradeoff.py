@@ -11,11 +11,12 @@ from __future__ import annotations
 from typing import Dict
 
 from . import fig07_throughput
-from .common import ExperimentResult
+from .common import ExperimentResult, ExperimentSpec
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    base = fig07_throughput.run(quick=quick)
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("fig8")
+    base = fig07_throughput.run(spec.for_experiment("fig7"))
     rows = list(base.rows)
     # Annotate the paper's qualitative winners.
     by_node: Dict[int, list] = {1: [], 2: []}

@@ -14,12 +14,16 @@ from ..hardware.link import LinkClass
 from ..telemetry.bandwidth import BandwidthMonitor
 from ..telemetry.report import series_block
 from . import paper_data
-from .common import CORE_STRATEGIES, ExperimentResult, cluster_for
+from .common import CORE_STRATEGIES, ExperimentResult, ExperimentSpec, cluster_for
+
+QUICK_SPEC = ExperimentSpec.quick("fig9", iterations=4)
+FULL_SPEC = ExperimentSpec.full("fig9", iterations=12)
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or QUICK_SPEC
     model = model_for_billions(1.4)
-    iterations = 4 if quick else 12
+    iterations = spec.iterations
     rows = []
     blocks = ["Fig. 9 — NVLink utilization pattern (single node, 1.4 B)"]
     for name, factory in CORE_STRATEGIES.items():

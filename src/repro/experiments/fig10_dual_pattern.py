@@ -16,16 +16,20 @@ from ..model.config import paper_model
 from ..telemetry.bandwidth import BandwidthMonitor
 from ..telemetry.report import series_block
 from . import paper_data
-from .common import CORE_STRATEGIES, ExperimentResult, cluster_for
+from .common import CORE_STRATEGIES, ExperimentResult, ExperimentSpec, cluster_for
 
 PATTERN_CLASSES = (LinkClass.NVLINK, LinkClass.PCIE_GPU,
                    LinkClass.PCIE_NIC, LinkClass.ROCE)
 
+QUICK_SPEC = ExperimentSpec.quick("fig10", iterations=3)
+FULL_SPEC = ExperimentSpec.full("fig10", iterations=8)
 
-def run(quick: bool = True) -> ExperimentResult:
+
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or QUICK_SPEC
     rows = []
     blocks = ["Fig. 10 — dual-node interconnect patterns (max model size)"]
-    iterations = 3 if quick else 8
+    iterations = spec.iterations
     for name, factory in CORE_STRATEGIES.items():
         cluster = cluster_for(2)
         strategy = factory()

@@ -16,12 +16,19 @@ from ..parallel.placement import PLACEMENTS
 from ..telemetry.report import format_table
 from ..units import GB
 from . import paper_data
-from .common import ALL_STRATEGIES, ExperimentResult, cluster_for, iterations_for, placement_cluster
+from .common import (
+    ALL_STRATEGIES,
+    ExperimentResult,
+    ExperimentSpec,
+    cluster_for,
+    placement_cluster,
+)
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("fig11")
     model = model_for_billions(paper_data.CONSOLIDATION_MODEL_B)
-    iterations = iterations_for(quick)
+    iterations = spec.iterations
     rows = []
 
     # Reference: Megatron-LM on two nodes at its own achieved maximum

@@ -16,7 +16,13 @@ from ..parallel.placement import PLACEMENTS
 from ..telemetry.bandwidth import BandwidthMonitor
 from ..telemetry.report import series_block
 from . import paper_data
-from .common import ALL_STRATEGIES, ExperimentResult, cluster_for, iterations_for, placement_cluster
+from .common import (
+    ALL_STRATEGIES,
+    ExperimentResult,
+    ExperimentSpec,
+    cluster_for,
+    placement_cluster,
+)
 
 PATTERN_CLASSES = (LinkClass.NVLINK, LinkClass.PCIE_GPU,
                    LinkClass.PCIE_NVME, LinkClass.XGMI, LinkClass.DRAM)
@@ -25,9 +31,10 @@ CONFIGS = ("zero2_opt_cpu", "zero3_opt_cpu_param_cpu",
            "zero3_opt_nvme", "zero3_opt_nvme_param_nvme")
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("fig12")
     model = model_for_billions(paper_data.CONSOLIDATION_MODEL_B)
-    iterations = iterations_for(quick)
+    iterations = spec.iterations
     placement = PLACEMENTS["B"]
     rows = []
     blocks = ["Fig. 12 — offload bandwidth patterns (11.4 B, single node)"]

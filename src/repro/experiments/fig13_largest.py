@@ -20,11 +20,18 @@ from ..parallel.placement import PLACEMENTS
 from ..telemetry.report import format_table
 from ..units import GB
 from . import paper_data
-from .common import ALL_STRATEGIES, ExperimentResult, cluster_for, iterations_for, placement_cluster
+from .common import (
+    ALL_STRATEGIES,
+    ExperimentResult,
+    ExperimentSpec,
+    cluster_for,
+    placement_cluster,
+)
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    iterations = iterations_for(quick)
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("fig13")
+    iterations = spec.iterations
     placement = PLACEMENTS["B"]
     rows = []
     for name, (paper_b, paper_tflops) in paper_data.LARGEST_SINGLE_NODE.items():

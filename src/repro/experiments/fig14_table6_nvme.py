@@ -16,12 +16,16 @@ from ..parallel.infinity import zero3_nvme_optimizer_params
 from ..parallel.placement import PLACEMENTS
 from ..telemetry.report import format_table
 from . import paper_data
-from .common import ExperimentResult, placement_cluster
+from .common import ExperimentResult, ExperimentSpec, placement_cluster
+
+QUICK_SPEC = ExperimentSpec.quick("fig14_table6", iterations=2)
+FULL_SPEC = ExperimentSpec.full("fig14_table6", iterations=4)
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or QUICK_SPEC
     model = model_for_billions(paper_data.PLACEMENT_MODEL_B)
-    iterations = 2 if quick else 4
+    iterations = spec.iterations
     rows = []
     for key in "ABCDEFG":
         placement = PLACEMENTS[key]

@@ -1,13 +1,20 @@
 """Experiment registry: every paper table/figure plus the ablations.
 
-``EXPERIMENTS`` maps an experiment id to its module's ``run`` callable;
-:func:`run_experiment` executes one by id, and :func:`run_all` drives the
-full reproduction (as the `examples/reproduce_paper.py` script does).
+``EXPERIMENTS`` maps an experiment id to its module's ``run`` callable.
+:func:`spec_for` materializes the canonical
+:class:`~repro.experiments.common.ExperimentSpec` for an id (honouring
+per-module ``QUICK_SPEC`` / ``FULL_SPEC`` overrides), :func:`run_spec`
+executes one spec, and the campaign runner (:mod:`repro.campaign`)
+drives whole sweeps of them through the result cache.
+
+:func:`run_experiment` and :func:`run_all` remain as thin quick/full
+shims over the spec path, so existing callers keep working unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List
+from types import ModuleType
+from typing import Callable, Dict, Iterable, List, Optional
 
 from ..errors import ConfigurationError
 from . import (
@@ -41,40 +48,44 @@ from . import (
     table4_bandwidth,
     table5_sensitivity,
 )
-from .common import ExperimentResult
+from .common import ExperimentResult, ExperimentSpec
 
-Runner = Callable[..., ExperimentResult]
+Runner = Callable[[Optional[ExperimentSpec]], ExperimentResult]
+
+_MODULES: Dict[str, ModuleType] = {
+    "fig1": fig01_trend,
+    "fig3": fig03_latency,
+    "fig4": fig04_stress,
+    "fig5": fig05_timeline,
+    "fig6": fig06_model_size,
+    "fig7": fig07_throughput,
+    "fig8": fig08_tradeoff,
+    "fig9": fig09_nvlink_pattern,
+    "fig10": fig10_dual_pattern,
+    "fig11": fig11_offload,
+    "fig12": fig12_offload_pattern,
+    "fig13": fig13_largest,
+    "fig14_table6": fig14_table6_nvme,
+    "table1": table1_capability,
+    "table3": table3_interconnects,
+    "table4": table4_bandwidth,
+    "table5": table5_sensitivity,
+    "ablation_serdes": ablation_serdes,
+    "ext_hybrid": ext_hybrid,
+    "ext_energy": ext_energy,
+    "ext_scaling": ext_scaling,
+    "ext_faults": ext_faults,
+    "ext_pipeline": ext_pipeline,
+    "ablation_overlap": ablation_overlap,
+    "ablation_nvme": ablation_nvme,
+    "ablation_buffers": ablation_buffers,
+    "ablation_recompute": ablation_recompute,
+    "ext_batch": ext_batch,
+    "ext_gpu80": ext_gpu80,
+}
 
 EXPERIMENTS: Dict[str, Runner] = {
-    "fig1": fig01_trend.run,
-    "fig3": fig03_latency.run,
-    "fig4": fig04_stress.run,
-    "fig5": fig05_timeline.run,
-    "fig6": fig06_model_size.run,
-    "fig7": fig07_throughput.run,
-    "fig8": fig08_tradeoff.run,
-    "fig9": fig09_nvlink_pattern.run,
-    "fig10": fig10_dual_pattern.run,
-    "fig11": fig11_offload.run,
-    "fig12": fig12_offload_pattern.run,
-    "fig13": fig13_largest.run,
-    "fig14_table6": fig14_table6_nvme.run,
-    "table1": table1_capability.run,
-    "table3": table3_interconnects.run,
-    "table4": table4_bandwidth.run,
-    "table5": table5_sensitivity.run,
-    "ablation_serdes": ablation_serdes.run,
-    "ext_hybrid": ext_hybrid.run,
-    "ext_energy": ext_energy.run,
-    "ext_scaling": ext_scaling.run,
-    "ext_faults": ext_faults.run,
-    "ext_pipeline": ext_pipeline.run,
-    "ablation_overlap": ablation_overlap.run,
-    "ablation_nvme": ablation_nvme.run,
-    "ablation_buffers": ablation_buffers.run,
-    "ablation_recompute": ablation_recompute.run,
-    "ext_batch": ext_batch.run,
-    "ext_gpu80": ext_gpu80.run,
+    experiment_id: module.run for experiment_id, module in _MODULES.items()
 }
 
 #: ids in paper order, excluding ablations.
@@ -85,15 +96,38 @@ PAPER_EXPERIMENTS: List[str] = [
 ]
 
 
-def run_experiment(experiment_id: str, *, quick: bool = True) -> ExperimentResult:
+def _module_for(experiment_id: str) -> ModuleType:
     try:
-        runner = EXPERIMENTS[experiment_id]
+        return _MODULES[experiment_id]
     except KeyError:
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}; "
-            f"known: {sorted(EXPERIMENTS)}"
+            f"known: {sorted(_MODULES)}"
         ) from None
-    return runner(quick=quick)
+
+
+def spec_for(experiment_id: str, *, quick: bool = True) -> ExperimentSpec:
+    """The canonical spec an id runs with in quick or full mode.
+
+    Modules that deviate from the shared defaults pin ``QUICK_SPEC`` /
+    ``FULL_SPEC`` constants next to their ``run``; everything else gets
+    :meth:`ExperimentSpec.quick` / :meth:`ExperimentSpec.full`.
+    """
+    module = _module_for(experiment_id)
+    pinned = getattr(module, "QUICK_SPEC" if quick else "FULL_SPEC", None)
+    if pinned is not None:
+        return pinned
+    maker = ExperimentSpec.quick if quick else ExperimentSpec.full
+    return maker(experiment_id)
+
+
+def run_spec(spec: ExperimentSpec) -> ExperimentResult:
+    """Execute one experiment spec (the campaign runner's entry point)."""
+    return _module_for(spec.experiment_id).run(spec)
+
+
+def run_experiment(experiment_id: str, *, quick: bool = True) -> ExperimentResult:
+    return run_spec(spec_for(experiment_id, quick=quick))
 
 
 def run_all(ids: Iterable[str] = None, *, quick: bool = True

@@ -9,11 +9,11 @@ from __future__ import annotations
 
 from ..model.states import OffloadTarget, ZeroStage
 from ..telemetry.report import format_table
-from .common import ExperimentResult
+from .common import ExperimentResult, ExperimentSpec
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    del quick
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    del spec  # capability matrix is configuration-free
     rows = []
     for stage in (ZeroStage.OPTIMIZER, ZeroStage.GRADIENTS,
                   ZeroStage.PARAMETERS):

@@ -10,11 +10,11 @@ from __future__ import annotations
 from ..hardware.presets import INTERFACE_TO_CLASS, TABLE_III, dual_node_cluster
 from ..telemetry.report import format_table
 from ..units import GB
-from .common import ExperimentResult
+from .common import ExperimentResult, ExperimentSpec
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    del quick
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    del spec  # inventory check is configuration-free
     cluster = dual_node_cluster()
     rows = []
     for entry in TABLE_III:

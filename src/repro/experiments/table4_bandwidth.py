@@ -21,14 +21,15 @@ from .common import (
     ALL_STRATEGIES,
     CORE_STRATEGIES,
     ExperimentResult,
+    ExperimentSpec,
     cluster_for,
-    iterations_for,
     placement_cluster,
 )
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    iterations = iterations_for(quick)
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("table4")
+    iterations = spec.iterations
     rows: List[dict] = []
     consolidation_model = model_for_billions(paper_data.CONSOLIDATION_MODEL_B)
 

@@ -17,16 +17,23 @@ from ..errors import OutOfMemoryError
 from ..parallel.placement import PLACEMENTS
 from ..telemetry.report import format_table
 from . import paper_data
-from .common import ALL_STRATEGIES, ExperimentResult, cluster_for, iterations_for, placement_cluster
+from .common import (
+    ALL_STRATEGIES,
+    ExperimentResult,
+    ExperimentSpec,
+    cluster_for,
+    placement_cluster,
+)
 
 
-def run(quick: bool = True) -> ExperimentResult:
-    iterations = iterations_for(quick)
+def run(spec: ExperimentSpec | None = None) -> ExperimentResult:
+    spec = spec or ExperimentSpec.quick("table5")
+    iterations = spec.iterations
     placement = PLACEMENTS["B"]
     rows: List[dict] = []
     for config, paper_cells in paper_data.TABLE_V.items():
         sizes = sorted(paper_cells)
-        if quick and len(sizes) > 5:
+        if not spec.full_sweep and len(sizes) > 5:
             # Keep the sweep's endpoints and shape in quick mode.
             step = max(1, len(sizes) // 5)
             sizes = sorted(set(sizes[::step]) | {sizes[0], sizes[-1]})

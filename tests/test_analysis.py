@@ -143,6 +143,14 @@ class TestRegistryCodes:
         assert owners["DET110"] == "schedule-sanitizer"
         assert owners["DET120"] == "perturbation-differ"
 
+    def test_campaign_cache_codes_claimed(self):
+        from repro.campaign.cache import CACHE_CODES  # claims on import
+
+        owners = code_owners()
+        for code in CACHE_CODES:
+            assert owners[code] == "campaign-cache"
+        self_check()  # the claims survive the registry's own audit
+
     def test_cross_owner_code_collision_rejected(self):
         claim_codes("collision-test-owner", ("ZZZ901",))
         claim_codes("collision-test-owner", ("ZZZ901",))  # reclaim OK

@@ -43,7 +43,12 @@ class TestRun:
         payload = json.loads(capsys.readouterr().out)
         assert payload["strategy"] == "zero2"
         assert payload["tflops"] > 0
-        assert payload["memory_gb"]["gpu"] > 0
+        assert payload["memory_bytes"]["gpu"] > 0
+        # The machine-readable schema matches save_metrics exactly.
+        from repro.core.results import SCHEMA_VERSION
+
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["spec"]["strategy"] == "zero2"
 
     def test_table_output(self, capsys):
         code = main(["run", "--strategy", "ddp", "--size", "0.7",
