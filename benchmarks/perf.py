@@ -1,0 +1,97 @@
+"""DES raw-speed harness: events/sec + wall-clock on pinned scenarios.
+
+Seeds the ROADMAP "benchmark trajectory": every perf-relevant PR runs
+
+    PYTHONPATH=src python benchmarks/perf.py --out benchmarks/BENCH_NNN.json
+
+and commits the JSON, so the event-loop hot-path work (batching,
+memoization, the analytic fast-path) has a measured baseline to beat.
+The two scenarios are pinned — same strategy, model size, node count,
+and iteration count forever — so files are comparable across PRs:
+
+* ``single_node_zero2``: the paper's headline single-node config.
+* ``dual_node_zero3``: two nodes, ZeRO-3 — collective-heavy, exercises
+  the inter-node flow network.
+
+Event counts are deterministic (the DES is seeded and tie-ordered);
+wall-clock and events/sec carry machine jitter, which is why each file
+also records the interpreter version and the median of several repeats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.api import RunSpec, run_spec
+
+#: Pinned forever — edit only by adding new scenarios, never by changing
+#: existing ones, or the cross-PR trajectory breaks.
+SCENARIOS: Dict[str, RunSpec] = {
+    "single_node_zero2": RunSpec(strategy="zero2", size_billions=1.4,
+                                 nodes=1, iterations=4),
+    "dual_node_zero3": RunSpec(strategy="zero3", size_billions=0.7,
+                               nodes=2, iterations=4),
+}
+
+SCHEMA_VERSION = 1
+
+
+def run_scenario(name: str, spec: RunSpec, *, repeats: int = 3) -> dict:
+    """Run one pinned scenario ``repeats`` times, report the median."""
+    wall_times: List[float] = []
+    events = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        metrics = run_spec(spec)
+        wall_times.append(time.perf_counter() - started)
+        events = metrics.execution.events_processed
+    wall_s = statistics.median(wall_times)
+    return {
+        "scenario": name,
+        "strategy": spec.strategy,
+        "size_billions": spec.size_billions,
+        "nodes": spec.nodes,
+        "iterations": spec.iterations,
+        "events_processed": events,
+        "wall_clock_s": round(wall_s, 4),
+        "events_per_sec": round(events / wall_s, 1) if wall_s else 0.0,
+        "repeats": repeats,
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON record here (default: stdout)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="wall-clock repeats per scenario (median wins)")
+    args = parser.parse_args(argv)
+
+    record = {
+        "schema_version": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "scenarios": [run_scenario(name, spec, repeats=args.repeats)
+                      for name, spec in sorted(SCENARIOS.items())],
+    }
+    payload = json.dumps(record, indent=2) + "\n"
+    if args.out is None:
+        sys.stdout.write(payload)
+    else:
+        args.out.write_text(payload)
+        for row in record["scenarios"]:
+            print(f"{row['scenario']}: {row['events_processed']} events "
+                  f"in {row['wall_clock_s']}s "
+                  f"({row['events_per_sec']:.0f} events/s)", file=sys.stderr)
+        print(f"written: {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

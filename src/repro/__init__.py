@@ -11,17 +11,17 @@ bandwidth exactly as the paper does.
 
 Quickstart::
 
-    from repro import run_training, model_for_billions
-    from repro.hardware import single_node_cluster
-    from repro.parallel import zero2
+    from repro import RunSpec, run_spec
 
-    cluster = single_node_cluster()
-    metrics = run_training(cluster, zero2(), model_for_billions(1.4))
+    metrics = run_spec(RunSpec(strategy="zero2", size_billions=1.4))
     print(metrics.tflops, "TFLOP/s")
 
 Every table and figure of the paper is reproducible through
 :mod:`repro.experiments` (``run_experiment("fig7")`` etc.).
 """
+
+import functools
+import warnings
 
 from . import calibration, errors, units
 from .api import RunSpec, run_spec
@@ -33,8 +33,8 @@ from .core import (
     max_model_size,
     model_for_billions,
     plan_only,
-    run_training,
 )
+from .core import run_training as _run_training
 from .errors import (
     CapabilityError,
     ConfigurationError,
@@ -44,6 +44,24 @@ from .errors import (
     TopologyError,
 )
 from .model import ModelConfig, TrainingConfig, paper_model, total_parameters
+
+
+@functools.wraps(_run_training)
+def run_training(*args, **kwargs):
+    """Deprecated top-level alias for :func:`repro.core.runner.run_training`.
+
+    The declarative front door is :func:`repro.api.run_spec`; scripts
+    that want the positional runner should import it from
+    :mod:`repro.core` directly.
+    """
+    warnings.warn(
+        "repro.run_training is deprecated; use repro.api.run_spec "
+        "(declarative) or repro.core.run_training (positional) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_training(*args, **kwargs)
+
 
 __version__ = "1.0.0"
 

@@ -1,5 +1,6 @@
 """Pre-run static analysis: config/topology lints, DES liveness, source
-hygiene, and the determinism race detector.
+hygiene, the determinism race detector, and the interprocedural
+dimensional analysis (``DIM0xx``).
 
 See DESIGN.md ("Static analysis" and "Determinism guarantees") for the
 pass catalog and how to write a new pass.  The CLI front end is ``repro
@@ -10,6 +11,7 @@ here — it needs the training runner).
 
 from .api import (
     DEFAULT_SOURCE_ROOT,
+    analyze_dimensions,
     analyze_run_config,
     analyze_source,
     run_passes,
@@ -42,6 +44,7 @@ __all__ = [
     "Finding",
     "Report",
     "Severity",
+    "analyze_dimensions",
     "analyze_run_config",
     "analyze_source",
     "apply_baseline",

@@ -7,7 +7,10 @@
   with ``cheap_only=True`` this is exactly the pre-run hook;
 * :func:`analyze_source` — the ``source`` family (unit hygiene plus the
   ``DET0xx`` determinism lints) over a source tree
-  (``repro analyze --self``).
+  (``repro analyze --self``);
+* :func:`analyze_dimensions` — the ``dims`` family (the interprocedural
+  dimensional analysis, ``DIM0xx``) over a source tree
+  (``repro analyze --dims``).
 
 Importing this module registers every built-in pass.
 """
@@ -31,6 +34,7 @@ from . import fault_lints as _fault_lints      # noqa: F401  (registers passes)
 from . import topology_lints as _topology_lints  # noqa: F401  (registers passes)
 from . import source_lints as _source_lints    # noqa: F401  (registers passes)
 from .determinism import det_lints as _det_lints  # noqa: F401  (registers passes)
+from .dimensions import passes as _dim_passes  # noqa: F401  (registers passes)
 from .source_lints import DEFAULT_SOURCE_ROOT
 
 #: The CFG000 probe-error wrapper below is a reporter of its own.
@@ -96,3 +100,15 @@ def analyze_source(root: Union[str, Path, None] = None) -> Report:
     tree_root = Path(root) if root is not None else DEFAULT_SOURCE_ROOT
     ctx = AnalysisContext(source_root=tree_root)
     return run_passes(ctx, ("source",))
+
+
+def analyze_dimensions(root: Union[str, Path, None] = None) -> Report:
+    """Run the ``dims`` passes over ``root`` (default: ``src/repro``).
+
+    Covers the flow-sensitive dimensional analysis (``DIM001``-``DIM006``)
+    and the unit-vocabulary lints (``DIM010``/``DIM011``); no cluster is
+    involved.
+    """
+    tree_root = Path(root) if root is not None else DEFAULT_SOURCE_ROOT
+    ctx = AnalysisContext(source_root=tree_root)
+    return run_passes(ctx, ("dims",))

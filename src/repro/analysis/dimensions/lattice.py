@@ -1,0 +1,159 @@
+"""The dimension lattice: values the abstract interpreter computes with.
+
+A :class:`Dim` is a vector of integer exponents over the simulator's
+three base dimensions — ``bytes``, ``s`` (seconds), ``flops`` — plus a
+*byte-scale flavor* distinguishing decimal (``GB``) from binary
+(``GiB``) byte quantities, which are dimensionally identical but differ
+by 7 % (the classic silent-corruption bug in bandwidth math).
+
+The lattice ordering is flat: every concrete dimension sits below
+``UNKNOWN`` (top).  :meth:`Dim.join` is the control-flow merge — equal
+dimensions stay, anything else widens to ``UNKNOWN`` (a merge is never
+itself an error; only *using* incompatible dimensions together is).
+
+Arithmetic:
+
+* :meth:`Dim.mul` / :meth:`Dim.div` add/subtract exponent vectors
+  (``bytes / s = bytes/s``); conflicting byte-scale flavors cancel to
+  unmarked, because multiplying by a conversion constant (``x * GB /
+  GIB``) is a legitimate rescale;
+* addition/subtraction/comparison do not combine dimensions — callers
+  check :meth:`Dim.compatible` (equal exponents) and
+  :meth:`Dim.scale_conflict` (decimal GB meets binary GiB) instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: byte-scale flavors; "" means unmarked (no provenance known)
+DECIMAL = "decimal"
+BINARY = "binary"
+
+#: base-dimension display names, in exponent-vector order
+_BASES = ("bytes", "s", "flops")
+
+
+@dataclass(frozen=True)
+class Dim:
+    """One point in the dimension lattice.
+
+    ``exps`` holds the integer exponents of (bytes, seconds, flops);
+    ``known=False`` is the lattice top (``UNKNOWN``), whose ``exps`` are
+    meaningless.  ``scale`` tags byte-carrying dimensions with their
+    decimal/binary provenance ("" when unmarked or irrelevant).
+    """
+
+    exps: Tuple[int, int, int] = (0, 0, 0)
+    known: bool = True
+    scale: str = field(default="", compare=False)
+
+    # -- constructors-by-arithmetic ---------------------------------------
+    def mul(self, other: "Dim") -> "Dim":
+        if not (self.known and other.known):
+            return UNKNOWN
+        exps = tuple(a + b for a, b in zip(self.exps, other.exps))
+        return Dim(exps, scale=_combine_scale(self, other, exps))  # type: ignore[arg-type]
+
+    def div(self, other: "Dim") -> "Dim":
+        if not (self.known and other.known):
+            return UNKNOWN
+        exps = tuple(a - b for a, b in zip(self.exps, other.exps))
+        return Dim(exps, scale=_combine_scale(self, other, exps))  # type: ignore[arg-type]
+
+    def pow(self, exponent: int) -> "Dim":
+        if not self.known:
+            return UNKNOWN
+        exps = tuple(a * exponent for a in self.exps)
+        scale = self.scale if exps[0] != 0 else ""
+        return Dim(exps, scale=scale)  # type: ignore[arg-type]
+
+    # -- lattice operations ------------------------------------------------
+    def join(self, other: "Dim") -> "Dim":
+        """Control-flow merge: equal stays, different widens to UNKNOWN."""
+        if not (self.known and other.known):
+            return UNKNOWN
+        if self.exps != other.exps:
+            return UNKNOWN
+        if self.scale and other.scale and self.scale != other.scale:
+            return Dim(self.exps)
+        return Dim(self.exps, scale=self.scale or other.scale)
+
+    def compatible(self, other: "Dim") -> bool:
+        """True unless *both* are known with different exponent vectors."""
+        if not (self.known and other.known):
+            return True
+        return self.exps == other.exps
+
+    def scale_conflict(self, other: "Dim") -> bool:
+        """Both byte-carrying, one decimal-scaled and one binary-scaled."""
+        if not (self.known and other.known):
+            return False
+        if self.exps != other.exps or self.exps[0] == 0:
+            return False
+        return bool(self.scale and other.scale and self.scale != other.scale)
+
+    @property
+    def is_dimensionless(self) -> bool:
+        return self.known and self.exps == (0, 0, 0)
+
+    def __str__(self) -> str:
+        if not self.known:
+            return "unknown"
+        if self.is_dimensionless:
+            return "dimensionless"
+        num = [_power(name, e) for name, e in zip(_BASES, self.exps) if e > 0]
+        den = [_power(name, -e) for name, e in zip(_BASES, self.exps) if e < 0]
+        head = "*".join(num) if num else "1"
+        if den:
+            head += "/" + "*".join(den)
+        if self.scale and self.exps[0] != 0:
+            head += f" ({self.scale})"
+        return head
+
+
+def _power(name: str, exponent: int) -> str:
+    return name if exponent == 1 else f"{name}^{exponent}"
+
+
+def _combine_scale(a: Dim, b: Dim, exps: Tuple[int, ...]) -> str:
+    """Flavor of a product/quotient: kept when unambiguous, else dropped."""
+    if exps[0] == 0:
+        return ""
+    scales = {d.scale for d in (a, b) if d.scale}
+    return scales.pop() if len(scales) == 1 else ""
+
+
+UNKNOWN = Dim(known=False)
+DIMENSIONLESS = Dim((0, 0, 0))
+BYTES = Dim((1, 0, 0))
+TIME = Dim((0, 1, 0))
+BYTES_PER_S = Dim((1, -1, 0))
+FLOPS = Dim((0, 0, 1))
+FLOPS_PER_S = Dim((0, -1, 1))
+
+#: flavored byte dimensions for the stub registry
+BYTES_DECIMAL = Dim((1, 0, 0), scale=DECIMAL)
+BYTES_BINARY = Dim((1, 0, 0), scale=BINARY)
+BYTES_PER_S_DECIMAL = Dim((1, -1, 0), scale=DECIMAL)
+
+
+def parse_dim(name: str) -> Optional[Dim]:
+    """The dimension a short display name denotes, or ``None``.
+
+    Accepts the canonical names used in finding messages and the
+    baseline: ``bytes``, ``s``, ``bytes/s``, ``flops``, ``flops/s``,
+    ``dimensionless``, ``unknown``.
+    """
+    table = {
+        "bytes": BYTES,
+        "s": TIME,
+        "seconds": TIME,
+        "bytes/s": BYTES_PER_S,
+        "flops": FLOPS,
+        "flops/s": FLOPS_PER_S,
+        "dimensionless": DIMENSIONLESS,
+        "unknown": UNKNOWN,
+    }
+    return table.get(name)

@@ -1,0 +1,124 @@
+"""Unit-stub registry: the dimension seeds the engine starts from.
+
+Three kinds of seeds:
+
+* :data:`UNITS_CONSTANTS` / :data:`UNITS_FUNCTIONS` — dimensions for
+  :mod:`repro.units` names.  ``GB`` converts a dimensionless count into
+  bytes, so *as a factor* it carries the ``bytes`` dimension (decimal
+  flavor); ``GIB`` likewise with binary flavor; ``MS`` carries seconds;
+  ``gbps()`` returns bytes/s.  ``GFLOPS``/``TFLOPS`` are deliberately
+  ``UNKNOWN``: the same constant scales both FLOP counts and FLOP/s
+  rates, so assigning either would fabricate mismatches.
+* :data:`ANNOTATION_DIMS` — the ``Bytes``/``Seconds``/... annotation
+  aliases exported by :mod:`repro.units`.  At runtime they are plain
+  ``float``; the engine reads them off signatures.
+* :data:`SINK_CONTRACTS` — dimension contracts on well-known method
+  sinks whose receivers cannot be typed statically but whose names and
+  arities are unambiguous in this codebase: link-ledger charges
+  (``.record(start, end, num_bytes)``), event durations
+  (``.schedule_at(time, ...)``, ``.timeout(delay)``), flow transfers
+  (``.transfer(route, num_bytes, ...)``).  A contract only fires when
+  the call's positional arity fits, so unrelated same-named methods
+  (e.g. ``ValidationSuite.record(name, passed)``) stay out of scope —
+  their arguments carry no known dimension and are never flagged.
+
+Trace counter tracks are contracted separately: ``CounterTrack(...)``
+must pass a ``unit=`` drawn from :data:`COUNTER_UNITS` and
+seconds-valued ``start``/``period``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .lattice import (
+    BYTES,
+    BYTES_BINARY,
+    BYTES_DECIMAL,
+    BYTES_PER_S,
+    BYTES_PER_S_DECIMAL,
+    DIMENSIONLESS,
+    FLOPS_PER_S,
+    TIME,
+    UNKNOWN,
+    Dim,
+)
+
+#: :mod:`repro.units` module-level constants -> dimension (as factors).
+UNITS_CONSTANTS: Dict[str, Dim] = {
+    "KB": BYTES_DECIMAL,
+    "MB": BYTES_DECIMAL,
+    "GB": BYTES_DECIMAL,
+    "TB": BYTES_DECIMAL,
+    "KIB": BYTES_BINARY,
+    "MIB": BYTES_BINARY,
+    "GIB": BYTES_BINARY,
+    "TIB": BYTES_BINARY,
+    "SECOND": TIME,
+    "MS": TIME,
+    "US": TIME,
+    "NS": TIME,
+    "GBPS": BYTES_PER_S_DECIMAL,
+    "MBPS": BYTES_PER_S_DECIMAL,
+    # GFLOPS/TFLOPS scale both FLOP counts and FLOP/s rates; ambiguous.
+    "GFLOPS": UNKNOWN,
+    "TFLOPS": UNKNOWN,
+    "FP16_BYTES": BYTES,
+    "BF16_BYTES": BYTES,
+    "FP32_BYTES": BYTES,
+    "FP64_BYTES": BYTES,
+    "ADAM_STATE_BYTES_FP32": BYTES,
+}
+
+#: :mod:`repro.units` helper functions -> (parameter dims, return dim).
+UNITS_FUNCTIONS: Dict[str, Tuple[Tuple[Dim, ...], Dim]] = {
+    "gbps": ((DIMENSIONLESS,), BYTES_PER_S_DECIMAL),
+    "to_gbps": ((BYTES_PER_S,), DIMENSIONLESS),
+    "tflops": ((DIMENSIONLESS,), FLOPS_PER_S),
+    "to_tflops": ((FLOPS_PER_S,), DIMENSIONLESS),
+    "gib": ((DIMENSIONLESS,), BYTES_BINARY),
+    "to_gb": ((BYTES,), DIMENSIONLESS),
+    "usec": ((DIMENSIONLESS,), TIME),
+    "to_usec": ((TIME,), DIMENSIONLESS),
+    "billion": ((DIMENSIONLESS,), DIMENSIONLESS),
+    "to_billion": ((DIMENSIONLESS,), DIMENSIONLESS),
+}
+
+#: annotation alias name -> dimension (``def f(x: Bytes) -> Seconds``).
+ANNOTATION_DIMS: Dict[str, Dim] = {
+    "Bytes": BYTES,
+    "Seconds": TIME,
+    "BytesPerSecond": BYTES_PER_S,
+    "Flops": Dim((0, 0, 1)),
+    "FlopsPerSecond": FLOPS_PER_S,
+    "Scalar": DIMENSIONLESS,
+}
+
+#: method-name sinks: name -> (positional param dims *after* the
+#: receiver, return dim, (min_args, max_args) positional-arity window).
+#: ``None`` in the param tuple means "unchecked".
+SINK_CONTRACTS: Dict[str, Tuple[Tuple[Optional[Dim], ...], Dim,
+                                Tuple[int, int]]] = {
+    # BandwidthLedger.record / Route.record: charge bytes over [start, end]
+    "record": ((TIME, TIME, BYTES), UNKNOWN, (3, 3)),
+    # Engine.schedule_at(time, callback, *args)
+    "schedule_at": ((TIME, None, None, None), UNKNOWN, (2, 4)),
+    # Engine.timeout(delay, value=None)
+    "timeout": ((TIME, None), UNKNOWN, (1, 2)),
+    # FlowNetwork.transfer(route, num_bytes, ...)
+    "transfer": ((None, BYTES), UNKNOWN, (2, 2)),
+}
+
+#: unit strings a ``CounterTrack(unit=...)`` may carry.
+COUNTER_UNITS = frozenset({
+    "bytes", "bytes/s", "s", "flops", "flops/s", "count", "fraction",
+})
+
+
+def annotation_dim(name: str) -> Optional[Dim]:
+    """The dimension an annotation identifier denotes, or ``None``.
+
+    Accepts the bare alias (``Bytes``) and dotted spellings rooted in
+    the units module (``units.Bytes``).
+    """
+    return ANNOTATION_DIMS.get(name.rsplit(".", 1)[-1])

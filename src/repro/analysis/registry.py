@@ -9,7 +9,10 @@ Finding`s, tagged with a family and a cost class:
 * family ``faults`` — validates a fault-injection plan against the
   cluster (targets exist, kinds match, events inside the horizon);
 * family ``source`` — AST lints over the codebase itself (unit hygiene
-  and the ``DET0xx`` nondeterminism-hazard passes).
+  and the ``DET0xx`` nondeterminism-hazard passes);
+* family ``dims`` — the interprocedural dimensional analysis
+  (``DIM0xx``): a flow-sensitive abstract interpreter enforcing
+  byte/second/bandwidth unit algebra across the simulator.
 
 ``cheap`` passes are safe to run on *every* simulation (the
 :func:`repro.core.runner.run_training` hook runs them); expensive or
@@ -52,7 +55,7 @@ from .findings import Finding
 
 PassFn = Callable[[AnalysisContext], Iterable[Finding]]
 
-FAMILIES = ("config", "topology", "faults", "source")
+FAMILIES = ("config", "topology", "faults", "source", "dims")
 
 #: Stable finding codes look like ``CFG001`` / ``TOPO020`` / ``DET101``.
 _CODE_RE = re.compile(r"^[A-Z]{3,4}\d{3}$")

@@ -1,19 +1,18 @@
-"""Unit-hygiene AST lint over the simulator's own source tree.
+"""Source-hygiene AST lint over the simulator's own source tree.
 
-:mod:`repro.units` is the canonical vocabulary for sizes, times, and
-rates, but nothing enforced it — so ``1e9`` vs ``2**30`` bugs (decimal
-vs binary gigabytes differ by 7 %) could slip into bandwidth math
-unnoticed.  This pass walks the stdlib :mod:`ast` of every module under
+This pass walks the stdlib :mod:`ast` of every module under
 ``src/repro`` and flags:
 
-* ``SRC001`` — magic unit constants (``1e9``, ``2**30``, ...) where a
-  :mod:`repro.units` name exists (WARNING; ``units.py`` itself defines
-  them and is exempt);
-* ``SRC002`` — float ``==``/``!=`` on simulated-time expressions, which
-  are accumulated floats and must be compared with tolerances (WARNING);
+* ``SRC000`` — files the parser rejects outright (ERROR);
 * ``SRC003`` — generator processes yielding plain constants instead of
   :class:`~repro.sim.engine.BaseEvent` objects, which the engine rejects
   only at runtime (ERROR).
+
+The unit-discipline checks that used to live here (``SRC001`` magic
+unit constants, ``SRC002`` float ``==`` on simulated times) moved to the
+``dims`` family as ``DIM010``/``DIM011`` when the dimensional-analysis
+engine arrived (:mod:`repro.analysis.dimensions.vocabulary`); baselines
+naming the retired codes are migrated on load.
 """
 
 from __future__ import annotations
@@ -22,38 +21,14 @@ import ast
 from pathlib import Path
 from typing import Iterator, List
 
-from .. import units
 from .context import AnalysisContext
 from .findings import Finding, Severity
 from .registry import register_pass
 
-PASS_NAME = "unit-hygiene"
+PASS_NAME = "source-hygiene"
 
 #: The simulator's own package root — what ``repro analyze --self`` scans.
 DEFAULT_SOURCE_ROOT = Path(__file__).resolve().parent.parent
-
-#: Literal values with a canonical :mod:`repro.units` name.  Time
-#: constants (1e-3, 1e-6, 1e-9) are deliberately absent: the same values
-#: appear as comparison tolerances everywhere, which are not unit bugs.
-_UNIT_NAMES = {
-    units.MB: "MB (or GFLOPS/MBPS as appropriate)",
-    units.GB: "GB (or GFLOPS/GBPS/billion as appropriate)",
-    units.TB: "TB (or TFLOPS as appropriate)",
-    float(units.MIB): "MIB",
-    float(units.GIB): "GIB",
-    float(units.TIB): "TIB",
-}
-
-#: Exponents of ``2**N`` expressions that spell binary units.
-_POW2_UNITS = {10: "KIB", 20: "MIB", 30: "GIB", 40: "TIB"}
-
-#: Identifier tokens (underscore-separated) that mark an expression as a
-#: simulated time.  Matched per token, not as substrings, so names like
-#: ``endpoint`` do not read as times.
-_TIME_TOKENS = frozenset({
-    "time", "times", "now", "start", "started", "end", "ended",
-    "duration", "latency", "deadline", "elapsed",
-})
 
 #: Engine methods whose return values are events; a generator yielding
 #: one of these is a DES process.
@@ -62,87 +37,7 @@ _EVENT_FACTORIES = frozenset(
 )
 
 
-def _is_timeish(node: ast.expr) -> bool:
-    name = ""
-    if isinstance(node, ast.Name):
-        name = node.id
-    elif isinstance(node, ast.Attribute):
-        name = node.attr
-    tokens = name.lower().split("_")
-    return any(token in _TIME_TOKENS for token in tokens)
-
-
-def _unit_suggestion(node: ast.expr) -> str:
-    """The units name a literal expression should use, or ''."""
-    if isinstance(node, ast.Constant):
-        value = node.value
-        if isinstance(value, bool):
-            return ""
-        if isinstance(value, float) and value in _UNIT_NAMES:
-            return _UNIT_NAMES[value]
-        if isinstance(value, int) and float(value) in _UNIT_NAMES:
-            return _UNIT_NAMES[float(value)]
-    if (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Pow)
-            and isinstance(node.left, ast.Constant) and node.left.value == 2
-            and isinstance(node.right, ast.Constant)
-            and node.right.value in _POW2_UNITS):
-        return _POW2_UNITS[node.right.value]
-    return ""
-
-
 def _lint_module(tree: ast.Module, location: str) -> Iterator[Finding]:
-    # SRC001 — magic unit constants.
-    pow2_spans = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.BinOp):
-            suggestion = _unit_suggestion(node)
-            if suggestion:
-                pow2_spans.add((node.left.lineno, node.left.col_offset))
-                pow2_spans.add((node.right.lineno, node.right.col_offset))
-                yield Finding(
-                    PASS_NAME, Severity.WARNING, "SRC001",
-                    f"magic constant 2**{node.right.value}; use "
-                    f"repro.units.{suggestion}",
-                    location=f"{location}:{node.lineno}",
-                )
-        elif isinstance(node, ast.Constant):
-            if (node.lineno, node.col_offset) in pow2_spans:
-                continue
-            suggestion = _unit_suggestion(node)
-            if suggestion:
-                yield Finding(
-                    PASS_NAME, Severity.WARNING, "SRC001",
-                    f"magic constant {node.value!r}; use "
-                    f"repro.units.{suggestion}",
-                    location=f"{location}:{node.lineno}",
-                )
-
-    # SRC002 — float equality on simulated times.
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Compare):
-            continue
-        operands = [node.left, *node.comparators]
-        for op, left, right in zip(node.ops, operands, operands[1:]):
-            if not isinstance(op, (ast.Eq, ast.NotEq)):
-                continue
-            timeish = [_is_timeish(left), _is_timeish(right)]
-            if all(timeish):
-                flag = True
-            elif any(timeish):
-                other = right if timeish[0] else left
-                flag = (isinstance(other, ast.Constant)
-                        and isinstance(other.value, float)
-                        and other.value != 0.0)
-            else:
-                flag = False
-            if flag:
-                yield Finding(
-                    PASS_NAME, Severity.WARNING, "SRC002",
-                    "exact float comparison on a simulated time; compare "
-                    "with a tolerance instead",
-                    location=f"{location}:{node.lineno}",
-                )
-
     # SRC003 — process generators yielding non-events.
     for func in ast.walk(tree):
         if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -178,18 +73,17 @@ def _yields_event_factory(node: ast.Yield) -> bool:
 
 @register_pass(
     PASS_NAME, family="source", cheap=False,
-    description="units vocabulary used; no float== on times; "
-                "processes yield events",
-    codes=("SRC000", "SRC001", "SRC002", "SRC003"),
+    description="sources parse; processes yield events",
+    codes=("SRC000", "SRC003"),
 )
-def unit_hygiene(ctx: AnalysisContext) -> Iterator[Finding]:
+def source_hygiene(ctx: AnalysisContext) -> Iterator[Finding]:
     root = (ctx.source_root if ctx.source_root is not None
             else DEFAULT_SOURCE_ROOT)
     yield from lint_source_tree(root)
 
 
 def lint_source_tree(root: Path) -> List[Finding]:
-    """Run the unit-hygiene lint over every ``.py`` file under ``root``."""
+    """Run the source-hygiene lint over every ``.py`` file under ``root``."""
     findings: List[Finding] = []
     for path in sorted(root.rglob("*.py")):
         if path.name == "units.py":

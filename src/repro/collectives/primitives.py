@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
+from ..units import Bytes, Scalar
 
 
 class CollectiveKind(enum.Enum):
@@ -27,7 +28,7 @@ class CollectiveKind(enum.Enum):
         return self.value
 
 
-def ring_traffic_factor(kind: CollectiveKind, group_size: int) -> float:
+def ring_traffic_factor(kind: CollectiveKind, group_size: int) -> Scalar:
     """Bytes each ring link carries, as a multiple of the payload size.
 
     For a payload of ``B`` bytes over an ``n``-rank ring:
@@ -67,7 +68,7 @@ class CollectiveOp:
     """A single collective invocation to be costed/executed."""
 
     kind: CollectiveKind
-    payload_bytes: float
+    payload_bytes: Bytes
     group_size: int
 
     def __post_init__(self) -> None:
@@ -77,7 +78,7 @@ class CollectiveOp:
             raise ConfigurationError("group size must be >= 1")
 
     @property
-    def per_link_bytes(self) -> float:
+    def per_link_bytes(self) -> Bytes:
         return self.payload_bytes * ring_traffic_factor(self.kind, self.group_size)
 
     @property

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
-from ..units import GB, TFLOPS
+from ..units import GB, GBPS, Bytes, BytesPerSecond, FlopsPerSecond, tflops
 from .devices import Device, DeviceKind, MemoryPool
 
 
@@ -26,15 +26,15 @@ class GpuSpec:
     """
 
     name: str = "NVIDIA A100 SXM4 40GB"
-    memory_bytes: float = 40 * GB
-    peak_fp16_flops: float = 312 * TFLOPS
-    peak_fp32_flops: float = 19.5 * TFLOPS
-    hbm_bandwidth: float = 1555 * GB
+    memory_bytes: Bytes = 40 * GB
+    peak_fp16_flops: FlopsPerSecond = tflops(312)
+    peak_fp32_flops: FlopsPerSecond = tflops(19.5)
+    hbm_bandwidth: BytesPerSecond = 1555 * GBPS
     nvlink_ports: int = 12
     # Memory the CUDA context + framework reserves before the first tensor
     # (CUDA context, cuBLAS/cuDNN workspaces, NCCL channels).  ~2.5 GB is
     # typical for PyTorch 1.12 + NCCL on A100.
-    reserved_bytes: float = 2.5 * GB
+    reserved_bytes: Bytes = 2.5 * GB
 
     def __post_init__(self) -> None:
         if self.memory_bytes <= 0 or self.peak_fp16_flops <= 0:
@@ -43,7 +43,7 @@ class GpuSpec:
             raise ConfigurationError("reserved memory exceeds GPU capacity")
 
     @property
-    def usable_memory_bytes(self) -> float:
+    def usable_memory_bytes(self) -> Bytes:
         """Bytes available to tensors after framework reservations."""
         return self.memory_bytes - self.reserved_bytes
 

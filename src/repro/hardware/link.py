@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import List, Tuple
 
 from ..errors import ConfigurationError
-from ..units import GB
+from ..units import GB, Bytes, BytesPerSecond, Seconds
 
 
 class LinkClass(enum.Enum):
@@ -67,8 +67,8 @@ class LinkSpec:
     """
 
     link_class: LinkClass
-    bandwidth_per_direction: float
-    latency: float
+    bandwidth_per_direction: BytesPerSecond
+    latency: Seconds
     efficiency: float = 1.0
     duplex: bool = True
 
@@ -81,14 +81,14 @@ class LinkSpec:
             raise ConfigurationError("link latency must be non-negative")
 
     @property
-    def bandwidth_bidirectional(self) -> float:
+    def bandwidth_bidirectional(self) -> BytesPerSecond:
         """Theoretical bidirectional bandwidth (the paper's headline figure)."""
         if self.duplex:
             return 2.0 * self.bandwidth_per_direction
         return self.bandwidth_per_direction
 
     @property
-    def attainable_per_direction(self) -> float:
+    def attainable_per_direction(self) -> BytesPerSecond:
         """Single-stream attainable bandwidth per direction."""
         return self.bandwidth_per_direction * self.efficiency
 
@@ -102,17 +102,17 @@ class TransferRecord:
     timelines can show the fault window.
     """
 
-    start: float
-    end: float
-    num_bytes: float
+    start: Seconds
+    end: Seconds
+    num_bytes: Bytes
     degraded: bool = field(default=False, compare=False)
 
     @property
-    def duration(self) -> float:
+    def duration(self) -> Seconds:
         return self.end - self.start
 
     @property
-    def rate(self) -> float:
+    def rate(self) -> BytesPerSecond:
         """Average bytes/s over the interval (0 for instantaneous records)."""
         if self.duration <= 0:
             return 0.0
@@ -131,7 +131,7 @@ class BandwidthLedger:
     def __init__(self) -> None:
         self._records: List[TransferRecord] = []
 
-    def record(self, start: float, end: float, num_bytes: float, *,
+    def record(self, start: Seconds, end: Seconds, num_bytes: Bytes, *,
                degraded: bool = False) -> None:
         """Record a transfer of ``num_bytes`` between ``start`` and ``end``."""
         if end < start:
@@ -153,7 +153,7 @@ class BandwidthLedger:
         return iter(self._records)
 
     @property
-    def total_bytes(self) -> float:
+    def total_bytes(self) -> Bytes:
         return sum(r.num_bytes for r in self._records)
 
     def clear(self) -> None:
@@ -165,13 +165,14 @@ class BandwidthLedger:
             (r.start, r.end) for r in self._records if r.degraded
         )
 
-    def utilization_at(self, instant: float) -> float:
+    def utilization_at(self, instant: Seconds) -> BytesPerSecond:
         """Instantaneous bytes/s at ``instant`` (sum of covering intervals)."""
         return sum(
             r.rate for r in self._records if r.start <= instant < r.end
         )
 
-    def sample(self, start: float, end: float, num_samples: int) -> List[float]:
+    def sample(self, start: Seconds, end: Seconds,
+               num_samples: int) -> List[BytesPerSecond]:
         """Sample utilization on a regular grid of ``num_samples`` bins.
 
         Each bin reports the *average* bytes/s within it (bytes transferred
@@ -257,12 +258,12 @@ class Link:
         return self.spec.link_class
 
     @property
-    def base_capacity_per_direction(self) -> float:
+    def base_capacity_per_direction(self) -> BytesPerSecond:
         """Rated aggregate attainable bytes/s per direction (fault-free)."""
         return self.spec.attainable_per_direction * self.count
 
     @property
-    def capacity_per_direction(self) -> float:
+    def capacity_per_direction(self) -> BytesPerSecond:
         """Aggregate attainable bytes/s in each direction, right now."""
         return self.base_capacity_per_direction * self._capacity_fraction
 
@@ -280,7 +281,8 @@ class Link:
         """True while the link carries no traffic at all (hard outage)."""
         return self._capacity_fraction <= 0.0
 
-    def set_capacity_fraction(self, fraction: float, at_time: float = 0.0) -> None:
+    def set_capacity_fraction(self, fraction: float,
+                              at_time: Seconds = 0.0) -> None:
         """Degrade (or restore) the link to ``fraction`` of rated capacity.
 
         ``at_time`` stamps the change point into the capacity history;
@@ -310,7 +312,7 @@ class Link:
         self._capacity_fraction = 1.0
         self._capacity_history = [(0.0, 1.0)]
 
-    def capacity_fraction_at(self, instant: float) -> float:
+    def capacity_fraction_at(self, instant: Seconds) -> float:
         """The capacity fraction in effect at ``instant``."""
         fraction = self._capacity_history[0][1]
         for time, value in self._capacity_history:
@@ -319,7 +321,8 @@ class Link:
             fraction = value
         return fraction
 
-    def max_capacity_over(self, start: float, end: float) -> float:
+    def max_capacity_over(self, start: Seconds,
+                          end: Seconds) -> BytesPerSecond:
         """Highest per-direction capacity in effect anywhere in [start, end).
 
         This is the tightest *sound* bound for a ledger record spanning the
@@ -346,12 +349,12 @@ class Link:
         return self.base_capacity_per_direction * best
 
     @property
-    def capacity_bidirectional(self) -> float:
+    def capacity_bidirectional(self) -> BytesPerSecond:
         """Aggregate theoretical bidirectional bytes/s (Table III numbers)."""
         return self.spec.bandwidth_bidirectional * self.count
 
     @property
-    def latency(self) -> float:
+    def latency(self) -> Seconds:
         return self.spec.latency
 
     def other_end(self, endpoint: str) -> str:

@@ -20,7 +20,7 @@ import heapq
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import TopologyError
-from ..units import GB
+from ..units import GB, Bytes, BytesPerSecond, Seconds
 from .devices import Device
 from .link import BandwidthLedger, Link, LinkClass
 from .serdes import SerdesContentionModel, TrafficProfile
@@ -54,29 +54,32 @@ class Route:
         return any(link.link_class is link_class for link in self.links)
 
     @property
-    def base_latency(self) -> float:
+    def base_latency(self) -> Seconds:
         """Sum of per-hop latencies, before contention inflation."""
         return sum(link.latency for link in self.links)
 
-    def latency(self) -> float:
+    def latency(self) -> Seconds:
         """End-to-end small-message latency including SerDes queueing."""
         return self.base_latency * self._contention.latency_factor(self.links)
 
-    def bandwidth(self, profile: TrafficProfile = TrafficProfile.SUSTAINED) -> float:
+    def bandwidth(self, profile: TrafficProfile = TrafficProfile.SUSTAINED
+                  ) -> BytesPerSecond:
         """Attainable bytes/s: bottleneck link x contention derate."""
         if self.is_loopback:
             return float("inf")
         bottleneck = min(link.capacity_per_direction for link in self.links)
         return bottleneck * self._contention.derate(self.links, profile)
 
-    def transfer_time(self, num_bytes: float,
-                      profile: TrafficProfile = TrafficProfile.SUSTAINED) -> float:
+    def transfer_time(self, num_bytes: Bytes,
+                      profile: TrafficProfile = TrafficProfile.SUSTAINED
+                      ) -> Seconds:
         """Seconds to move ``num_bytes`` over the route (latency + streaming)."""
         if self.is_loopback or num_bytes <= 0:
             return 0.0
         return self.latency() + num_bytes / self.bandwidth(profile)
 
-    def record(self, start: float, end: float, num_bytes: float) -> None:
+    def record(self, start: Seconds, end: Seconds,
+               num_bytes: Bytes) -> None:
         """Charge ``num_bytes`` over [start, end] to every link's ledger.
 
         Each link's record is stamped with its *current* degradation

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..units import Flops
 from .config import ModelConfig, TrainingConfig
 
 
@@ -22,13 +23,13 @@ from .config import ModelConfig, TrainingConfig
 class FlopsBreakdown:
     """Forward-pass FLOPs per micro-batch by component."""
 
-    attention_gemm: float      # QKV, projection
-    attention_scores: float    # QK^T and attention-weighted values
-    mlp: float
-    lm_head: float
+    attention_gemm: Flops      # QKV, projection
+    attention_scores: Flops    # QK^T and attention-weighted values
+    mlp: Flops
+    lm_head: Flops
 
     @property
-    def forward_total(self) -> float:
+    def forward_total(self) -> Flops:
         return (
             self.attention_gemm
             + self.attention_scores
@@ -63,7 +64,7 @@ def forward_flops(config: ModelConfig, batch_size: int) -> FlopsBreakdown:
 
 
 def iteration_flops(config: ModelConfig, training: TrainingConfig,
-                    num_gpus: int) -> float:
+                    num_gpus: int) -> Flops:
     """Model FLOPs for one optimizer step across the whole job.
 
     Backward is 2x forward; activation recomputation re-runs the forward

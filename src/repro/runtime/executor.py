@@ -63,6 +63,9 @@ class ExecutionResult:
     #: the materialized fault windows the injector applied (empty for
     #: fault-free runs); the trace builder turns these into fault spans
     fault_events: List[FaultEvent] = field(default_factory=list)
+    #: DES callbacks executed over the whole run — the numerator of the
+    #: events/sec figure the perf benchmarks track (``benchmarks/perf.py``)
+    events_processed: int = 0
 
     @property
     def mean_iteration_time(self) -> float:
@@ -209,6 +212,7 @@ class Executor:
                 list(self.faults.applied_events)
                 if self.faults is not None else []
             ),
+            events_processed=self.engine.events_processed,
         )
 
     # -- per-rank interpretation ------------------------------------------------

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 from ..hardware.gpu import GpuSpec
+from ..units import Bytes, Flops, Scalar, Seconds
 
 
 class KernelKind(enum.Enum):
@@ -84,8 +85,8 @@ class GpuComputeModel:
     """
 
     gpu: GpuSpec
-    gemm_efficiency: float
-    hbm_efficiency: float = 0.70
+    gemm_efficiency: Scalar
+    hbm_efficiency: Scalar = 0.70
 
     def __post_init__(self) -> None:
         if not 0 < self.gemm_efficiency <= 1:
@@ -93,19 +94,19 @@ class GpuComputeModel:
         if not 0 < self.hbm_efficiency <= 1:
             raise ConfigurationError("hbm_efficiency must be in (0, 1]")
 
-    def gemm_time(self, flops: float) -> float:
+    def gemm_time(self, flops: Flops) -> Seconds:
         """Seconds of Tensor-Core time for ``flops`` dense FLOPs."""
         if flops < 0:
             raise ConfigurationError("flops must be non-negative")
         return flops / (self.gpu.peak_fp16_flops * self.gemm_efficiency)
 
-    def memory_bound_time(self, num_bytes: float) -> float:
+    def memory_bound_time(self, num_bytes: Bytes) -> Seconds:
         """Seconds for an HBM-bandwidth-bound kernel touching ``num_bytes``."""
         if num_bytes < 0:
             raise ConfigurationError("num_bytes must be non-negative")
         return num_bytes / (self.gpu.hbm_bandwidth * self.hbm_efficiency)
 
-    def optimizer_time(self, num_params: float) -> float:
+    def optimizer_time(self, num_params: float) -> Seconds:
         """GPU Adam step: streams ~32 B/param through HBM (fp32 states
         read+write, fp16 param write, fp16 grad read)."""
         return self.memory_bound_time(num_params * 32.0)

@@ -29,6 +29,7 @@ from typing import (
 )
 
 from ..errors import SimulationError
+from ..units import Seconds
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .sanitizer import ScheduleSanitizer
@@ -120,7 +121,7 @@ class SimEvent(BaseEvent):
 class Timeout(BaseEvent):
     """An event that fires ``delay`` seconds after creation."""
 
-    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+    def __init__(self, engine: "Engine", delay: Seconds, value: Any = None) -> None:
         super().__init__(engine)
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
@@ -236,7 +237,7 @@ class Engine:
     """
 
     def __init__(self, tie_order: Optional[TieOrder] = None) -> None:
-        self.now = 0.0
+        self.now: Seconds = 0.0
         self._queue: List[
             Tuple[float, float, int, Callable[..., None], Tuple[Any, ...]]
         ] = []
@@ -274,7 +275,7 @@ class Engine:
         return tuple(self._processes)
 
     # -- scheduling primitives -------------------------------------------------
-    def schedule_at(self, time: float, callback: Callable[..., None],
+    def schedule_at(self, time: Seconds, callback: Callable[..., None],
                     *args: Any) -> None:
         if time < self.now - 1e-12:
             raise SimulationError(
@@ -287,7 +288,7 @@ class Engine:
         )
 
     # -- user-facing factories ------------------------------------------------
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
+    def timeout(self, delay: Seconds, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
     def event(self) -> SimEvent:
@@ -307,7 +308,7 @@ class Engine:
     def events_processed(self) -> int:
         return self._processed
 
-    def peek(self) -> Optional[float]:
+    def peek(self) -> Optional[Seconds]:
         """Time of the next scheduled callback, or None when idle."""
         return self._queue[0][0] if self._queue else None
 

@@ -24,6 +24,7 @@ import itertools
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import SimulationError
+from ..units import Bytes, BytesPerSecond
 from ..hardware.link import Link
 from ..hardware.topology import Route
 from ..hardware.serdes import TrafficProfile
@@ -38,8 +39,8 @@ class Flow:
 
     _ids = itertools.count()
 
-    def __init__(self, route: Route, num_bytes: float, *,
-                 profile: TrafficProfile, cap: Optional[float],
+    def __init__(self, route: Route, num_bytes: Bytes, *,
+                 profile: TrafficProfile, cap: Optional[BytesPerSecond],
                  label: str = "", weight_multiplier: float = 1.0) -> None:
         if weight_multiplier < 1.0:
             raise SimulationError("weight_multiplier must be >= 1")
@@ -118,9 +119,9 @@ class FlowNetwork:
         self.recorder = None
 
     # -- public API -------------------------------------------------------------
-    def transfer(self, route: Route, num_bytes: float, *,
+    def transfer(self, route: Route, num_bytes: Bytes, *,
                  profile: TrafficProfile = TrafficProfile.BURSTY,
-                 cap: Optional[float] = None,
+                 cap: Optional[BytesPerSecond] = None,
                  label: str = "",
                  weight_multiplier: float = 1.0) -> BaseEvent:
         """Start a transfer; returns an event fired at completion.

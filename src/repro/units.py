@@ -11,9 +11,25 @@ Helpers here convert the paper's units (GBps, GT/s, TFLOP/s, microseconds)
 into canonical units and back.  "GB" follows the paper's convention of
 10**9 bytes for bandwidth figures and memory-capacity marketing numbers;
 "GiB" (2**30) is available where binary sizes matter.
+
+The ``Bytes``/``Seconds``/``BytesPerSecond``/``Flops``/``FlopsPerSecond``/
+``Scalar`` aliases below are unit annotations: at runtime they are plain
+``float``, but the dimensional-analysis engine
+(:mod:`repro.analysis.dimensions`) reads them off signatures to seed and
+check its dimension lattice.  Annotate hot arithmetic with them::
+
+    def transfer_time(self, num_bytes: Bytes) -> Seconds: ...
 """
 
 from __future__ import annotations
+
+# --- unit annotations (plain floats at runtime; see module docstring) ------
+Bytes = float
+Seconds = float
+BytesPerSecond = float
+Flops = float
+FlopsPerSecond = float
+Scalar = float
 
 # --- data sizes -----------------------------------------------------------
 KB = 1e3

@@ -30,6 +30,7 @@ from repro.analysis import (
     self_check,
     write_baseline,
 )
+from repro.analysis.dimensions.vocabulary import lint_vocabulary_tree
 from repro.analysis.registry import get_pass
 from repro.analysis.source_lints import lint_source_tree
 from repro.core.runner import run_training
@@ -473,23 +474,23 @@ class TestLiveness:
 
 
 # ---------------------------------------------------------------------------
-# Unit-hygiene source lint
+# Unit-vocabulary lints (DIM010/DIM011, formerly SRC001/SRC002)
 # ---------------------------------------------------------------------------
 
-class TestSourceLints:
+class TestDimVocabulary:
     def _lint(self, tmp_path, source, name="mod.py"):
         (tmp_path / name).write_text(textwrap.dedent(source))
-        return lint_source_tree(tmp_path)
+        return lint_vocabulary_tree(tmp_path)
 
     def test_magic_decimal_constant_flagged(self, tmp_path):
         findings = self._lint(tmp_path, "CAPACITY = 40 * 1e9\n")
-        assert [f.code for f in findings] == ["SRC001"]
+        assert [f.code for f in findings] == ["DIM010"]
         assert "GB" in findings[0].message
         assert findings[0].location == "mod.py:1"
 
     def test_magic_pow2_constant_flagged_once(self, tmp_path):
         findings = self._lint(tmp_path, "CHUNK = 2**30\n")
-        assert [f.code for f in findings] == ["SRC001"]
+        assert [f.code for f in findings] == ["DIM010"]
         assert "GIB" in findings[0].message
 
     def test_units_module_is_exempt(self, tmp_path):
@@ -503,7 +504,7 @@ class TestSourceLints:
             def check(start_time, end_time):
                 return start_time == end_time
             """)
-        assert [f.code for f in findings] == ["SRC002"]
+        assert [f.code for f in findings] == ["DIM011"]
 
     def test_endpoint_names_are_not_times(self, tmp_path):
         findings = self._lint(
@@ -522,6 +523,20 @@ class TestSourceLints:
                 return busy_time == 0
             """)
         assert findings == []
+
+    def test_syntax_error_skipped_not_raised(self, tmp_path):
+        findings = self._lint(tmp_path, "def broken(:\n")
+        assert findings == []  # unit-hygiene owns the SRC000 report
+
+
+# ---------------------------------------------------------------------------
+# Source-hygiene lint
+# ---------------------------------------------------------------------------
+
+class TestSourceLints:
+    def _lint(self, tmp_path, source, name="mod.py"):
+        (tmp_path / name).write_text(textwrap.dedent(source))
+        return lint_source_tree(tmp_path)
 
     def test_process_yielding_constant_flagged(self, tmp_path):
         findings = self._lint(

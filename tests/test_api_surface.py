@@ -15,13 +15,41 @@ class TestTopLevel:
 
     def test_quickstart_path(self):
         """The exact imports the README quickstart uses."""
-        from repro import model_for_billions, run_training
+        from repro import RunSpec, model_for_billions, run_spec
         from repro.hardware import single_node_cluster
         from repro.parallel import zero2
-        assert callable(run_training)
+        assert callable(run_spec)
+        assert RunSpec is not None
         assert callable(model_for_billions)
         assert callable(single_node_cluster)
         assert callable(zero2)
+
+    def test_run_training_shim_warns_and_delegates(self):
+        import warnings
+
+        from repro import model_for_billions, run_training
+        from repro.core import run_training as core_run_training
+        from repro.hardware import single_node_cluster
+        from repro.parallel import zero2
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            metrics = run_training(single_node_cluster(), zero2(),
+                                   model_for_billions(0.7), iterations=2)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "repro.api.run_spec" in str(deprecations[0].message)
+        assert metrics.tflops > 0
+        # The shim wraps — not replaces — the real runner, and the real
+        # runner itself stays warning-free.
+        assert run_training.__wrapped__ is core_run_training
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            core_run_training(single_node_cluster(), zero2(),
+                              model_for_billions(0.7), iterations=2)
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
 
     def test_exceptions_subclass_base(self):
         for name in ("ConfigurationError", "OutOfMemoryError",

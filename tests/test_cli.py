@@ -227,6 +227,38 @@ class TestAnalyze:
         assert code == 2
         assert "mutually exclusive" in capsys.readouterr().err
 
+    def test_dims_and_self_are_mutually_exclusive(self, capsys):
+        code = main(["analyze", "--dims", "--self"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_dims_tree_is_clean_with_baseline(self, capsys):
+        code = main(["analyze", "--dims", "--fail-on", "warning",
+                     "--baseline", "analysis-baseline.json"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "0 errors" in captured.out
+
+    def test_dims_skips_stale_notes_for_other_families(self, tmp_path,
+                                                       capsys):
+        # The committed DET001 entry belongs to a pass --dims does not
+        # run, so a dims-only invocation must not call it stale.
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "accepted": [{"code": "DET001", "file": "sim/flows.py"}],
+        }))
+        code = main(["analyze", "--dims", "--baseline", str(baseline)])
+        assert code == 0
+        assert "stale" not in capsys.readouterr().err.lower()
+
+    def test_dims_json_reports_both_passes(self, capsys):
+        code = main(["analyze", "--dims", "--json",
+                     "--baseline", "analysis-baseline.json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["passes_run"]) == {"dim-flow", "dim-vocabulary"}
+
     def test_sanitize_smoke_single_node(self, capsys):
         code = main(["analyze", "--sanitize", "--strategy", "ddp",
                      "--size", "0.7", "--nodes", "1",

@@ -51,3 +51,26 @@ def test_datatype_sizes():
 
 def test_adam_state_is_three_fp32_tensors():
     assert units.ADAM_STATE_BYTES_FP32 == 3 * units.FP32_BYTES
+
+
+def test_gb_vs_gib_boundary():
+    # The classic 7 %-per-power-of-1000 gap the DIM003 check guards.
+    assert units.GIB / units.GB == pytest.approx(1.073741824)
+    assert units.gib(40) > 40 * units.GB
+    # A "40 GB" A100 marketing capacity is NOT 40 GiB.
+    assert units.gib(40) - 40 * units.GB == pytest.approx(2.94967296e9)
+
+
+def test_gbps_matches_decimal_gb():
+    # Bandwidth "GBps" figures in the paper are decimal: Table III's
+    # 32 GBps PCIe 4.0 x16 is 32e9 B/s, not 32 * 2**30.
+    assert units.GBPS == units.GB
+    assert units.gbps(1.0) == 1e9
+
+
+def test_annotation_aliases_are_plain_floats():
+    # The unit annotations must be runtime no-ops: plain float, usable
+    # in signatures with zero import-time or call-time cost.
+    for alias in (units.Bytes, units.Seconds, units.BytesPerSecond,
+                  units.Flops, units.FlopsPerSecond, units.Scalar):
+        assert alias is float
