@@ -6,16 +6,27 @@ Seeds the ROADMAP "benchmark trajectory": every perf-relevant PR runs
 
 and commits the JSON, so the event-loop hot-path work (batching,
 memoization, the analytic fast-path) has a measured baseline to beat.
-The two scenarios are pinned — same strategy, model size, node count,
+The scenarios are pinned — same strategy, model size, node count,
 and iteration count forever — so files are comparable across PRs:
 
 * ``single_node_zero2``: the paper's headline single-node config.
 * ``dual_node_zero3``: two nodes, ZeRO-3 — collective-heavy, exercises
   the inter-node flow network.
+* ``steady_*_full`` / ``steady_*_hybrid``: the same 24-iteration steady
+  workload at both fidelities — the fast-path scenarios whose speedup
+  the DES fast-path PR is accountable for.  Hybrid rows additionally
+  report ``events_extrapolated`` and ``effective_events_per_sec``
+  ((simulated + extrapolated events) / wall), the apples-to-apples
+  throughput figure for a run that covers the same 24 iterations.
 
 Event counts are deterministic (the DES is seeded and tie-ordered);
 wall-clock and events/sec carry machine jitter, which is why each file
 also records the interpreter version and the median of several repeats.
+
+``--check-against PATH`` turns the harness into a CI regression gate:
+it re-measures every scenario present in the committed record and fails
+(exit 1) if any ``events_per_sec`` drops more than ``--tolerance``
+(default 20%) below the committed value.
 """
 
 from __future__ import annotations
@@ -40,20 +51,44 @@ SCENARIOS: Dict[str, RunSpec] = {
                                nodes=2, iterations=4),
 }
 
-SCHEMA_VERSION = 1
+#: Fast-path scenarios: one steady 24-iteration workload per cluster
+#: preset, measured at full and hybrid fidelity.  The paired rows share
+#: a workload, so ``wall_clock_s(full) / wall_clock_s(hybrid)`` is the
+#: honest fast-path speedup.
+FASTPATH_SCENARIOS: Dict[str, RunSpec] = {
+    "steady_single_zero2_full": RunSpec(
+        strategy="zero2", size_billions=1.4, nodes=1, iterations=24),
+    "steady_single_zero2_hybrid": RunSpec(
+        strategy="zero2", size_billions=1.4, nodes=1, iterations=24,
+        fidelity="hybrid"),
+    "steady_dual_zero3_full": RunSpec(
+        strategy="zero3", size_billions=0.7, nodes=2, iterations=24),
+    "steady_dual_zero3_hybrid": RunSpec(
+        strategy="zero3", size_billions=0.7, nodes=2, iterations=24,
+        fidelity="hybrid"),
+}
+
+ALL_SCENARIOS: Dict[str, RunSpec] = {**SCENARIOS, **FASTPATH_SCENARIOS}
+
+#: v2: adds the fast-path scenarios and, on hybrid rows, the
+#: ``fidelity`` / ``events_extrapolated`` / ``effective_events_per_sec``
+#: fields.  Pre-v2 rows are still comparable by scenario name.
+SCHEMA_VERSION = 2
 
 
 def run_scenario(name: str, spec: RunSpec, *, repeats: int = 3) -> dict:
     """Run one pinned scenario ``repeats`` times, report the median."""
     wall_times: List[float] = []
     events = 0
+    extrapolated = 0
     for _ in range(repeats):
         started = time.perf_counter()
         metrics = run_spec(spec)
         wall_times.append(time.perf_counter() - started)
         events = metrics.execution.events_processed
+        extrapolated = metrics.execution.events_extrapolated
     wall_s = statistics.median(wall_times)
-    return {
+    row = {
         "scenario": name,
         "strategy": spec.strategy,
         "size_billions": spec.size_billions,
@@ -64,6 +99,35 @@ def run_scenario(name: str, spec: RunSpec, *, repeats: int = 3) -> dict:
         "events_per_sec": round(events / wall_s, 1) if wall_s else 0.0,
         "repeats": repeats,
     }
+    if spec.fidelity != "full":
+        row["fidelity"] = spec.fidelity
+        row["events_extrapolated"] = extrapolated
+        row["effective_events_per_sec"] = (
+            round((events + extrapolated) / wall_s, 1) if wall_s else 0.0
+        )
+    return row
+
+
+def check_against(committed: dict, *, tolerance: float,
+                  repeats: int) -> int:
+    """Re-measure committed scenarios; fail on a >tolerance regression."""
+    failures = 0
+    for row in committed.get("scenarios", []):
+        name = row["scenario"]
+        spec = ALL_SCENARIOS.get(name)
+        if spec is None:
+            print(f"{name}: unknown scenario in committed record, skipping",
+                  file=sys.stderr)
+            continue
+        fresh = run_scenario(name, spec, repeats=repeats)
+        floor = row["events_per_sec"] * (1.0 - tolerance)
+        status = "ok" if fresh["events_per_sec"] >= floor else "REGRESSION"
+        if status == "REGRESSION":
+            failures += 1
+        print(f"{name}: {fresh['events_per_sec']:.0f} events/s "
+              f"(committed {row['events_per_sec']:.0f}, "
+              f"floor {floor:.0f}) {status}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -72,13 +136,25 @@ def main(argv: List[str] | None = None) -> int:
                         help="write the JSON record here (default: stdout)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="wall-clock repeats per scenario (median wins)")
+    parser.add_argument("--check-against", type=Path, default=None,
+                        metavar="PATH",
+                        help="compare fresh events/sec against a committed "
+                             "BENCH record; exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional events/sec drop for "
+                             "--check-against (default 0.2)")
     args = parser.parse_args(argv)
+
+    if args.check_against is not None:
+        committed = json.loads(args.check_against.read_text())
+        return check_against(committed, tolerance=args.tolerance,
+                             repeats=args.repeats)
 
     record = {
         "schema_version": SCHEMA_VERSION,
         "python": platform.python_version(),
         "scenarios": [run_scenario(name, spec, repeats=args.repeats)
-                      for name, spec in sorted(SCENARIOS.items())],
+                      for name, spec in sorted(ALL_SCENARIOS.items())],
     }
     payload = json.dumps(record, indent=2) + "\n"
     if args.out is None:

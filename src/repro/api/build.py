@@ -138,5 +138,8 @@ def run_spec(spec: RunSpec, *, cluster: Optional[Cluster] = None
         sanitize=spec.sanitize,
         trace=spec.trace,
         preflight=spec.preflight,
+        # None (not "full") when the spec is silent, so an ambient
+        # fidelity_override() can still reach spec-driven runs.
+        fidelity=spec.fidelity if spec.fidelity != "full" else None,
         spec=spec,
     )

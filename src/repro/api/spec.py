@@ -39,6 +39,11 @@ from ..errors import ConfigurationError
 #: (materialized in :mod:`repro.api.build`).
 TIE_ORDERS = ("fifo", "reversed", "seeded")
 
+#: Fidelity names accepted by :attr:`RunSpec.fidelity` (defined in
+#: :mod:`repro.sim.fastpath`; re-declared here as data so this module
+#: stays import-cycle-free).
+FIDELITIES = ("full", "hybrid")
+
 
 def default_salt() -> str:
     """The code-version salt mixed into every cache key.
@@ -114,6 +119,11 @@ class RunSpec:
     sanitize: bool = False
     trace: bool = False
     preflight: bool = True
+    #: simulation fidelity: "full" runs every iteration on the DES;
+    #: "hybrid" measures a steady window and extrapolates the rest
+    #: (:mod:`repro.sim.fastpath`).  Part of the cache key by
+    #: construction, so full and hybrid results can never be conflated.
+    fidelity: str = "full"
 
     def __post_init__(self) -> None:
         if not self.strategy:
@@ -136,6 +146,11 @@ class RunSpec:
             raise ConfigurationError(
                 f"unknown tie order {self.tie_order!r} "
                 f"(expected one of {TIE_ORDERS})"
+            )
+        if self.fidelity not in FIDELITIES:
+            raise ConfigurationError(
+                f"unknown fidelity {self.fidelity!r} "
+                f"(expected one of {FIDELITIES})"
             )
         # Normalize list -> tuple so from_dict round-trips to equality.
         if not isinstance(self.faults, tuple):

@@ -76,6 +76,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         placement=args.placement,
         iterations=args.iterations,
         trace=args.trace is not None,
+        fidelity=args.fidelity,
     )
     metrics = run_spec(spec)
     if args.trace is not None:
@@ -420,6 +421,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="model size in billions of parameters")
     run.add_argument("--nodes", type=int, default=1, choices=(1, 2))
     run.add_argument("--iterations", type=int, default=4)
+    run.add_argument("--fidelity", choices=("full", "hybrid"),
+                     default="full",
+                     help="hybrid simulates a steady window and "
+                          "extrapolates the remaining iterations "
+                          "(falls back to full when not steady)")
     run.add_argument("--placement", choices=sorted(PLACEMENTS), default="B")
     run.add_argument("--trace", default=None, metavar="PATH",
                      help="record a structured execution trace and write "

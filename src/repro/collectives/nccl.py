@@ -27,13 +27,15 @@ running the DES, for analytic planning and tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError, TransportTimeoutError
 from ..hardware.cluster import Cluster
+from ..hardware.link import Link
 from ..hardware.serdes import TrafficProfile
 from ..hardware.topology import Route
 from ..sim.engine import BaseEvent, Engine
+from ..sim.fastpath.memo import COST_CACHE, collective_cost_key
 from ..sim.flows import FlowNetwork
 from .algorithms import (
     Algorithm,
@@ -95,6 +97,26 @@ class Ring:
     routes: Tuple[Route, ...]
 
 
+@dataclass(frozen=True)
+class _LaunchPlan:
+    """Memoized flow schedule for one collective shape on one communicator.
+
+    Everything here is *capacity-independent*: routes, per-transfer
+    bytes, pool-consumption weights, and the launch+step-latency
+    overhead are all static properties of the ring/tree structure.
+    Time-varying link capacity (fault degradation) enters at execution
+    time through :meth:`repro.sim.flows.Flow.refresh_capacity`, which
+    re-derives every flow's rate ceiling on each allocation — so a plan
+    computed on a healthy fabric stays valid under degradation.
+    """
+
+    #: ``(route, bytes, weight_multiplier)`` per flow to launch.
+    transfers: Tuple[Tuple[Route, float, float], ...]
+    label: str
+    #: launch overhead + sequential-step latency, per real NCCL launch.
+    base_overhead: float
+
+
 class NcclCommunicator:
     """One NCCL communicator (process group) over a set of GPU ranks."""
 
@@ -123,6 +145,19 @@ class NcclCommunicator:
         self.retry_policy = retry_policy or RetryPolicy()
         self.ranks = self._node_aware_order(cluster, list(ranks))
         self.rings = self._build_rings()
+        # The unique links of the ring structure, in traversal order —
+        # the outage probe (:meth:`_down_links`) runs before *every*
+        # collective, so it must not re-walk rings x routes each time.
+        self._ring_links: Tuple[Link, ...] = tuple(dict.fromkeys(
+            link
+            for ring in self.rings
+            for route in ring.routes
+            for link in route.links
+        ))
+        #: memoized launch plans keyed on (schedule, kind, payload) —
+        #: identical collective calls across iterations reuse the plan
+        #: instead of re-deriving routes, payload splits, and weights.
+        self._plan_cache: Dict[Tuple[str, object, float], _LaunchPlan] = {}
 
     # -- construction -------------------------------------------------------------
     @staticmethod
@@ -256,13 +291,7 @@ class NcclCommunicator:
 
     def _down_links(self) -> List[str]:
         """Names of fully-down links on any of this communicator's rings."""
-        seen: List[str] = []
-        for ring in self.rings:
-            for route in ring.routes:
-                for link in route.links:
-                    if link.is_down and link.name not in seen:
-                        seen.append(link.name)
-        return seen
+        return [link.name for link in self._ring_links if link.is_down]
 
     def _retry_until_path_up(self, op: CollectiveOp, launch_count: int,
                              algorithm: Algorithm):
@@ -279,52 +308,71 @@ class NcclCommunicator:
             f"{down or '(recovered too late)'}"
         )
 
-    def _run_ring(self, op: CollectiveOp, launch_count: int) -> BaseEvent:
+    #: Distinct collective shapes per communicator stay tiny (a schedule
+    #: reuses a handful of payload sizes); the cap is a leak guard, not a
+    #: working-set tuning knob.
+    _PLAN_CACHE_MAX = 512
+
+    def _launch_plan(self, schedule: str, op: CollectiveOp) -> _LaunchPlan:
+        """The memoized flow schedule for one (schedule, kind, payload)."""
+        key = (schedule, op.kind, float(op.payload_bytes))
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = (self._ring_plan(op) if schedule == "ring"
+                    else self._tree_plan(op))
+            if len(self._plan_cache) < self._PLAN_CACHE_MAX:
+                self._plan_cache[key] = plan
+        return plan
+
+    def _ring_plan(self, op: CollectiveOp) -> _LaunchPlan:
         per_ring_payload = op.payload_bytes / len(self.rings)
         per_link = per_ring_payload * (op.per_link_bytes / op.payload_bytes)
-        events: List[BaseEvent] = []
+        transfers: List[Tuple[Route, float, float]] = []
         max_latency = 0.0
         for ring in self.rings:
             for route in ring.routes:
                 max_latency = max(max_latency, route.latency())
-                events.append(
-                    self.network.transfer(
-                        route, per_link, profile=self.profile,
-                        weight_multiplier=self._route_weight(route),
-                        label=str(op.kind),
-                    )
+                transfers.append(
+                    (route, per_link, self._route_weight(route))
                 )
         # Sequential ring steps each pay a hop latency beyond the one the
         # flow itself charges; launch overhead per real operation.
         step_latency = max(0, op.steps - 1) * max_latency
-        events.append(self.engine.timeout(
-            (self.launch_overhead + step_latency) * launch_count
-        ))
-        return self.engine.all_of(events)
+        return _LaunchPlan(tuple(transfers), str(op.kind),
+                           self.launch_overhead + step_latency)
 
-    def _run_tree(self, op: CollectiveOp, launch_count: int) -> BaseEvent:
-        """Binomial-tree schedule over the node-aware order."""
+    def _tree_plan(self, op: CollectiveOp) -> _LaunchPlan:
         per_edge = op.payload_bytes * tree_edge_traffic_factor(op.kind)
         topology = self.cluster.topology
-        events: List[BaseEvent] = []
+        transfers: List[Tuple[Route, float, float]] = []
         max_latency = 0.0
         for child, parent in tree_edges(self.ranks):
             route = topology.route(self.cluster.gpu(child).name,
                                    self.cluster.gpu(parent).name)
             max_latency = max(max_latency, route.latency())
-            events.append(
-                self.network.transfer(
-                    route, per_edge, profile=self.profile,
-                    weight_multiplier=self._route_weight(route),
-                    label=f"{op.kind}(tree)",
-                )
-            )
+            transfers.append((route, per_edge, self._route_weight(route)))
         steps = tree_step_count(op.kind, self.size)
         step_latency = max(0, steps - 1) * max_latency
-        events.append(self.engine.timeout(
-            (self.launch_overhead + step_latency) * launch_count
-        ))
+        return _LaunchPlan(tuple(transfers), f"{op.kind}(tree)",
+                           self.launch_overhead + step_latency)
+
+    def _launch(self, plan: _LaunchPlan, launch_count: int) -> BaseEvent:
+        events: List[BaseEvent] = [
+            self.network.transfer(
+                route, num_bytes, profile=self.profile,
+                weight_multiplier=weight, label=plan.label,
+            )
+            for route, num_bytes, weight in plan.transfers
+        ]
+        events.append(self.engine.timeout(plan.base_overhead * launch_count))
         return self.engine.all_of(events)
+
+    def _run_ring(self, op: CollectiveOp, launch_count: int) -> BaseEvent:
+        return self._launch(self._launch_plan("ring", op), launch_count)
+
+    def _run_tree(self, op: CollectiveOp, launch_count: int) -> BaseEvent:
+        """Binomial-tree schedule over the node-aware order."""
+        return self._launch(self._launch_plan("tree", op), launch_count)
 
     def all_reduce(self, payload_bytes: float) -> BaseEvent:
         return self.run(CollectiveOp(CollectiveKind.ALL_REDUCE, payload_bytes, self.size))
@@ -368,13 +416,41 @@ class NcclCommunicator:
         """Closed-form seconds for ``op``, assuming an otherwise idle fabric.
 
         Mirrors :meth:`run`'s ring/tree selection so planners comparing
-        estimates against executions see consistent costs.  Rings run
-        concurrently; links shared by several rings split their capacity,
-        so the ring estimate scales each ring's time by how many rings
-        reuse its slowest link.
+        estimates against executions see consistent costs.  Evaluations
+        are memoized in the process-wide
+        :data:`~repro.sim.fastpath.memo.COST_CACHE`, keyed on everything
+        the closed form reads — collective shape, participant order,
+        communicator calibration, the static fabric fingerprint, and the
+        current degradation stamp — so repeated planner queries over the
+        same fabric are dictionary lookups.
         """
         if self.size == 1 or op.payload_bytes <= 0:
             return 0.0
+        topology = self.cluster.topology
+        key = collective_cost_key(
+            kind=str(op.kind),
+            payload_bytes=float(op.payload_bytes),
+            participants=self.ranks,
+            algorithm=str(algorithm),
+            profile=str(self.profile),
+            internode_launch_overhead=self.internode_launch_overhead,
+            intranode_launch_overhead=self.intranode_launch_overhead,
+            internode_rate_efficiency=self.internode_rate_efficiency,
+            topology_fingerprint=topology.fingerprint(),
+            degradation_stamp=topology.degradation_stamp(),
+        )
+        return COST_CACHE.lookup(
+            key, lambda: self._estimate_uncached(op, algorithm)
+        )
+
+    def _estimate_uncached(self, op: CollectiveOp,
+                           algorithm: Algorithm) -> float:
+        """The actual closed form behind :meth:`estimate`.
+
+        Rings run concurrently; links shared by several rings split
+        their capacity, so the ring estimate scales each ring's time by
+        how many rings reuse its slowest link.
+        """
         if choose_algorithm(algorithm, op.kind,
                             op.payload_bytes) is Algorithm.TREE:
             return self._estimate_tree(op)

@@ -11,6 +11,13 @@ materialized from (``payload["spec"]``, ``None`` for object-level
 ``run_training`` calls), making a saved result fully round-trippable:
 :func:`load_run_spec` recovers the exact configuration, and re-running
 it reproduces the payload field for field.
+
+Schema v3 adds ``payload["fastpath"]`` — the
+:class:`~repro.sim.fastpath.FastpathReport` describing what the hybrid
+fast path did (``None`` for plain full-fidelity runs).  The field is
+*provenance*, not measurement: :func:`headline_from_payload` skips it so
+hybrid and full results of the same steady workload flatten to the same
+headline, which is exactly what the differential tests assert.
 """
 
 from __future__ import annotations
@@ -22,8 +29,10 @@ from typing import Dict, List, Optional, Union
 from ..errors import ConfigurationError
 from .runner import RunMetrics
 
-#: v2: adds the canonical ``spec`` payload (and with it cache-keyability).
-SCHEMA_VERSION = 2
+#: v3: adds the ``fastpath`` provenance block (hybrid-fidelity runs).
+#: The version is mixed into every cache salt (:func:`repro.api.spec.
+#: default_salt`), so bumping it wholesale-invalidates cached results.
+SCHEMA_VERSION = 3
 
 
 def metrics_to_dict(metrics: RunMetrics) -> Dict[str, object]:
@@ -32,6 +41,8 @@ def metrics_to_dict(metrics: RunMetrics) -> Dict[str, object]:
         "schema_version": SCHEMA_VERSION,
         "strategy": metrics.strategy_name,
         "spec": metrics.spec.to_dict() if metrics.spec is not None else None,
+        "fastpath": (metrics.fastpath.to_dict()
+                     if metrics.fastpath is not None else None),
         "model_parameters": int(metrics.model_parameters),
         "nodes": metrics.num_nodes,
         "gpus": metrics.num_gpus,
@@ -118,7 +129,9 @@ def headline_from_payload(payload: Dict[str, object],
     significant-figure rounding; nested dicts flatten with dotted keys.
     """
     flat: Dict[str, object] = {}
-    skip = {"schema_version", "spec"}
+    # "fastpath" is provenance (how the result was obtained), not a
+    # measurement: skipping it keeps hybrid and full headlines comparable.
+    skip = {"schema_version", "spec", "fastpath"}
     for key, value in payload.items():
         if key in skip:
             continue

@@ -27,6 +27,14 @@ from ..parallel.placement import DEFAULT_PLACEMENT, PlacementConfig
 from ..parallel.strategy import MemoryPlan, StrategyContext, TrainingStrategy
 from ..runtime.executor import ExecutionResult, Executor
 from ..sim.engine import TieOrder
+from ..sim.fastpath import (
+    FastpathReport,
+    ambient_fidelity,
+    extrapolate_execution,
+    hybrid_simulated_iterations,
+    is_steady,
+    validate_fidelity,
+)
 from ..sim.sanitizer import SanitizerReport
 from ..telemetry.bandwidth import BandwidthMonitor, BandwidthStats
 from ..telemetry.flops_profiler import FlopsProfiler, ThroughputReport
@@ -57,6 +65,9 @@ class RunMetrics:
     #: the canonical spec this run was materialized from, when it came
     #: through :func:`repro.api.run_spec` — what result caching keys on
     spec: Optional["RunSpec"] = None
+    #: what the hybrid fast path did, for runs requested at
+    #: ``fidelity="hybrid"`` (``None`` for plain full-fidelity runs)
+    fastpath: Optional[FastpathReport] = None
 
     @property
     def tflops(self) -> float:
@@ -131,6 +142,7 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
                  sanitize: bool = False,
                  trace: bool = False,
                  preflight: bool = True,
+                 fidelity: Optional[str] = None,
                  spec: Optional["RunSpec"] = None) -> RunMetrics:
     """Simulate ``iterations`` optimizer steps and measure everything.
 
@@ -161,6 +173,17 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
     :class:`~repro.errors.OutOfMemoryError` signal the size search
     binary-searches on.
 
+    ``fidelity`` selects the simulation fidelity (``None`` defers to the
+    ambient :func:`~repro.sim.fastpath.fidelity_override`, then
+    ``"full"``).  ``"hybrid"`` simulates ``warmup + 2`` iterations on
+    the DES and, once the measured iterations are confirmed periodic,
+    extrapolates the remaining ones analytically — ledgers, timeline,
+    trace spans, and iteration times all extended consistently (see
+    :mod:`repro.sim.fastpath`).  A hybrid request that cannot be
+    honoured (fault plan present, too few iterations, steady state not
+    detected) silently falls back to full fidelity;
+    ``metrics.fastpath`` records what actually happened.
+
     ``spec`` is the canonical :class:`~repro.api.RunSpec` this call was
     materialized from, when the caller came through
     :func:`repro.api.run_spec`; it is stamped into ``metrics.spec`` so
@@ -175,6 +198,23 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
         raise ConfigurationError(
             "need more iterations than warmup iterations"
         )
+    resolved_fidelity = validate_fidelity(
+        fidelity if fidelity is not None else (ambient_fidelity() or "full")
+    )
+    fastpath_report: Optional[FastpathReport] = None
+    sim_iterations = iterations
+    if resolved_fidelity == "hybrid":
+        measured = hybrid_simulated_iterations(iterations, warmup_iterations)
+        if fault_plan is not None:
+            # Faults perturb specific iterations; the steady window the
+            # extrapolator would replicate is not representative.
+            fastpath_report = FastpathReport(
+                "hybrid", False, iterations, 0, "fault plan present")
+        elif measured >= iterations:
+            fastpath_report = FastpathReport(
+                "hybrid", False, iterations, 0, "too few iterations")
+        else:
+            sim_iterations = measured
     if preflight:
         analyze_run_config(
             cluster, strategy, model, training=training,
@@ -202,7 +242,28 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
         sanitize=sanitize,
         trace_recorder=recorder,
     )
-    result = executor.run(iterations)
+    result = executor.run(sim_iterations)
+
+    if sim_iterations < iterations:
+        # Hybrid: extend the measured run analytically — must happen
+        # before any accounting that scales with total time/iterations
+        # (profiler, host background, bandwidth window, trace build).
+        if is_steady(result.iteration_times, warmup_iterations):
+            extrapolate_execution(cluster, result, recorder, iterations)
+            fastpath_report = FastpathReport(
+                "hybrid", True, sim_iterations, iterations - sim_iterations)
+        else:
+            metrics = run_training(
+                cluster, strategy, model, training=training,
+                iterations=iterations, warmup_iterations=warmup_iterations,
+                placement=placement, swap_volumes=swap_volumes,
+                fault_plan=fault_plan, retry_policy=retry_policy,
+                tie_order=tie_order, sanitize=sanitize, trace=trace,
+                preflight=False, fidelity="full", spec=spec,
+            )
+            metrics.fastpath = FastpathReport(
+                "hybrid", False, iterations, 0, "steady state not detected")
+            return metrics
 
     profiler = FlopsProfiler(model, training, cluster.num_gpus,
                              warmup_iterations=warmup_iterations)
@@ -240,6 +301,7 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
         measurement_window=window,
         trace=built_trace,
         spec=spec,
+        fastpath=fastpath_report,
     )
 
 

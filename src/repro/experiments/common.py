@@ -57,8 +57,14 @@ class ExperimentSpec:
     warmup_iterations: int = 1
     duration_s: float = 2.0
     full_sweep: bool = False
+    #: simulation fidelity for every training run the module performs
+    #: ("full" or "hybrid"; see :mod:`repro.sim.fastpath`).  Part of the
+    #: cache key, so hybrid results can never shadow full ones.
+    fidelity: str = "full"
 
     def __post_init__(self) -> None:
+        from ..sim.fastpath import validate_fidelity
+
         if not self.experiment_id:
             raise ConfigurationError("ExperimentSpec needs an experiment id")
         if self.iterations <= self.warmup_iterations:
@@ -67,6 +73,7 @@ class ExperimentSpec:
             )
         if self.duration_s <= 0:
             raise ConfigurationError("duration_s must be positive")
+        validate_fidelity(self.fidelity)
 
     @classmethod
     def quick(cls, experiment_id: str, **overrides: object

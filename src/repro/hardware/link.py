@@ -93,13 +93,14 @@ class LinkSpec:
         return self.bandwidth_per_direction * self.efficiency
 
 
-@dataclass
+@dataclass(slots=True)
 class TransferRecord:
     """One completed transfer interval over a link (one direction).
 
     ``degraded`` marks intervals settled while the link's capacity was
     reduced by an injected fault (see :mod:`repro.faults`), so bandwidth
-    timelines can show the fault window.
+    timelines can show the fault window.  Slotted: ledgers hold hundreds
+    of thousands of these on long runs.
     """
 
     start: Seconds
@@ -130,6 +131,14 @@ class BandwidthLedger:
 
     def __init__(self) -> None:
         self._records: List[TransferRecord] = []
+        #: lazy replication blocks ``(template, period, count)`` appended
+        #: by :meth:`replicate_shifted`: the k-th copy (k = 1..count) of
+        #: each template record is shifted by ``k * period``.  Blocks are
+        #: expanded on demand, so a hybrid run never materializes the
+        #: hundreds of thousands of records it extrapolates unless a
+        #: consumer actually walks them.
+        self._replicas: List[Tuple[Tuple[TransferRecord, ...],
+                                   Seconds, int]] = []
 
     def record(self, start: Seconds, end: Seconds, num_bytes: Bytes, *,
                degraded: bool = False) -> None:
@@ -146,29 +155,55 @@ class BandwidthLedger:
             TransferRecord(start, end, num_bytes, degraded=degraded)
         )
 
+    def replicate_shifted(self, template: List[TransferRecord],
+                          period: Seconds, count: int) -> None:
+        """Lazily append ``count`` copies of ``template``, the k-th copy
+        shifted forward by ``k * period``.
+
+        The hybrid extrapolator replicates one steady iteration's records
+        tens of times; storing the block instead of materializing every
+        shifted :class:`TransferRecord` keeps extrapolation O(template)
+        rather than O(template x count).  Length, byte totals, sampling,
+        and iteration all account for the replicas.
+        """
+        if count <= 0 or not template:
+            return
+        self._replicas.append((tuple(template), period, count))
+
     def __len__(self) -> int:
-        return len(self._records)
+        return (len(self._records)
+                + sum(len(t) * c for t, _, c in self._replicas))
 
     def __iter__(self):
-        return iter(self._records)
+        yield from self._records
+        for template, period, count in self._replicas:
+            for k in range(1, count + 1):
+                shift = k * period
+                for r in template:
+                    yield TransferRecord(r.start + shift, r.end + shift,
+                                         r.num_bytes, degraded=r.degraded)
 
     @property
     def total_bytes(self) -> Bytes:
-        return sum(r.num_bytes for r in self._records)
+        total = sum(r.num_bytes for r in self._records)
+        for template, _, count in self._replicas:
+            total += count * sum(r.num_bytes for r in template)
+        return total
 
     def clear(self) -> None:
         self._records.clear()
+        self._replicas.clear()
 
     def degraded_intervals(self) -> List[Tuple[float, float]]:
         """Merged ``(start, end)`` windows covered by degraded records."""
         return merge_intervals(
-            (r.start, r.end) for r in self._records if r.degraded
+            (r.start, r.end) for r in self if r.degraded
         )
 
     def utilization_at(self, instant: Seconds) -> BytesPerSecond:
         """Instantaneous bytes/s at ``instant`` (sum of covering intervals)."""
         return sum(
-            r.rate for r in self._records if r.start <= instant < r.end
+            r.rate for r in self if r.start <= instant < r.end
         )
 
     def sample(self, start: Seconds, end: Seconds,
@@ -185,25 +220,62 @@ class BandwidthLedger:
             raise ConfigurationError("sample window must have positive width")
         width = (end - start) / num_samples
         bins = [0.0] * num_samples
+        last_bin = num_samples - 1
+        # Hot loop (hundreds of thousands of records on long runs):
+        # locals instead of attribute/property lookups, arithmetic kept
+        # expression-identical so results stay bit-exact.
         for r in self._records:
-            if r.end <= start or r.start >= end:
+            r_start = r.start
+            r_end = r.end
+            if r_end <= start or r_start >= end:
                 continue
-            lo = max(r.start, start)
-            hi = min(r.end, end)
-            if r.duration <= 0:
+            lo = r_start if r_start > start else start
+            hi = r_end if r_end < end else end
+            duration = r_end - r_start
+            if duration <= 0:
                 # Instantaneous transfer: deposit in the containing bin.
-                idx = min(int((lo - start) / width), num_samples - 1)
-                bins[idx] += r.num_bytes
+                idx = int((lo - start) / width)
+                bins[idx if idx < last_bin else last_bin] += r.num_bytes
                 continue
-            rate = r.rate
+            rate = r.num_bytes / duration
             first = int((lo - start) / width)
-            last = min(int((hi - start) / width), num_samples - 1)
+            last = int((hi - start) / width)
+            if last > last_bin:
+                last = last_bin
             for idx in range(first, last + 1):
                 b_lo = start + idx * width
                 b_hi = b_lo + width
                 overlap = min(hi, b_hi) - max(lo, b_lo)
                 if overlap > 0:
                     bins[idx] += rate * overlap
+        # Replica blocks: same deposit arithmetic on (template + shift)
+        # floats, without materializing the shifted records.
+        for template, period, count in self._replicas:
+            for k in range(1, count + 1):
+                shift = k * period
+                for t in template:
+                    r_start = t.start + shift
+                    r_end = t.end + shift
+                    if r_end <= start or r_start >= end:
+                        continue
+                    lo = r_start if r_start > start else start
+                    hi = r_end if r_end < end else end
+                    duration = r_end - r_start
+                    if duration <= 0:
+                        idx = int((lo - start) / width)
+                        bins[idx if idx < last_bin else last_bin] += t.num_bytes
+                        continue
+                    rate = t.num_bytes / duration
+                    first = int((lo - start) / width)
+                    last = int((hi - start) / width)
+                    if last > last_bin:
+                        last = last_bin
+                    for idx in range(first, last + 1):
+                        b_lo = start + idx * width
+                        b_hi = b_lo + width
+                        overlap = min(hi, b_hi) - max(lo, b_lo)
+                        if overlap > 0:
+                            bins[idx] += rate * overlap
         return [b / width for b in bins]
 
 

@@ -16,6 +16,7 @@ contention derate of :mod:`repro.hardware.serdes`.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -104,6 +105,7 @@ class Topology:
         self._links: List[Link] = []
         self._adjacency: Dict[str, List[Link]] = {}
         self._route_cache: Dict[Tuple[str, str], Route] = {}
+        self._fingerprint: Optional[str] = None
 
     # -- construction -------------------------------------------------------
     def add_device(self, device: Device) -> Device:
@@ -123,6 +125,7 @@ class Topology:
         self._adjacency[link.endpoint_a].append(link)
         self._adjacency[link.endpoint_b].append(link)
         self._route_cache.clear()
+        self._fingerprint = None
         return link
 
     # -- lookup --------------------------------------------------------------
@@ -160,6 +163,60 @@ class Topology:
         if name not in self._devices:
             raise TopologyError(f"unknown device {name!r}")
         return list(self._adjacency.get(name, ()))
+
+    # -- identity ------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable identity of the *static* fabric.
+
+        A SHA-256 over every link's name, endpoints, multiplicity, and
+        spec (class, rated bandwidth, latency, efficiency, duplexity)
+        plus the SerDes contention parameters — everything a collective
+        cost evaluation reads that does not vary during a run.  Two
+        clusters built from the same preset share a fingerprint, so the
+        fast path's collective-cost memo (:mod:`repro.sim.fastpath.memo`)
+        can reuse entries across jobs; any wiring or calibration
+        difference separates them.  Time-varying capacity (fault
+        degradation) is deliberately excluded: that is the degradation
+        stamp's job (:meth:`degradation_stamp`).
+        """
+        if self._fingerprint is None:
+            contention = self.contention
+            parts = [
+                "contention|{}|{!r}|{!r}|{!r}|{!r}".format(
+                    contention.enabled, contention.sustained_factor,
+                    contention.bursty_factor,
+                    contention.per_extra_joint_factor,
+                    contention.latency_inflation,
+                )
+            ]
+            for link in sorted(self._links, key=lambda item: item.name):
+                spec = link.spec
+                parts.append("|".join((
+                    link.name, link.endpoint_a, link.endpoint_b,
+                    str(link.count), str(spec.link_class),
+                    repr(spec.bandwidth_per_direction), repr(spec.latency),
+                    repr(spec.efficiency), repr(spec.duplex),
+                )))
+            body = "\n".join(parts)
+            self._fingerprint = hashlib.sha256(
+                body.encode("utf-8")
+            ).hexdigest()
+        return self._fingerprint
+
+    def degradation_stamp(self) -> Tuple[Tuple[str, float], ...]:
+        """The current fault-degradation state of the fabric.
+
+        ``(link name, capacity fraction)`` for every link currently held
+        below rated capacity, sorted by name; a healthy fabric stamps
+        ``()``.  Combined with :meth:`fingerprint` this keys the
+        collective-cost memo: degrading a link changes the stamp (so
+        healthy-fabric entries cannot be served stale), and a fault
+        reverting restores the empty stamp, re-validating them.
+        """
+        degraded = [(link.name, link.capacity_fraction)
+                    for link in self._links if link.is_degraded]
+        degraded.sort()
+        return tuple(degraded)
 
     def ledgers_by_class(self) -> Dict[LinkClass, List[BandwidthLedger]]:
         out: Dict[LinkClass, List[BandwidthLedger]] = {}

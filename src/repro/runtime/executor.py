@@ -64,8 +64,21 @@ class ExecutionResult:
     #: fault-free runs); the trace builder turns these into fault spans
     fault_events: List[FaultEvent] = field(default_factory=list)
     #: DES callbacks executed over the whole run — the numerator of the
-    #: events/sec figure the perf benchmarks track (``benchmarks/perf.py``)
+    #: events/sec figure the perf benchmarks track (``benchmarks/perf.py``).
+    #: Batched dispatches count at their original multiplicity (a fold of
+    #: N occurrences contributes N), so the figure is comparable across
+    #: folded and unfolded runs.
     events_processed: int = 0
+    #: occurrences absorbed by homogeneous-event batching (a fold of N
+    #: contributes N-1); 0 when batching is off or never fired
+    events_folded: int = 0
+    #: analytic event-equivalents added by the hybrid extrapolator —
+    #: kept separate from ``events_processed`` so the DES throughput
+    #: figure never mixes simulated and extrapolated work
+    events_extrapolated: int = 0
+    #: iterations the hybrid fast path appended analytically (0 for full
+    #: fidelity runs)
+    extrapolated_iterations: int = 0
 
     @property
     def mean_iteration_time(self) -> float:
@@ -213,6 +226,7 @@ class Executor:
                 if self.faults is not None else []
             ),
             events_processed=self.engine.events_processed,
+            events_folded=self.engine.events_folded,
         )
 
     # -- per-rank interpretation ------------------------------------------------

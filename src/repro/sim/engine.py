@@ -188,6 +188,39 @@ class AnyOf(BaseEvent):
         self.succeed(event.value)
 
 
+class BatchHandler:
+    """A schedulable callback whose same-timestamp runs may be folded.
+
+    ``single(*args)`` handles one scheduled occurrence.  ``fold(batch)``
+    receives the argument tuples of a *run* of occurrences popped
+    back-to-back at one timestamp and must be observably equivalent to
+    calling ``single`` on each in order.  The engine only folds adjacent
+    pops of the same handler instance, so nothing else executes between
+    the folded occurrences — that adjacency is exactly what makes the
+    equivalence a local contract of the handler rather than a property
+    of the whole schedule.
+
+    The flow network registers its activation path as a ``BatchHandler``
+    so a collective launching N flows at one instant costs one
+    settle/reallocate round instead of N (see
+    :meth:`repro.sim.flows.FlowNetwork._activate_batch`).
+    """
+
+    __slots__ = ("single", "fold", "__name__", "__qualname__")
+
+    def __init__(self, single: Callable[..., None],
+                 fold: Callable[[List[Tuple[Any, ...]]], None]) -> None:
+        self.single = single
+        self.fold = fold
+        # Deterministic labels for sanitizer/liveness diagnostics (the
+        # default repr embeds a memory address).
+        self.__name__ = getattr(single, "__name__", "batch_handler")
+        self.__qualname__ = getattr(single, "__qualname__", self.__name__)
+
+    def __call__(self, *args: Any) -> None:
+        self.single(*args)
+
+
 ProcessGenerator = Generator[BaseEvent, Any, Any]
 
 
@@ -236,6 +269,10 @@ class Engine:
     popped callback and the shared resources it touches.
     """
 
+    #: Class-level switch for same-timestamp batch folding; differential
+    #: tests flip it off to compare folded vs. unfolded execution.
+    fold_events = True
+
     def __init__(self, tie_order: Optional[TieOrder] = None) -> None:
         self.now: Seconds = 0.0
         self._queue: List[
@@ -243,6 +280,7 @@ class Engine:
         ] = []
         self._counter = itertools.count()
         self._processed = 0
+        self._folded = 0
         self._processes: List["Process"] = []
         self._start_hooks: List[Callable[["Engine"], None]] = []
         self.tie_order = tie_order if tie_order is not None else TieOrder()
@@ -306,18 +344,49 @@ class Engine:
     # -- execution ---------------------------------------------------------------
     @property
     def events_processed(self) -> int:
+        """Callbacks executed, counting each folded occurrence.
+
+        Folded batches count at their original multiplicity (a batch of
+        N scheduled occurrences dispatched once still adds N), so the
+        events/sec trajectory in ``benchmarks/`` stays apples-to-apples
+        across the batching change.
+        """
         return self._processed
+
+    @property
+    def events_folded(self) -> int:
+        """Scheduled occurrences absorbed into batch dispatches.
+
+        A batch of N adds N-1 here (one dispatch stood for N pops).
+        """
+        return self._folded
 
     def peek(self) -> Optional[Seconds]:
         """Time of the next scheduled callback, or None when idle."""
         return self._queue[0][0] if self._queue else None
 
     def step(self) -> None:
-        """Run the single next callback, advancing the clock to it."""
+        """Run the next callback (or folded batch), advancing the clock."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
         time, _key, seq, callback, args = heapq.heappop(self._queue)
         self.now = time
+        # Fold an adjacent same-timestamp run of the same BatchHandler
+        # into one dispatch.  Sanitized runs never fold: the sanitizer
+        # must observe every scheduled callback individually, and its
+        # unbatched execution is the reference the batched path is
+        # differentially tested against.
+        queue = self._queue
+        if (self.fold_events and self.sanitizer is None
+                and type(callback) is BatchHandler and queue
+                and queue[0][0] == time and queue[0][3] is callback):
+            batch = [args]
+            while queue and queue[0][0] == time and queue[0][3] is callback:
+                batch.append(heapq.heappop(queue)[4])
+            self._processed += len(batch)
+            self._folded += len(batch) - 1
+            callback.fold(batch)
+            return
         self._processed += 1
         if self.sanitizer is None:
             callback(*args)
@@ -348,8 +417,9 @@ class Engine:
                 raise SimulationError(
                     f"exceeded max_events={max_events} at t={self.now}"
                 )
+            before = self._processed
             self.step()
-            budget -= 1
+            budget -= self._processed - before
         if until is not None:
             self.now = max(self.now, until)
         return self.now

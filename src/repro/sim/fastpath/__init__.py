@@ -1,0 +1,132 @@
+"""DES fast path: memoized collectives, event batching, hybrid fidelity.
+
+Three independent accelerations, composable and all semantics-preserving
+(see DESIGN.md, "Fast path & fidelity"):
+
+* **Collective cost memoization** (:mod:`.memo`) — closed-form collective
+  cost evaluations are cached on a key covering everything the cost
+  depends on: the collective kind and payload, the participant ranks,
+  the topology fingerprint, and the current degradation stamp.  The hot
+  DES path gets the same treatment inside
+  :class:`~repro.collectives.nccl.NcclCommunicator`, which memoizes each
+  collective's *launch plan* (routes, per-link bytes, weights, step
+  latency) so repeated launches stop re-walking the ring structure.
+* **Homogeneous event batching** (:class:`~repro.sim.engine.BatchHandler`)
+  — runs of same-timestamp occurrences of the same handler fold into a
+  single dispatch; the flow network uses it to activate all of a
+  collective's flows with one settle/reallocate round instead of N.
+* **Steady-state extrapolation** (:mod:`.extrapolate`) — opt-in via
+  ``fidelity="hybrid"``: simulate warmup + 2 iterations at full
+  fidelity, verify the measured iterations are periodic, then replicate
+  the last measured iteration analytically for the remaining count.
+
+``fidelity`` threads from :class:`repro.api.RunSpec` /
+:class:`repro.experiments.common.ExperimentSpec` down to
+:func:`repro.core.runner.run_training`; :func:`fidelity_override` is the
+ambient channel the experiment registry uses so all experiment modules
+inherit a requested fidelity without each taking a new parameter.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ...errors import ConfigurationError
+
+#: Supported run fidelities.  ``full`` simulates every iteration on the
+#: DES; ``hybrid`` simulates warmup + 2 measured iterations and
+#: extrapolates the rest once steady state is confirmed.
+FIDELITIES = ("full", "hybrid")
+
+
+def validate_fidelity(fidelity: str) -> str:
+    if fidelity not in FIDELITIES:
+        raise ConfigurationError(
+            f"unknown fidelity {fidelity!r} (expected one of {FIDELITIES})"
+        )
+    return fidelity
+
+
+@dataclass(frozen=True)
+class FastpathReport:
+    """What the hybrid fast path actually did for one run.
+
+    ``applied`` is True only when the extrapolator replaced simulated
+    iterations with analytic ones.  A hybrid request that could not be
+    honoured (fault plan present, too few iterations, steady state not
+    detected) still produces full-fidelity results; ``fallback_reason``
+    says why the shortcut was declined.
+    """
+
+    fidelity: str
+    applied: bool
+    simulated_iterations: int
+    extrapolated_iterations: int
+    fallback_reason: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "fidelity": self.fidelity,
+            "applied": self.applied,
+            "simulated_iterations": self.simulated_iterations,
+            "extrapolated_iterations": self.extrapolated_iterations,
+            "fallback_reason": self.fallback_reason,
+        }
+
+
+#: Ambient fidelity stack; the top entry (when any) is the default for
+#: ``run_training`` calls that do not pass an explicit fidelity.
+_AMBIENT: List[str] = []
+
+
+@contextmanager
+def fidelity_override(fidelity: str) -> Iterator[None]:
+    """Make ``fidelity`` the ambient default for nested training runs.
+
+    The experiment registry wraps module ``run`` calls in this so every
+    ``run_training`` an experiment performs inherits the requested
+    fidelity without threading a parameter through all 29 modules.
+    """
+    validate_fidelity(fidelity)
+    _AMBIENT.append(fidelity)
+    try:
+        yield
+    finally:
+        _AMBIENT.pop()
+
+
+def ambient_fidelity() -> Optional[str]:
+    """The innermost :func:`fidelity_override` value, or ``None``."""
+    return _AMBIENT[-1] if _AMBIENT else None
+
+
+from .memo import (  # noqa: E402  (re-exports after the light definitions)
+    COST_CACHE,
+    CollectiveCostCache,
+    collective_cost_key,
+)
+from .extrapolate import (  # noqa: E402
+    HYBRID_MEASURE_ITERATIONS,
+    STEADY_STATE_RTOL,
+    extrapolate_execution,
+    hybrid_simulated_iterations,
+    is_steady,
+)
+
+__all__ = [
+    "COST_CACHE",
+    "CollectiveCostCache",
+    "FIDELITIES",
+    "FastpathReport",
+    "HYBRID_MEASURE_ITERATIONS",
+    "STEADY_STATE_RTOL",
+    "ambient_fidelity",
+    "collective_cost_key",
+    "extrapolate_execution",
+    "fidelity_override",
+    "hybrid_simulated_iterations",
+    "is_steady",
+    "validate_fidelity",
+]

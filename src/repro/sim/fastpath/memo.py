@@ -1,0 +1,99 @@
+"""Memoized collective cost-model evaluations.
+
+:class:`CollectiveCostCache` caches the closed-form collective cost
+(:meth:`repro.collectives.nccl.NcclCommunicator.estimate`) across
+communicators, runs, and jobs.  Correctness rests entirely on the key
+covering every input the cost depends on:
+
+``(collective kind, payload bytes, participant ranks, algorithm,
+traffic profile, launch overheads, inter-node rate efficiency,
+topology fingerprint, degradation stamp)``
+
+* The **topology fingerprint**
+  (:meth:`repro.hardware.topology.Topology.fingerprint`) hashes the
+  static fabric — device names, link endpoints, counts, classes, rated
+  bandwidths, latencies, efficiencies, duplexity, and the SerDes
+  contention parameters — so two clusters built from the same preset
+  share entries while any wiring difference separates them.
+* The **degradation stamp**
+  (:meth:`~repro.hardware.topology.Topology.degradation_stamp`) is the
+  current ``(link, capacity_fraction)`` set of degraded links.  A fault
+  degrading a link changes the stamp (entries computed on the healthy
+  fabric cannot be served stale); the fault reverting restores the
+  empty stamp, re-validating the healthy entries.
+
+Entries are deterministic pure floats, so a hit is byte-identical to a
+recompute — the property-based tests in ``tests/test_fastpath_memo.py``
+pin this across strategies, sizes, and degraded fabrics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+CostKey = Tuple[object, ...]
+
+
+def collective_cost_key(*, kind: str, payload_bytes: float,
+                        participants: Tuple[int, ...], algorithm: str,
+                        profile: str, internode_launch_overhead: float,
+                        intranode_launch_overhead: float,
+                        internode_rate_efficiency: float,
+                        topology_fingerprint: str,
+                        degradation_stamp: Tuple[Tuple[str, float], ...]
+                        ) -> CostKey:
+    """The full memoization key for one collective cost evaluation."""
+    return (
+        kind, payload_bytes, participants, algorithm, profile,
+        internode_launch_overhead, intranode_launch_overhead,
+        internode_rate_efficiency, topology_fingerprint, degradation_stamp,
+    )
+
+
+class CollectiveCostCache:
+    """A bounded, instrumented memo table for collective cost evaluations.
+
+    ``lookup`` either returns the cached value or computes, stores, and
+    returns it.  The cache is semantics-free by construction (the key
+    covers every cost input); ``enabled`` exists so differential tests
+    can compare cached and uncached evaluation paths.
+    """
+
+    def __init__(self, maxsize: int = 65536) -> None:
+        self.maxsize = maxsize
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self._data: Dict[CostKey, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def lookup(self, key: CostKey, compute: Callable[[], float]) -> float:
+        if not self.enabled:
+            return compute()
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            if len(self._data) < self.maxsize:
+                self._data[key] = value
+            return value
+        self.hits += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._data)}
+
+
+#: The process-wide cost cache every communicator shares.  Keys embed the
+#: topology fingerprint, so entries from different clusters coexist.
+COST_CACHE = CollectiveCostCache()

@@ -37,10 +37,24 @@ class Timeline:
         self._records: List[Span] = []
 
     def record(self, rank: int, lane: Lane, kind: KernelKind, name: str,
-               start: float, end: float) -> None:
+               start: float, end: float, synthetic: bool = False) -> None:
         if end < start:
             raise ConfigurationError("trace interval is reversed")
-        self._records.append(Span(rank, lane, kind, name, start, end))
+        self._records.append(Span(rank, lane, kind, name, start, end,
+                                  synthetic=synthetic))
+
+    def extend_shifted(self, template: List[Span], shift: float) -> None:
+        """Bulk-append ``template`` spans moved forward by ``shift``.
+
+        Replicated spans are marked synthetic.  The hybrid extrapolator
+        replicates one steady iteration's spans tens of times; this skips
+        the per-call interval validation the template already passed.
+        """
+        self._records.extend(
+            Span(s.rank, s.lane, s.kind, s.name, s.start + shift,
+                 s.end + shift, synthetic=True)
+            for s in template
+        )
 
     def __len__(self) -> int:
         return len(self._records)

@@ -60,13 +60,16 @@ class Span:
     name: str
     start: float
     end: float
+    #: True for spans the hybrid extrapolator replicated analytically
+    #: rather than simulated (:mod:`repro.sim.fastpath.extrapolate`).
+    synthetic: bool = False
 
     @property
     def duration(self) -> float:
         return self.end - self.start
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "rank": self.rank,
             "lane": str(self.lane),
             "kind": self.kind.value,
@@ -74,6 +77,10 @@ class Span:
             "start": self.start,
             "end": self.end,
         }
+        # Omitted when False so full-fidelity traces serialize unchanged.
+        if self.synthetic:
+            payload["synthetic"] = True
+        return payload
 
     @staticmethod
     def from_dict(data: Dict[str, object]) -> "Span":
@@ -84,6 +91,7 @@ class Span:
             name=str(data["name"]),
             start=float(data["start"]),  # type: ignore[arg-type]
             end=float(data["end"]),  # type: ignore[arg-type]
+            synthetic=bool(data.get("synthetic", False)),  # type: ignore[union-attr]
         )
 
 
@@ -99,13 +107,15 @@ class CollectiveSpan:
     ranks: Tuple[int, ...]
     start: float
     end: float
+    #: True for spans the hybrid extrapolator replicated analytically.
+    synthetic: bool = False
 
     @property
     def duration(self) -> float:
         return self.end - self.start
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "comm": self.comm,
             "group": self.group_index,
             "kind": self.kind,
@@ -115,6 +125,9 @@ class CollectiveSpan:
             "start": self.start,
             "end": self.end,
         }
+        if self.synthetic:
+            payload["synthetic"] = True
+        return payload
 
     @staticmethod
     def from_dict(data: Dict[str, object]) -> "CollectiveSpan":
@@ -127,6 +140,7 @@ class CollectiveSpan:
             ranks=tuple(int(r) for r in data["ranks"]),  # type: ignore[union-attr]
             start=float(data["start"]),  # type: ignore[arg-type]
             end=float(data["end"]),  # type: ignore[arg-type]
+            synthetic=bool(data.get("synthetic", False)),  # type: ignore[union-attr]
         )
 
 
@@ -145,13 +159,15 @@ class FlowSpan:
     #: False when the run ended with the flow still streaming (the span's
     #: ``num_bytes`` then covers only what actually moved).
     completed: bool = True
+    #: True for spans the hybrid extrapolator replicated analytically.
+    synthetic: bool = False
 
     @property
     def duration(self) -> float:
         return self.end - self.start
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "id": self.flow_id,
             "label": self.label,
             "src": self.source,
@@ -162,6 +178,9 @@ class FlowSpan:
             "end": self.end,
             "completed": self.completed,
         }
+        if self.synthetic:
+            payload["synthetic"] = True
+        return payload
 
     @staticmethod
     def from_dict(data: Dict[str, object]) -> "FlowSpan":
@@ -175,6 +194,7 @@ class FlowSpan:
             start=float(data["start"]),  # type: ignore[arg-type]
             end=float(data["end"]),  # type: ignore[arg-type]
             completed=bool(data.get("completed", True)),  # type: ignore[union-attr]
+            synthetic=bool(data.get("synthetic", False)),  # type: ignore[union-attr]
         )
 
 

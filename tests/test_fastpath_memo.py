@@ -1,0 +1,199 @@
+"""Fast-path memoization is semantics-free (satellite of the DES fast
+path): cached and uncached collective cost evaluations are byte-identical
+across strategies, payload sizes, algorithms, and degraded fabrics, and
+the memo key separates everything it must separate.
+"""
+
+import random
+
+import pytest
+
+from repro.collectives import CollectiveKind, CollectiveOp, NcclCommunicator
+from repro.collectives.algorithms import Algorithm
+from repro.hardware import dual_node_cluster, single_node_cluster
+from repro.sim.engine import Engine
+from repro.sim.fastpath import COST_CACHE, CollectiveCostCache, collective_cost_key
+from repro.sim.flows import FlowNetwork
+
+
+def make_comm(cluster, ranks, **kwargs):
+    engine = Engine()
+    network = FlowNetwork(engine)
+    return NcclCommunicator(cluster, engine, network, ranks, **kwargs)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cost_cache():
+    """Isolate every test from the process-wide memo's prior contents."""
+    COST_CACHE.clear()
+    COST_CACHE.enabled = True
+    yield
+    COST_CACHE.clear()
+    COST_CACHE.enabled = True
+
+
+class TestCostCache:
+    def test_lookup_computes_once(self):
+        cache = CollectiveCostCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42.0
+
+        key = ("k",)
+        assert cache.lookup(key, compute) == 42.0
+        assert cache.lookup(key, compute) == 42.0
+        assert calls == [1]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_disabled_cache_always_computes(self):
+        cache = CollectiveCostCache()
+        cache.enabled = False
+        calls = []
+        key = ("k",)
+        for _ in range(3):
+            cache.lookup(key, lambda: calls.append(1) or 7.0)
+        assert len(calls) == 3
+        assert len(cache) == 0
+
+    def test_maxsize_bounds_storage(self):
+        cache = CollectiveCostCache(maxsize=2)
+        for i in range(5):
+            cache.lookup(("k", i), lambda i=i: float(i))
+        assert len(cache) == 2
+        # Overflow entries still compute correctly, just un-stored.
+        assert cache.lookup(("k", 4), lambda: 4.0) == 4.0
+
+    def test_clear_resets_counters(self):
+        cache = CollectiveCostCache()
+        cache.lookup(("k",), lambda: 1.0)
+        cache.lookup(("k",), lambda: 1.0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+
+
+class TestMemoKey:
+    BASE = dict(
+        kind="all_reduce", payload_bytes=1e6, participants=(0, 1, 2, 3),
+        algorithm="auto", profile="bursty",
+        internode_launch_overhead=2.5e-3,
+        intranode_launch_overhead=25e-6,
+        internode_rate_efficiency=0.55,
+        topology_fingerprint="f" * 64, degradation_stamp=(),
+    )
+
+    def test_identical_inputs_identical_key(self):
+        assert (collective_cost_key(**self.BASE)
+                == collective_cost_key(**self.BASE))
+
+    @pytest.mark.parametrize("field,value", [
+        ("kind", "all_gather"),
+        ("payload_bytes", 2e6),
+        ("participants", (0, 1, 4, 5)),
+        ("algorithm", "tree"),
+        ("profile", "sustained"),
+        ("internode_launch_overhead", 1e-3),
+        ("intranode_launch_overhead", 50e-6),
+        ("internode_rate_efficiency", 0.8),
+        ("topology_fingerprint", "0" * 64),
+        ("degradation_stamp", (("roce0", 0.5),)),
+    ])
+    def test_every_component_separates_keys(self, field, value):
+        changed = dict(self.BASE)
+        changed[field] = value
+        assert (collective_cost_key(**changed)
+                != collective_cost_key(**self.BASE))
+
+
+class TestTopologyIdentity:
+    def test_same_preset_same_fingerprint(self):
+        assert (single_node_cluster().topology.fingerprint()
+                == single_node_cluster().topology.fingerprint())
+
+    def test_presets_differ(self):
+        assert (single_node_cluster().topology.fingerprint()
+                != dual_node_cluster().topology.fingerprint())
+
+    def test_degradation_changes_stamp_not_fingerprint(self):
+        cluster = dual_node_cluster()
+        topology = cluster.topology
+        healthy_fp = topology.fingerprint()
+        assert topology.degradation_stamp() == ()
+        link = topology.links[0]
+        link.set_capacity_fraction(0.5)
+        assert topology.fingerprint() == healthy_fp
+        assert topology.degradation_stamp() == ((link.name, 0.5),)
+        link.set_capacity_fraction(1.0)
+        assert topology.degradation_stamp() == ()
+
+
+def _estimate_grid(comm, seed):
+    """Deterministic (kind, payload, algorithm) grid of estimates."""
+    rng = random.Random(seed)
+    sizes = [rng.uniform(1e3, 4e9) for _ in range(6)]
+    out = []
+    for kind in (CollectiveKind.ALL_REDUCE, CollectiveKind.ALL_GATHER,
+                 CollectiveKind.REDUCE_SCATTER, CollectiveKind.BROADCAST):
+        for payload in sizes:
+            for algorithm in (Algorithm.AUTO, Algorithm.RING, Algorithm.TREE):
+                op = CollectiveOp(kind, payload, comm.size)
+                out.append(comm.estimate(op, algorithm=algorithm))
+    return out
+
+
+class TestMemoizationIsSemanticsFree:
+    @pytest.mark.parametrize("cluster_factory,ranks", [
+        (single_node_cluster, [0, 1, 2, 3]),
+        (dual_node_cluster, [0, 1, 2, 3, 4, 5, 6, 7]),
+        (dual_node_cluster, [0, 4]),
+    ])
+    @pytest.mark.parametrize("seed", [11, 23])
+    def test_cached_equals_uncached_byte_identical(self, cluster_factory,
+                                                   ranks, seed):
+        comm = make_comm(cluster_factory(), ranks)
+        COST_CACHE.enabled = False
+        uncached = _estimate_grid(comm, seed)
+        COST_CACHE.enabled = True
+        cold = _estimate_grid(comm, seed)   # populates the memo
+        warm = _estimate_grid(comm, seed)   # served from the memo
+        assert cold == uncached             # exact float equality
+        assert warm == uncached
+        assert COST_CACHE.hits > 0
+
+    def test_degraded_fabric_not_served_stale(self):
+        cluster = dual_node_cluster()
+        comm = make_comm(cluster, [0, 1, 4, 5])
+        op = CollectiveOp(CollectiveKind.ALL_REDUCE, 1e9, comm.size)
+        healthy = comm.estimate(op)
+        # Degrade a RoCE link the ring crosses: the stamp changes, so the
+        # memo may not serve the healthy-fabric cost.
+        roce = next(link for link in comm._ring_links
+                    if "roce" in link.name.lower() or "RoCE" in str(link.link_class))
+        roce.set_capacity_fraction(0.25)
+        COST_CACHE.enabled = False
+        degraded_uncached = comm.estimate(op)
+        COST_CACHE.enabled = True
+        degraded_cached = comm.estimate(op)
+        assert degraded_cached == degraded_uncached
+        assert degraded_cached != healthy
+        # Reverting restores the empty stamp: the healthy entry is
+        # re-validated and must serve the original value exactly.
+        roce.set_capacity_fraction(1.0)
+        hits_before = COST_CACHE.hits
+        assert comm.estimate(op) == healthy
+        assert COST_CACHE.hits == hits_before + 1
+
+    def test_distinct_communicators_share_entries(self):
+        """Two communicators over identical presets hit each other's
+        entries — the point of keying on the fabric fingerprint rather
+        than object identity."""
+        op_size = 64e6
+        comm_a = make_comm(single_node_cluster(), [0, 1, 2, 3])
+        op = CollectiveOp(CollectiveKind.ALL_REDUCE, op_size, comm_a.size)
+        first = comm_a.estimate(op)
+        misses = COST_CACHE.misses
+        comm_b = make_comm(single_node_cluster(), [0, 1, 2, 3])
+        assert comm_b.estimate(op) == first
+        assert COST_CACHE.misses == misses  # pure hit

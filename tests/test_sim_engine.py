@@ -188,6 +188,84 @@ class TestProcesses:
         assert engine.events_processed == 2
 
 
+class TestBatchFolding:
+    def _handler(self, singles, folds):
+        from repro.sim.engine import BatchHandler
+
+        def single(tag):
+            singles.append(tag)
+
+        def fold(batch):
+            folds.append([args[0] for args in batch])
+
+        return BatchHandler(single, fold)
+
+    def test_same_time_run_folds_once(self):
+        engine = Engine()
+        singles, folds = [], []
+        handler = self._handler(singles, folds)
+        for tag in range(5):
+            engine.schedule_at(1.0, handler, tag)
+        engine.run()
+        assert folds == [[0, 1, 2, 3, 4]]
+        assert singles == []
+
+    def test_folded_events_count_at_original_multiplicity(self):
+        engine = Engine()
+        handler = self._handler([], [])
+        for tag in range(5):
+            engine.schedule_at(1.0, handler, tag)
+        engine.schedule_at(2.0, handler, 99)
+        engine.run()
+        # A fold of 5 still adds 5 to events_processed; the lone
+        # occurrence at t=2 dispatches singly.
+        assert engine.events_processed == 6
+        assert engine.events_folded == 4
+
+    def test_different_timestamps_do_not_fold(self):
+        engine = Engine()
+        singles, folds = [], []
+        handler = self._handler(singles, folds)
+        engine.schedule_at(1.0, handler, "a")
+        engine.schedule_at(2.0, handler, "b")
+        engine.run()
+        assert singles == ["a", "b"]
+        assert folds == []
+        assert engine.events_folded == 0
+
+    def test_different_handlers_do_not_fold(self):
+        engine = Engine()
+        singles, folds = [], []
+        first = self._handler(singles, folds)
+        second = self._handler(singles, folds)
+        engine.schedule_at(1.0, first, "a")
+        engine.schedule_at(1.0, second, "b")
+        engine.run()
+        assert singles == ["a", "b"]
+        assert folds == []
+
+    def test_fold_events_off_dispatches_singly(self):
+        engine = Engine()
+        engine.fold_events = False
+        singles, folds = [], []
+        handler = self._handler(singles, folds)
+        for tag in range(3):
+            engine.schedule_at(1.0, handler, tag)
+        engine.run()
+        assert singles == [0, 1, 2]
+        assert folds == []
+        assert engine.events_processed == 3
+
+    def test_plain_callbacks_never_fold(self):
+        engine = Engine()
+        seen = []
+        for tag in range(3):
+            engine.schedule_at(1.0, lambda tag=tag: seen.append(tag))
+        engine.run()
+        assert seen == [0, 1, 2]
+        assert engine.events_folded == 0
+
+
 class TestLivenessInstrumentation:
     def test_engine_registers_named_processes(self):
         engine = Engine()
