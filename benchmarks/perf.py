@@ -18,6 +18,12 @@ and iteration count forever — so files are comparable across PRs:
   report ``events_extrapolated`` and ``effective_events_per_sec``
   ((simulated + extrapolated events) / wall), the apples-to-apples
   throughput figure for a run that covers the same 24 iterations.
+* ``single_node_zero2_leakcheck``: ``single_node_zero2`` with the
+  runtime leak sanitizer attached (``leak_check=True``) — the pool
+  observer and per-flow ledger-reservation overhead, tracked against
+  the identical unchecked scenario so the sanitizer's cost stays
+  honest (it must remain a small constant factor, never a slowdown
+  that discourages leak-checked CI runs).
 
 Event counts are deterministic (the DES is seeded and tie-ordered);
 wall-clock and events/sec carry machine jitter, which is why each file
@@ -49,6 +55,9 @@ SCENARIOS: Dict[str, RunSpec] = {
                                  nodes=1, iterations=4),
     "dual_node_zero3": RunSpec(strategy="zero3", size_billions=0.7,
                                nodes=2, iterations=4),
+    "single_node_zero2_leakcheck": RunSpec(
+        strategy="zero2", size_billions=1.4, nodes=1, iterations=4,
+        leak_check=True),
 }
 
 #: Fast-path scenarios: one steady 24-iteration workload per cluster
@@ -73,7 +82,9 @@ ALL_SCENARIOS: Dict[str, RunSpec] = {**SCENARIOS, **FASTPATH_SCENARIOS}
 #: v2: adds the fast-path scenarios and, on hybrid rows, the
 #: ``fidelity`` / ``events_extrapolated`` / ``effective_events_per_sec``
 #: fields.  Pre-v2 rows are still comparable by scenario name.
-SCHEMA_VERSION = 2
+#: v3: adds the leak-sanitizer scenario with its ``leak_check`` /
+#: ``flows_tracked`` fields.  Additive only — older rows unchanged.
+SCHEMA_VERSION = 3
 
 
 def run_scenario(name: str, spec: RunSpec, *, repeats: int = 3) -> dict:
@@ -105,6 +116,10 @@ def run_scenario(name: str, spec: RunSpec, *, repeats: int = 3) -> dict:
         row["effective_events_per_sec"] = (
             round((events + extrapolated) / wall_s, 1) if wall_s else 0.0
         )
+    if spec.leak_check:
+        row["leak_check"] = True
+        row["flows_tracked"] = metrics.leaks.flows_tracked
+        metrics.leaks.assert_clean()
     return row
 
 

@@ -1,0 +1,19 @@
+"""Resource-lifecycle typestate analysis (the ``RES0xx`` pass family).
+
+:mod:`~repro.analysis.lifecycle.protocols` declares the paired
+acquire/release APIs under contract; :mod:`~repro.analysis.lifecycle.
+engine` is the interprocedural typestate interpreter; :mod:`~repro.
+analysis.lifecycle.passes` registers the ``res-typestate`` pass.  The
+runtime counterpart lives in :mod:`repro.sim.leaksan`.
+"""
+
+from .engine import LifecycleAnalyzer, analyze_tree
+from .protocols import PROTOCOLS, STATIC_PROTOCOLS, Protocol
+
+__all__ = [
+    "LifecycleAnalyzer",
+    "analyze_tree",
+    "PROTOCOLS",
+    "STATIC_PROTOCOLS",
+    "Protocol",
+]

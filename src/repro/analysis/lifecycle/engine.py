@@ -1,0 +1,1141 @@
+"""The resource-lifecycle typestate interpreter.
+
+:func:`analyze_tree` drives three phases over every module in scope,
+mirroring the dimensional engine (:mod:`~repro.analysis.dimensions.
+engine`) it shares its architecture with:
+
+1. **Collection** — parse each file once and harvest every function
+   definition plus each module's import map.
+2. **Fixpoint inference** — every function gets an interprocedural
+   *lifecycle summary*: which parameter positions it releases, which it
+   escapes (stores/returns/containers), and whether it returns a freshly
+   acquired handle.  Summaries are iterated to a fixpoint so a helper
+   that forwards its argument to ``ledger.settle`` counts as a release
+   in every caller.
+3. **Checking** — re-interpret every function body with findings
+   enabled, running each tracked handle through the typestate machine::
+
+       acquired --release--> released --release--> RES003 (double)
+       acquired --exit----------------------------> RES001 (leak)
+       acquired --risky call, unguarded release---> RES002 (warning)
+       released --use-----------------------------> RES004
+       (never acquired) --release-----------------> RES005
+       acquired --escape (return/yield/store)-----> silent (escaped)
+
+The interpreter is flow-sensitive (branches analyzed separately and
+joined) and alias-aware: the environment maps variable names to handle
+*identities*, with states held in a side table, so ``r2 = r1;
+settle(r2); settle(r1)`` is recognized as a double release of one
+handle.  It is deliberately conservative — the escape lattice (owned →
+borrowed → escaped) silences anything whose ownership provably or
+plausibly moved elsewhere, and a state that differs between branches
+joins to ``maybe`` which never flags.  The engine's job is catching
+protocol usage that is wrong on *every* path, not demanding a style.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..findings import Finding, Severity
+from .protocols import (
+    ACQUIRE_METHODS,
+    CONSTRUCTORS,
+    CONTEXT_METHODS,
+    RELEASE_METHODS,
+    SAFE_TOKEN_SINKS,
+    STATIC_PROTOCOLS,
+    Protocol,
+)
+
+PASS_NAME = "res-typestate"
+
+#: packages under the source root whose resource handling is in scope; a
+#: root containing none of them (a unit-test fixture tree) is scanned
+#: whole.
+LIFECYCLE_PACKAGES = (
+    "sim", "runtime", "collectives", "parallel", "hardware", "model",
+    "telemetry", "trace", "faults", "campaign", "core",
+)
+
+#: fixpoint iteration cap; summaries stabilize in 2-3 rounds in practice
+_MAX_ROUNDS = 5
+
+# -- handle states ---------------------------------------------------------
+
+ACQUIRED = "acquired"
+RELEASED = "released"
+ESCAPED = "escaped"      # ownership moved (returned/yielded/stored)
+MANAGED = "managed"      # produced by a with-statement context acquire
+BORROWED = "borrowed"    # came in as a parameter; caller owns it
+MAYBE = "maybe"          # differs between joined branches; never flags
+
+#: states that silence every subsequent check on the handle
+_QUIET = frozenset({ESCAPED, MANAGED, MAYBE})
+
+
+@dataclass
+class Handle:
+    """One tracked resource handle (identity lives in the env)."""
+
+    protocol: Protocol
+    state: str
+    line: int = 0
+    #: dotted receiver path of the acquire (``self.ledger``)
+    receiver: str = ""
+    #: label-shape handles: the literal label
+    label: str = ""
+    #: parameter position for borrowed handles (summary building)
+    param_index: Optional[int] = None
+    #: a non-protocol call ran while this handle was acquired, so an
+    #: exception there would leak it (RES002 input)
+    risky: bool = False
+    #: line of the releasing call (RES003/RES004 messages)
+    released_line: int = 0
+
+    def copy(self) -> "Handle":
+        return replace(self)
+
+
+#: environment value for names that are provably not handles
+_NOT_HANDLE = -1
+
+Env = Dict[str, int]
+States = Dict[int, Handle]
+
+
+@dataclass
+class FunctionInfo:
+    """Interprocedural lifecycle summary of one function definition."""
+
+    name: str
+    qualname: str
+    module: str
+    node: ast.FunctionDef
+    is_method: bool
+    param_names: List[str]
+    #: parameter positions whose handle this function releases
+    releases_params: Tuple[int, ...] = ()
+    #: parameter positions whose handle this function escapes
+    escapes_params: Tuple[int, ...] = ()
+    #: protocol name when the function returns a freshly acquired token
+    returns_fresh: Optional[str] = None
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module in the scanned tree."""
+
+    location: str
+    tree: ast.Module
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+class Program:
+    """Everything the interpreter knows about the scanned tree."""
+
+    def __init__(self) -> None:
+        self.modules: List[ModuleInfo] = []
+        self.by_name: Dict[str, List[FunctionInfo]] = {}
+
+    def add_module(self, location: str, tree: ast.Module) -> None:
+        info = ModuleInfo(location=location, tree=tree)
+        self._collect_functions(info)
+        self.modules.append(info)
+
+    def _collect_functions(self, info: ModuleInfo) -> None:
+        def visit(body: Iterable[ast.stmt], class_name: str = "") -> None:
+            for node in body:
+                if isinstance(node, ast.ClassDef):
+                    visit(node.body, node.name)
+                elif isinstance(node, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    self._add_function(info, node, class_name)
+
+        visit(info.tree.body)
+
+    def _add_function(self, info: ModuleInfo, node: ast.FunctionDef,
+                      class_name: str) -> None:
+        decorators = _decorator_names(node)
+        is_method = bool(class_name) and "staticmethod" not in decorators
+        params = [*node.args.posonlyargs, *node.args.args]
+        fn = FunctionInfo(
+            name=node.name,
+            qualname=(f"{class_name}.{node.name}"
+                      if class_name else node.name),
+            module=info.location,
+            node=node,
+            is_method=is_method,
+            param_names=[p.arg for p in params],
+        )
+        info.functions.setdefault(node.name, fn)
+        self.by_name.setdefault(node.name, []).append(fn)
+
+    def resolve_call(self, info: ModuleInfo,
+                     name: str) -> Optional[FunctionInfo]:
+        """The summary a call by bare name resolves to, if unambiguous.
+
+        Module-local definitions win; otherwise a tree-wide unique name
+        resolves, and several same-named definitions resolve only when
+        their lifecycle summaries agree.
+        """
+        local = info.functions.get(name)
+        if local is not None:
+            return local
+        candidates = self.by_name.get(name, [])
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        first = candidates[0]
+        if all(c.releases_params == first.releases_params
+               and c.escapes_params == first.escapes_params
+               and c.returns_fresh == first.returns_fresh
+               and c.is_method == first.is_method
+               for c in candidates[1:]):
+            return first
+        return None
+
+    def infer_round(self) -> bool:
+        """One fixpoint round; returns True when any summary changed."""
+        changed = False
+        for info in self.modules:
+            for fn in info.functions.values():
+                interp = _Interpreter(self, info, fn, collect=False)
+                interp.run()
+                summary = (tuple(sorted(interp.released_params)),
+                           tuple(sorted(interp.escaped_params)),
+                           interp.returns_fresh)
+                held = (fn.releases_params, fn.escapes_params,
+                        fn.returns_fresh)
+                if summary != held:
+                    (fn.releases_params, fn.escapes_params,
+                     fn.returns_fresh) = summary
+                    changed = True
+        return changed
+
+
+class _Interpreter:
+    """Typestate interpretation of one function body."""
+
+    def __init__(self, program: Program, module: ModuleInfo,
+                 fn: FunctionInfo, *, collect: bool) -> None:
+        self.program = program
+        self.module = module
+        self.fn = fn
+        self.collect = collect
+        self.findings: List[Finding] = []
+        self._ids = itertools.count()
+        #: summary outputs (read after run())
+        self.released_params: Set[int] = set()
+        self.escaped_params: Set[int] = set()
+        self.returns_fresh: Optional[str] = None
+        #: protocols this function releases somewhere — the *intent*
+        #: signal that arms label-shape leak reporting (a function that
+        #: never frees anything is a planner, not a leaker)
+        self._released_protocols: Set[str] = set()
+        #: names bound to protocol-class constructor calls; resources on
+        #: them die with the function, so leaks there are silent but
+        #: releasing a never-acquired handle is provably wrong
+        self._local_receivers: Set[str] = set()
+        self._finally_depth = 0
+        #: stack of with-block context variable name sets (RES006)
+        self._with_ctx: List[Set[str]] = []
+        #: label-shape leaks found at branch exits (deduped at exit)
+        self._leaks: Dict[int, Handle] = {}
+
+    # -- entry point -------------------------------------------------------
+    def run(self) -> None:
+        env: Env = {}
+        states: States = {}
+        args = self.fn.node.args
+        params = [*args.posonlyargs, *args.args]
+        for index, param in enumerate(params):
+            hid = next(self._ids)
+            env[param.arg] = hid
+            states[hid] = Handle(protocol=_ANY, state=BORROWED,
+                                 param_index=index)
+        for param in args.kwonlyargs:
+            env[param.arg] = _NOT_HANDLE
+        self._exec_block(self.fn.node.body, env, states)
+        self._check_exit(states)
+
+    def _check_exit(self, states: States) -> None:
+        for handle in states.values():
+            self._note_leak_candidate(handle)
+        for handle in self._leaks.values():
+            if handle.protocol.shape == "label":
+                what = (f"label {handle.label!r} allocated on "
+                        f"{handle.receiver}")
+            else:
+                what = (f"{handle.protocol.name} token from "
+                        f"{handle.receiver or 'acquire'}")
+            self._emit(
+                Severity.ERROR, "RES001",
+                f"{what} is never released on some path through "
+                f"{self.fn.qualname}() ({handle.protocol.name} protocol)",
+                handle.line,
+            )
+
+    def _note_leak_candidate(self, handle: Handle) -> None:
+        """Queue an acquired-at-exit handle for RES001, per intent rules."""
+        if handle.state != ACQUIRED or handle.param_index is not None:
+            return
+        root = handle.receiver.split(".", 1)[0]
+        if root in self._local_receivers:
+            return  # the pool/ledger itself dies with this function
+        if handle.protocol.shape == "label" and \
+                handle.protocol.name not in self._released_protocols:
+            # A function that allocates labels and never frees any is a
+            # planner handing long-lived state to its caller, not a
+            # leaker; only mixed acquire/release functions must balance.
+            return
+        if self.collect:
+            self._leaks[id(handle)] = handle
+
+    # -- findings ----------------------------------------------------------
+    def _emit(self, severity: Severity, code: str, message: str,
+              line: int) -> None:
+        if not self.collect:
+            return
+        self.findings.append(Finding(
+            PASS_NAME, severity, code, message,
+            subject=self.fn.qualname,
+            location=f"{self.module.location}:{line}",
+        ))
+
+    # -- statements --------------------------------------------------------
+    def _exec_block(self, body: Iterable[ast.stmt], env: Env,
+                    states: States) -> None:
+        for stmt in body:
+            self._mark_risky(stmt, env, states)
+            self._exec_stmt(stmt, env, states)
+
+    def _mark_risky(self, stmt: ast.stmt, env: Env,
+                    states: States) -> None:
+        """Before a statement with non-protocol calls runs, every live
+        handle becomes exception-exposed (the RES002 precondition).
+
+        Marking *before* interpreting the statement keeps a handle's own
+        acquire expression from poisoning it (the acquire runs last)."""
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return
+        if not any(self._call_is_risky(node)
+                   for node in ast.walk(stmt)
+                   if isinstance(node, ast.Call)):
+            return
+        for handle in states.values():
+            if handle.state == ACQUIRED:
+                handle.risky = True
+
+    @staticmethod
+    def _call_is_risky(node: ast.Call) -> bool:
+        if isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+            if name in ACQUIRE_METHODS or name in RELEASE_METHODS or \
+                    name in CONTEXT_METHODS:
+                return False
+            return True
+        if isinstance(node.func, ast.Name):
+            return node.func.id not in SAFE_TOKEN_SINKS
+        return True
+
+    def _exec_stmt(self, stmt: ast.stmt, env: Env,
+                   states: States) -> None:
+        if isinstance(stmt, ast.Assign):
+            hid = self._eval(stmt.value, env, states)
+            for target in stmt.targets:
+                self._bind(target, hid, env, states, value=stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            hid = self._eval(stmt.value, env, states) \
+                if stmt.value is not None else None
+            self._bind(stmt.target, hid, env, states, value=stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self._eval(stmt.value, env, states)
+        elif isinstance(stmt, ast.Return):
+            self._exec_return(stmt, env, states)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test, env, states)
+            then_env, then_states = dict(env), _copy(states)
+            else_env, else_states = dict(env), _copy(states)
+            self._exec_block(stmt.body, then_env, then_states)
+            self._exec_block(stmt.orelse, else_env, else_states)
+            if _terminates(stmt.body):
+                self._branch_exit(then_states)
+                env.clear()
+                env.update(else_env)
+                states.clear()
+                states.update(else_states)
+            elif stmt.orelse and _terminates(stmt.orelse):
+                self._branch_exit(else_states)
+                env.clear()
+                env.update(then_env)
+                states.clear()
+                states.update(then_states)
+            else:
+                self._merge(env, states, (then_env, then_states),
+                            (else_env, else_states))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._eval(stmt.iter, env, states)
+            body_env, body_states = dict(env), _copy(states)
+            self._bind(stmt.target, None, body_env, body_states)
+            self._exec_block(stmt.body, body_env, body_states)
+            self._exec_block(stmt.orelse, body_env, body_states)
+            self._merge(env, states, (body_env, body_states),
+                        (dict(env), _copy(states)))
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test, env, states)
+            body_env, body_states = dict(env), _copy(states)
+            self._exec_block(stmt.body, body_env, body_states)
+            self._exec_block(stmt.orelse, body_env, body_states)
+            self._merge(env, states, (body_env, body_states),
+                        (dict(env), _copy(states)))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._exec_with(stmt, env, states)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body, env, states)
+            for handler in stmt.handlers:
+                handler_env, handler_states = dict(env), _copy(states)
+                if handler.name:
+                    handler_env[handler.name] = _NOT_HANDLE
+                self._exec_block(handler.body, handler_env,
+                                 handler_states)
+                self._merge(env, states, (handler_env, handler_states),
+                            (dict(env), _copy(states)))
+            self._exec_block(stmt.orelse, env, states)
+            self._finally_depth += 1
+            try:
+                self._exec_block(stmt.finalbody, env, states)
+            finally:
+                self._finally_depth -= 1
+        elif isinstance(stmt, ast.Expr):
+            hid = self._eval(stmt.value, env, states)
+            self._check_discarded(stmt.value, hid, states)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child, env, states)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            pass  # nested definitions are analyzed on their own
+        # pass/break/continue/import/global: nothing to track
+
+    def _exec_return(self, stmt: ast.Return, env: Env,
+                     states: States) -> None:
+        if stmt.value is None:
+            self._branch_exit(states)
+            return
+        hid = self._eval(stmt.value, env, states)
+        if hid is not None and hid != _NOT_HANDLE and hid in states:
+            handle = states[hid]
+            if handle.state == ACQUIRED:
+                if handle.protocol.shape == "token":
+                    self.returns_fresh = handle.protocol.name
+                self._check_scope_escape(handle, stmt.lineno,
+                                         verb="returned")
+                handle.state = ESCAPED
+            elif handle.state == BORROWED and \
+                    handle.param_index is not None:
+                self.escaped_params.add(handle.param_index)
+        self._escape_names(stmt.value, env, states, line=stmt.lineno,
+                           verb="returned")
+        self._branch_exit(states)
+
+    def _branch_exit(self, states: States) -> None:
+        """A path leaves the function here; audit its live handles."""
+        for handle in states.values():
+            self._note_leak_candidate(handle)
+
+    def _exec_with(self, stmt: ast.stmt, env: Env,
+                   states: States) -> None:
+        ctx_names: Set[str] = set()
+        for item in stmt.items:  # type: ignore[attr-defined]
+            self._eval(item.context_expr, env, states)
+            is_protocol_ctx = (
+                isinstance(item.context_expr, ast.Call)
+                and isinstance(item.context_expr.func, ast.Attribute)
+                and item.context_expr.func.attr in CONTEXT_METHODS
+            )
+            if item.optional_vars is not None and \
+                    isinstance(item.optional_vars, ast.Name):
+                name = item.optional_vars.id
+                ctx_names.add(name)
+                hid = next(self._ids)
+                env[name] = hid
+                states[hid] = Handle(
+                    protocol=(CONTEXT_METHODS[item.context_expr.func.attr]
+                              if is_protocol_ctx else _ANY),
+                    state=MANAGED, line=stmt.lineno)
+            elif item.optional_vars is not None:
+                self._bind(item.optional_vars, None, env, states)
+        self._with_ctx.append(ctx_names)
+        try:
+            self._exec_block(stmt.body, env, states)  # type: ignore
+        finally:
+            self._with_ctx.pop()
+
+    def _check_scope_escape(self, handle: Handle, line: int, *,
+                            verb: str) -> None:
+        """RES006: a token acquired from a with-managed receiver must not
+        outlive the with block (the context exit revokes its backing —
+        the fault-revert / lease-teardown escape)."""
+        root = handle.receiver.split(".", 1)[0]
+        if any(root in names for names in self._with_ctx):
+            self._emit(
+                Severity.WARNING, "RES006",
+                f"{handle.protocol.name} token acquired from "
+                f"with-managed {handle.receiver!r} is {verb} out of its "
+                f"with block; the context exit revokes it",
+                line,
+            )
+
+    def _check_discarded(self, value: ast.expr, hid: Optional[int],
+                         states: States) -> None:
+        """RES010: a token-acquire result dropped on the floor can never
+        be released."""
+        if hid is None or hid == _NOT_HANDLE or hid not in states:
+            return
+        handle = states[hid]
+        if handle.state != ACQUIRED or handle.protocol.shape != "token":
+            return
+        if not (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in ACQUIRE_METHODS):
+            return
+        self._emit(
+            Severity.WARNING, "RES010",
+            f"result of {handle.receiver}."
+            f"{value.func.attr}() is discarded; the "
+            f"{handle.protocol.name} token is unreleasable without it",
+            value.lineno,
+        )
+        handle.state = ESCAPED  # don't double-report as RES001
+
+    # -- env plumbing ------------------------------------------------------
+    def _merge(self, env: Env, states: States,
+               left: Tuple[Env, States],
+               right: Tuple[Env, States]) -> None:
+        left_env, left_states = left
+        right_env, right_states = right
+        env.clear()
+        states.clear()
+        for hid in set(left_states) | set(right_states):
+            a = left_states.get(hid)
+            b = right_states.get(hid)
+            if a is None:
+                states[hid] = b.copy()  # type: ignore[union-attr]
+            elif b is None:
+                states[hid] = a.copy()
+            else:
+                joined = a.copy()
+                joined.state = _join(a.state, b.state)
+                joined.risky = a.risky or b.risky
+                states[hid] = joined
+        for name in set(left_env) | set(right_env):
+            a_id = left_env.get(name)
+            b_id = right_env.get(name)
+            if a_id == b_id and a_id is not None:
+                env[name] = a_id
+            # a name bound to different handles per branch is dropped;
+            # the handles themselves stay in ``states`` for exit audit
+
+    def _bind(self, target: ast.expr, hid: Optional[int], env: Env,
+              states: States, value: Optional[ast.expr] = None) -> None:
+        if isinstance(target, ast.Name):
+            if value is not None and isinstance(value, ast.Call) and \
+                    isinstance(value.func, ast.Name) and \
+                    value.func.id in CONSTRUCTORS:
+                self._local_receivers.add(target.id)
+            if hid is None:
+                env.pop(target.id, None)
+            else:
+                env[target.id] = hid
+        elif isinstance(target, ast.Attribute):
+            # Storing a handle on an object escapes it (long-lived owner)
+            if hid is not None and hid != _NOT_HANDLE and hid in states:
+                handle = states[hid]
+                if handle.state == ACQUIRED:
+                    self._check_scope_escape(handle, target.lineno,
+                                             verb="stored")
+                    handle.state = ESCAPED
+                elif handle.state == BORROWED and \
+                        handle.param_index is not None:
+                    self.escaped_params.add(handle.param_index)
+        elif isinstance(target, ast.Subscript):
+            if hid is not None and hid != _NOT_HANDLE and hid in states:
+                handle = states[hid]
+                if handle.state == ACQUIRED:
+                    handle.state = ESCAPED
+                elif handle.state == BORROWED and \
+                        handle.param_index is not None:
+                    self.escaped_params.add(handle.param_index)
+            self._eval(target.value, env, states)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value, (ast.Tuple, ast.List)) and \
+                    len(value.elts) == len(target.elts):
+                for sub_target, sub_value in zip(target.elts, value.elts):
+                    sub_id = env.get(sub_value.id) \
+                        if isinstance(sub_value, ast.Name) else None
+                    self._bind(sub_target, sub_id, env, states)
+            else:
+                for sub_target in target.elts:
+                    self._bind(sub_target, None, env, states)
+
+    def _escape_names(self, node: ast.expr, env: Env, states: States, *,
+                      line: int, verb: str) -> None:
+        """Every handle named inside ``node`` escapes (containers,
+        yields, returns of compound expressions)."""
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Name):
+                continue
+            hid = env.get(child.id)
+            if hid is None or hid == _NOT_HANDLE or hid not in states:
+                continue
+            handle = states[hid]
+            if handle.state == ACQUIRED:
+                self._check_scope_escape(handle, line, verb=verb)
+                handle.state = ESCAPED
+            elif handle.state == BORROWED and \
+                    handle.param_index is not None:
+                self.escaped_params.add(handle.param_index)
+
+    # -- expressions -------------------------------------------------------
+    def _eval(self, node: Optional[ast.expr], env: Env,
+              states: States) -> Optional[int]:
+        """Interpret an expression; returns the handle identity it
+        evaluates to (``_NOT_HANDLE`` for provable non-handles, ``None``
+        for unknown)."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant):
+            return _NOT_HANDLE
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env, states)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                self._eval(node.value, env, states)
+                self._escape_names(node.value, env, states,
+                                   line=node.lineno, verb="yielded")
+            return None
+        if isinstance(node, ast.Await):
+            return self._eval(node.value, env, states)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env, states)
+            left = self._eval(node.body, env, states)
+            right = self._eval(node.orelse, env, states)
+            return left if left == right else None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set, ast.Dict)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(child, env, states)
+            self._escape_names(node, env, states, line=node.lineno,
+                               verb="stored in a container and passed on")
+            return _NOT_HANDLE
+        if isinstance(node, ast.NamedExpr):
+            hid = self._eval(node.value, env, states)
+            self._bind(node.target, hid, env, states, value=node.value)
+            return hid
+        if isinstance(node, ast.Attribute):
+            if not isinstance(node.value, (ast.Name, ast.Attribute)):
+                self._eval(node.value, env, states)
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            comp_env, comp_states = dict(env), states
+            for generator in node.generators:
+                self._eval(generator.iter, comp_env, comp_states)
+                self._bind(generator.target, None, comp_env, comp_states)
+                for condition in generator.ifs:
+                    self._eval(condition, comp_env, comp_states)
+            if isinstance(node, ast.DictComp):
+                self._eval(node.key, comp_env, comp_states)
+                self._eval(node.value, comp_env, comp_states)
+            else:
+                self._eval(node.elt, comp_env,  # type: ignore[attr-defined]
+                           comp_states)
+            return _NOT_HANDLE
+        # BinOp/BoolOp/Compare/UnaryOp/Subscript/JoinedStr/Starred/...:
+        # recurse for nested calls, never a handle themselves
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._eval(child, env, states)
+        return _NOT_HANDLE if isinstance(
+            node, (ast.BinOp, ast.BoolOp, ast.Compare, ast.UnaryOp,
+                   ast.JoinedStr)) else None
+
+    # -- calls -------------------------------------------------------------
+    def _eval_call(self, node: ast.Call, env: Env,
+                   states: States) -> Optional[int]:
+        for kw in node.keywords:
+            self._eval(kw.value, env, states)
+        if isinstance(node.func, ast.Attribute):
+            return self._eval_method_call(node, env, states)
+        if isinstance(node.func, ast.Name):
+            return self._eval_name_call(node, env, states)
+        self._eval(node.func, env, states)
+        for arg in node.args:
+            self._eval(arg, env, states)
+        self._escape_args(node, env, states)
+        return None
+
+    def _eval_method_call(self, node: ast.Call, env: Env,
+                          states: States) -> Optional[int]:
+        func = node.func
+        assert isinstance(func, ast.Attribute)
+        method = func.attr
+        receiver = _dotted(func.value)
+        npos = len(node.args)
+        self._check_receiver_use(receiver, env, states, node.lineno,
+                                 method)
+        arg_ids = [env.get(arg.id) if isinstance(arg, ast.Name)
+                   else self._eval(arg, env, states)
+                   for arg in node.args]
+
+        protocol = RELEASE_METHODS.get(method)
+        if protocol is not None and _in_arity(protocol.releases[method],
+                                              npos):
+            self._do_release(node, protocol, method, receiver,
+                             arg_ids[0] if arg_ids else None, env,
+                             states)
+            return _NOT_HANDLE
+
+        protocol = ACQUIRE_METHODS.get(method)
+        if protocol is not None and _in_arity(protocol.acquires[method],
+                                              npos):
+            return self._do_acquire(node, protocol, receiver, env,
+                                    states)
+
+        if method in CONTEXT_METHODS:
+            hid = next(self._ids)
+            states[hid] = Handle(protocol=CONTEXT_METHODS[method],
+                                 state=MANAGED, line=node.lineno,
+                                 receiver=receiver)
+            return hid
+
+        # ordinary method call: resolve interprocedurally, else assume
+        # the callee takes ownership of handle arguments (conservative)
+        resolved = self.program.resolve_call(self.module, method)
+        self._apply_summary(node, resolved, env, states,
+                            offset=1 if resolved is not None
+                            and resolved.is_method else 0,
+                            arg_ids=arg_ids)
+        if resolved is not None and resolved.returns_fresh is not None:
+            return self._fresh_from_summary(resolved, node, receiver,
+                                            states)
+        return None
+
+    def _eval_name_call(self, node: ast.Call, env: Env,
+                        states: States) -> Optional[int]:
+        func = node.func
+        assert isinstance(func, ast.Name)
+        name = func.id
+        if name in SAFE_TOKEN_SINKS:
+            for arg in node.args:
+                if not isinstance(arg, ast.Name):
+                    self._eval(arg, env, states)
+            return _NOT_HANDLE
+        if name in CONSTRUCTORS:
+            for arg in node.args:
+                self._eval(arg, env, states)
+            return None  # _bind records the local receiver
+        resolved = self.program.resolve_call(self.module, name)
+        if resolved is not None and resolved.is_method:
+            resolved = None  # a bare name cannot be a bound method here
+        arg_ids = [env.get(arg.id) if isinstance(arg, ast.Name)
+                   else self._eval(arg, env, states)
+                   for arg in node.args]
+        self._apply_summary(node, resolved, env, states, offset=0,
+                            arg_ids=arg_ids)
+        if resolved is not None and resolved.returns_fresh is not None:
+            return self._fresh_from_summary(resolved, node, "", states)
+        return None
+
+    def _fresh_from_summary(self, resolved: FunctionInfo, node: ast.Call,
+                            receiver: str, states: States) -> int:
+        protocol = next((p for p in STATIC_PROTOCOLS
+                         if p.name == resolved.returns_fresh), None)
+        if protocol is None:  # pragma: no cover - summary invariant
+            return _NOT_HANDLE
+        hid = next(self._ids)
+        states[hid] = Handle(protocol=protocol, state=ACQUIRED,
+                             line=node.lineno,
+                             receiver=receiver or resolved.qualname)
+        return hid
+
+    def _apply_summary(self, node: ast.Call,
+                       resolved: Optional[FunctionInfo], env: Env,
+                       states: States, *, offset: int,
+                       arg_ids: Optional[List[Optional[int]]] = None
+                       ) -> None:
+        """Propagate a callee's lifecycle effects onto handle arguments.
+
+        An unresolvable callee is assumed to take ownership (escape) —
+        the conservative choice that avoids false leak reports.
+        ``arg_ids`` carries the already-evaluated handle id per
+        positional argument, so handles born inline in an argument
+        expression (``sink.push(ledger.reserve(n))``) are covered too."""
+        for index, arg in enumerate(node.args):
+            if isinstance(arg, ast.Name):
+                hid = env.get(arg.id)
+                name = arg.id
+            elif arg_ids is not None:
+                hid = arg_ids[index]
+                name = "<expression>"
+            else:
+                continue
+            if hid is None or hid == _NOT_HANDLE or hid not in states:
+                continue
+            handle = states[hid]
+            callee_pos = index + offset
+            if handle.state == RELEASED:
+                self._use_after_release(handle, name, node.lineno)
+                continue
+            if resolved is None:
+                self._escape_handle(handle)
+            elif callee_pos in resolved.releases_params:
+                self._release_handle(handle, node.lineno,
+                                     via=resolved.qualname)
+            elif callee_pos in resolved.escapes_params:
+                self._escape_handle(handle)
+        for kw in node.keywords:
+            if isinstance(kw.value, ast.Name):
+                hid = env.get(kw.value.id)
+                if hid is not None and hid != _NOT_HANDLE and \
+                        hid in states:
+                    self._escape_handle(states[hid])
+
+    def _escape_args(self, node: ast.Call, env: Env,
+                     states: States) -> None:
+        for arg in node.args:
+            if isinstance(arg, ast.Name):
+                hid = env.get(arg.id)
+                if hid is not None and hid != _NOT_HANDLE and \
+                        hid in states:
+                    self._escape_handle(states[hid])
+
+    def _escape_handle(self, handle: Handle) -> None:
+        if handle.state == ACQUIRED:
+            handle.state = ESCAPED
+        elif handle.state == BORROWED and handle.param_index is not None:
+            self.escaped_params.add(handle.param_index)
+
+    def _release_handle(self, handle: Handle, line: int, *,
+                        via: str) -> None:
+        if handle.state == ACQUIRED:
+            self._check_unguarded(handle, line)
+            handle.state = RELEASED
+            handle.released_line = line
+        elif handle.state == BORROWED:
+            if handle.param_index is not None:
+                self.released_params.add(handle.param_index)
+            handle.state = RELEASED
+            handle.released_line = line
+        elif handle.state == RELEASED:
+            self._emit(
+                Severity.ERROR, "RES003",
+                f"handle released again via {via}() after the release on "
+                f"line {handle.released_line} (double release)",
+                line,
+            )
+
+    def _use_after_release(self, handle: Handle, name: str,
+                           line: int) -> None:
+        self._emit(
+            Severity.ERROR, "RES004",
+            f"{name!r} is used after its release on line "
+            f"{handle.released_line}; a settled/freed handle is dead",
+            line,
+        )
+
+    def _check_receiver_use(self, receiver: str, env: Env,
+                            states: States, line: int,
+                            method: str) -> None:
+        """Calling a method *on* a released token is a use (RES004)."""
+        root = receiver.split(".", 1)[0]
+        hid = env.get(root)
+        if hid is None or hid == _NOT_HANDLE or hid not in states:
+            return
+        handle = states[hid]
+        if handle.state == RELEASED and receiver == root:
+            self._use_after_release(handle, root, line)
+
+    # -- protocol verbs ----------------------------------------------------
+    def _do_release(self, node: ast.Call, protocol: Protocol,
+                    method: str, receiver: str, arg_id: Optional[int],
+                    env: Env, states: States) -> None:
+        self._released_protocols.add(protocol.name)
+        if any(kw.arg in protocol.lenient_keywords
+               for kw in node.keywords):
+            return  # documented idempotent teardown; exempt
+        arg = node.args[0] if node.args else None
+        if protocol.shape == "token":
+            self._release_token(node, protocol, method, arg, arg_id,
+                                env, states)
+        else:
+            self._release_label(node, protocol, method, receiver, arg,
+                                env, states)
+
+    def _release_token(self, node: ast.Call, protocol: Protocol,
+                       method: str, arg: Optional[ast.expr],
+                       arg_id: Optional[int], env: Env,
+                       states: States) -> None:
+        if not isinstance(arg, ast.Name):
+            # releasing a fresh sub-expression (``settle(make())``) or a
+            # stored attribute: close the inline handle if we made one
+            if arg_id is not None and arg_id != _NOT_HANDLE and \
+                    arg_id in states and states[arg_id].state == ACQUIRED:
+                states[arg_id].state = RELEASED
+                states[arg_id].released_line = node.lineno
+            return
+        hid = env.get(arg.id)
+        if hid is None:
+            return  # unknown binding (global, closure): stay silent
+        if hid == _NOT_HANDLE:
+            self._emit(
+                Severity.ERROR, "RES005",
+                f"{arg.id!r} passed to {method}() was never acquired "
+                f"from a {protocol.name} acquire call",
+                node.lineno,
+            )
+            return
+        handle = states.get(hid)
+        if handle is None:
+            return
+        if handle.state in _QUIET:
+            return
+        if handle.state == RELEASED:
+            self._emit(
+                Severity.ERROR, "RES003",
+                f"{arg.id!r} released again via {method}() after the "
+                f"release on line {handle.released_line} "
+                f"(double release)",
+                node.lineno,
+            )
+            return
+        if handle.state == BORROWED:
+            if handle.param_index is not None:
+                self.released_params.add(handle.param_index)
+            handle.state = RELEASED
+            handle.released_line = node.lineno
+            return
+        if handle.protocol.shape == "token" and \
+                handle.protocol.name != protocol.name:
+            self._emit(
+                Severity.ERROR, "RES005",
+                f"{arg.id!r} is a {handle.protocol.name} token but "
+                f"{method}() releases {protocol.name} handles",
+                node.lineno,
+            )
+            return
+        self._check_unguarded(handle, node.lineno)
+        handle.state = RELEASED
+        handle.released_line = node.lineno
+
+    def _release_label(self, node: ast.Call, protocol: Protocol,
+                       method: str, receiver: str,
+                       arg: Optional[ast.expr], env: Env,
+                       states: States) -> None:
+        label = _literal_str(arg)
+        if label is None:
+            return  # computed labels are not provably matchable
+        key = f"{receiver}::{label}"
+        hid = env.get(key)
+        handle = states.get(hid) if hid is not None and \
+            hid != _NOT_HANDLE else None
+        if handle is not None:
+            if handle.state == ACQUIRED:
+                self._check_unguarded(handle, node.lineno)
+                handle.state = RELEASED
+                handle.released_line = node.lineno
+            elif handle.state == RELEASED:
+                self._emit(
+                    Severity.ERROR, "RES003",
+                    f"label {label!r} freed again via {method}() after "
+                    f"the free on line {handle.released_line} "
+                    f"(double free)",
+                    node.lineno,
+                )
+            return
+        root = receiver.split(".", 1)[0]
+        if root in self._local_receivers:
+            # the receiver was constructed here and every acquire on it
+            # is visible, so this label provably was never allocated
+            self._emit(
+                Severity.ERROR, "RES005",
+                f"label {label!r} freed on locally-constructed "
+                f"{receiver} but never allocated there",
+                node.lineno,
+            )
+            return
+        # Unknown history on a borrowed receiver: record the release so
+        # a *second* free of the same label still flags as double-free.
+        hid = next(self._ids)
+        env[key] = hid
+        states[hid] = Handle(protocol=protocol, state=RELEASED,
+                             line=node.lineno, receiver=receiver,
+                             label=label,
+                             released_line=node.lineno)
+
+    def _do_acquire(self, node: ast.Call, protocol: Protocol,
+                    receiver: str, env: Env,
+                    states: States) -> Optional[int]:
+        if protocol.shape == "token":
+            hid = next(self._ids)
+            states[hid] = Handle(protocol=protocol, state=ACQUIRED,
+                                 line=node.lineno, receiver=receiver)
+            return hid
+        label = _literal_str(node.args[0] if node.args else None)
+        if label is None:
+            return _NOT_HANDLE  # computed labels are not tracked
+        key = f"{receiver}::{label}"
+        hid = env.get(key)
+        existing = states.get(hid) if hid is not None and \
+            hid != _NOT_HANDLE else None
+        if existing is not None:
+            # labels accumulate; re-allocation after free is legal
+            existing.state = ACQUIRED
+            existing.risky = False
+            return _NOT_HANDLE
+        hid = next(self._ids)
+        env[key] = hid
+        states[hid] = Handle(protocol=protocol, state=ACQUIRED,
+                             line=node.lineno, receiver=receiver,
+                             label=label)
+        return _NOT_HANDLE
+
+    def _check_unguarded(self, handle: Handle, line: int) -> None:
+        """RES002: the acquire..release window contained a call that can
+        raise, and this release is not in a ``finally`` block, so the
+        exception path leaks."""
+        if not handle.risky or self._finally_depth > 0:
+            return
+        what = (f"label {handle.label!r}" if handle.protocol.shape ==
+                "label" else f"{handle.protocol.name} token")
+        self._emit(
+            Severity.WARNING, "RES002",
+            f"{what} acquired on line {handle.line} is released here "
+            f"outside any finally block, but calls in between can "
+            f"raise; an exception would leak it (wrap in try/finally "
+            f"or use the protocol's context manager)",
+            line,
+        )
+
+
+#: placeholder protocol for borrowed parameters / generic with-vars
+_ANY = Protocol(name="any", shape="token", acquires={}, releases={})
+
+
+def _join(a: str, b: str) -> str:
+    if a == b:
+        return a
+    if ESCAPED in (a, b) or MANAGED in (a, b):
+        return ESCAPED
+    return MAYBE
+
+
+def _in_arity(window: Tuple[int, int], count: int) -> bool:
+    low, high = window
+    return low <= count <= high
+
+
+def _terminates(body: List[ast.stmt]) -> bool:
+    """True when a block provably leaves the function (early-exit guard
+    shape: ``if x is None: raise/return``)."""
+    return bool(body) and isinstance(body[-1],
+                                     (ast.Raise, ast.Return, ast.Continue,
+                                      ast.Break))
+
+
+def _literal_str(node: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _decorator_names(node: ast.FunctionDef) -> List[str]:
+    names = []
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.append(target.attr)
+    return names
+
+
+def _dotted(node: ast.expr) -> str:
+    """``a.b.c`` for an attribute chain rooted at a Name, else ''."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return ""
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _copy(states: States) -> States:
+    return {hid: handle.copy() for hid, handle in states.items()}
+
+
+def _scan_files(root: Path) -> List[Path]:
+    package_dirs = [root / name for name in LIFECYCLE_PACKAGES
+                    if (root / name).is_dir()]
+    if package_dirs:
+        files: List[Path] = []
+        for directory in package_dirs:
+            files.extend(directory.rglob("*.py"))
+        return sorted(files)
+    return sorted(root.rglob("*.py"))
+
+
+class LifecycleAnalyzer:
+    """Builds a :class:`Program` over a tree and checks every function."""
+
+    def __init__(self, root: Path) -> None:
+        root = Path(root)
+        self.root = root
+        self.program = Program()
+        for path in _scan_files(root):
+            try:
+                tree = ast.parse(path.read_text(encoding="utf-8"))
+            except (SyntaxError, OSError):
+                continue  # SRC000 reports unparseable files
+            self.program.add_module(path.relative_to(root).as_posix(),
+                                    tree)
+
+    def infer(self) -> None:
+        for _ in range(_MAX_ROUNDS):
+            if not self.program.infer_round():
+                break
+
+    def check(self) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in self.program.modules:
+            for fn in module.functions.values():
+                interp = _Interpreter(self.program, module, fn,
+                                      collect=True)
+                interp.run()
+                findings.extend(interp.findings)
+        findings.sort(key=lambda f: (f.location, f.code, f.message))
+        return findings
+
+
+def analyze_tree(root: Path) -> List[Finding]:
+    """Run the full lifecycle analysis over every module under ``root``."""
+    analyzer = LifecycleAnalyzer(root)
+    analyzer.infer()
+    return analyzer.check()

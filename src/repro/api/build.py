@@ -137,6 +137,7 @@ def run_spec(spec: RunSpec, *, cluster: Optional[Cluster] = None
         tie_order=build_tie_order(spec),
         sanitize=spec.sanitize,
         trace=spec.trace,
+        leak_check=spec.leak_check,
         preflight=spec.preflight,
         # None (not "full") when the spec is silent, so an ambient
         # fidelity_override() can still reach spec-driven runs.

@@ -118,6 +118,9 @@ class RunSpec:
     tie_seed: int = 7
     sanitize: bool = False
     trace: bool = False
+    #: attach the runtime leak sanitizer (:mod:`repro.sim.leaksan`) and
+    #: audit pools/ledgers/flows for outstanding balance at teardown
+    leak_check: bool = False
     preflight: bool = True
     #: simulation fidelity: "full" runs every iteration on the DES;
     #: "hybrid" measures a steady window and extrapolates the rest

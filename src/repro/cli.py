@@ -33,6 +33,7 @@ from typing import List, Optional
 from .analysis import (
     Severity,
     analyze_dimensions,
+    analyze_lifecycle,
     analyze_run_config,
     analyze_source,
     apply_baseline,
@@ -76,9 +77,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         placement=args.placement,
         iterations=args.iterations,
         trace=args.trace is not None,
+        leak_check=args.leak_check,
         fidelity=args.fidelity,
     )
     metrics = run_spec(spec)
+    if args.leak_check:
+        assert metrics.leaks is not None
+        metrics.leaks.assert_clean()
+        print(f"leak sanitizer: clean "
+              f"({metrics.leaks.pools_audited} pools, "
+              f"{metrics.leaks.ledgers_audited} ledgers, "
+              f"{metrics.leaks.flows_tracked} flows audited)",
+              file=sys.stderr)
     if args.trace is not None:
         from .trace import write_trace
         assert metrics.trace is not None
@@ -279,9 +289,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    if sum((args.self, args.sanitize, args.dims)) > 1:
-        print("error: --self, --dims, and --sanitize are mutually "
-              "exclusive", file=sys.stderr)
+    if sum((args.self, args.sanitize, args.dims, args.lifecycle)) > 1:
+        print("error: --self, --dims, --lifecycle, and --sanitize are "
+              "mutually exclusive", file=sys.stderr)
         return 2
     diff_result = None
     if args.sanitize:
@@ -298,6 +308,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         report = analyze_source()
     elif args.dims:
         report = analyze_dimensions()
+    elif args.lifecycle:
+        report = analyze_lifecycle(root=args.root)
     else:
         strategy = make_strategy(args.strategy)
         cluster = _cluster_for(args)
@@ -427,6 +439,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "extrapolates the remaining iterations "
                           "(falls back to full when not steady)")
     run.add_argument("--placement", choices=sorted(PLACEMENTS), default="B")
+    run.add_argument("--leak-check", action="store_true",
+                     help="attach the runtime leak sanitizer and fail "
+                          "the run on outstanding pool/ledger balance "
+                          "at teardown")
     run.add_argument("--trace", default=None, metavar="PATH",
                      help="record a structured execution trace and write "
                           "it as Perfetto-loadable Chrome Trace JSON")
@@ -580,6 +596,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the interprocedural dimensional "
                               "analysis (DIM0xx unit checks) over the "
                               "simulator's own source instead")
+    analyze.add_argument("--lifecycle", action="store_true",
+                         help="run the resource-lifecycle typestate "
+                              "passes (RES0xx leak/double-free checks) "
+                              "over the simulator's own source instead")
+    analyze.add_argument("--root", default=None, metavar="DIR",
+                         help="alternative source tree for --lifecycle "
+                              "(defaults to the installed repro package)")
     analyze.add_argument("--sanitize", action="store_true",
                          help="run the configuration under the schedule "
                               "sanitizer and diff it across legal "

@@ -43,6 +43,9 @@ def metrics_to_dict(metrics: RunMetrics) -> Dict[str, object]:
         "spec": metrics.spec.to_dict() if metrics.spec is not None else None,
         "fastpath": (metrics.fastpath.to_dict()
                      if metrics.fastpath is not None else None),
+        # Additive (leak-checked runs only), so v3 payloads round-trip.
+        "leaks": (metrics.leaks.to_dict()
+                  if metrics.leaks is not None else None),
         "model_parameters": int(metrics.model_parameters),
         "nodes": metrics.num_nodes,
         "gpus": metrics.num_gpus,

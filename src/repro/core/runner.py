@@ -35,6 +35,7 @@ from ..sim.fastpath import (
     is_steady,
     validate_fidelity,
 )
+from ..sim.leaksan import LeakReport, LeakSanitizer
 from ..sim.sanitizer import SanitizerReport
 from ..telemetry.bandwidth import BandwidthMonitor, BandwidthStats
 from ..telemetry.flops_profiler import FlopsProfiler, ThroughputReport
@@ -86,6 +87,11 @@ class RunMetrics:
         """The schedule-sanitizer report, for sanitized runs only."""
         return self.execution.sanitizer
 
+    @property
+    def leaks(self) -> Optional[LeakReport]:
+        """The leak-sanitizer report, for leak-checked runs only."""
+        return self.execution.leaks
+
 
 def apply_memory_plan(cluster: Cluster, plan: MemoryPlan,
                       swap_volumes: Optional[Dict[int, Raid0Volume]] = None
@@ -129,6 +135,35 @@ def apply_memory_plan(cluster: Cluster, plan: MemoryPlan,
                     drive.memory.allocate(label, per_drive)
 
 
+def release_memory_plan(cluster: Cluster, plan: MemoryPlan,
+                        swap_volumes: Optional[Dict[int, Raid0Volume]] = None
+                        ) -> None:
+    """Return every byte :func:`apply_memory_plan` charged.
+
+    The inverse walks distinct *pools* rather than ranks: several ranks
+    can share one DRAM (or NVMe) pool, where their same-label charges
+    accumulated, and ``free`` releases a label's whole balance at once.
+    Labels are freed with ``missing_ok=True`` because a plan's label set
+    spans pool kinds (GPU labels are absent from DRAM pools and vice
+    versa) — the documented idempotent-teardown contract of
+    :meth:`~repro.hardware.devices.MemoryPool.free`.
+    """
+    pools: Dict[int, object] = {}
+    for rank in range(cluster.num_gpus):
+        gpu_pool = cluster.gpu(rank).memory
+        dram_pool = cluster.dram_for_rank(rank).memory
+        pools.setdefault(id(gpu_pool), gpu_pool)
+        pools.setdefault(id(dram_pool), dram_pool)
+    if swap_volumes:
+        for volume in swap_volumes.values():
+            for drive in volume.drives:
+                pools.setdefault(id(drive.memory), drive.memory)
+    labels = (*plan.gpu, *plan.cpu, *plan.nvme)
+    for pool in pools.values():
+        for label in labels:
+            pool.free(label, missing_ok=True)
+
+
 def run_training(cluster: Cluster, strategy: TrainingStrategy,
                  model: ModelConfig, *,
                  training: Optional[TrainingConfig] = None,
@@ -141,6 +176,7 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
                  tie_order: Optional[TieOrder] = None,
                  sanitize: bool = False,
                  trace: bool = False,
+                 leak_check: bool = False,
                  preflight: bool = True,
                  fidelity: Optional[str] = None,
                  spec: Optional["RunSpec"] = None) -> RunMetrics:
@@ -165,6 +201,14 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
     flow/fault spans, per-link accounts, counter tracks) into
     ``metrics.trace``.  Tracing is schedule-invariant: every headline
     metric and ledger value is identical with it on or off.
+
+    ``leak_check=True`` attaches the runtime
+    :class:`~repro.sim.leaksan.LeakSanitizer`: every pool allocation is
+    observed, every flow is shadowed with per-link ledger reservations,
+    and after teardown returns the memory plan's bytes the sanitizer
+    audits pools/ledgers/flows/spans for outstanding balance.  The
+    report lands in ``metrics.leaks``; a conserving run reports
+    ``clean``.  Like tracing, the instrumentation is schedule-invariant.
 
     Unless ``preflight=False``, the cheap static-analysis passes run
     first and any error-severity finding aborts the run before the DES
@@ -227,6 +271,10 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
     if needs_nvme and swap_volumes is None:
         chosen = placement if placement is not None else DEFAULT_PLACEMENT
         swap_volumes = chosen.build_volumes(cluster)
+    # The sanitizer must observe the pools before the plan charges them.
+    leaksan = LeakSanitizer() if leak_check else None
+    if leaksan is not None:
+        leaksan.attach(cluster)
     apply_memory_plan(cluster, plan, swap_volumes)
 
     schedule = strategy.build_schedule(ctx)
@@ -241,6 +289,7 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
         tie_order=tie_order,
         sanitize=sanitize,
         trace_recorder=recorder,
+        leak_sanitizer=leaksan,
     )
     result = executor.run(sim_iterations)
 
@@ -259,6 +308,7 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
                 placement=placement, swap_volumes=swap_volumes,
                 fault_plan=fault_plan, retry_policy=retry_policy,
                 tie_order=tie_order, sanitize=sanitize, trace=trace,
+                leak_check=leak_check,
                 preflight=False, fidelity="full", spec=spec,
             )
             metrics.fastpath = FastpathReport(
@@ -289,13 +339,21 @@ def run_training(cluster: Cluster, strategy: TrainingStrategy,
         if trace else None
     )
 
+    # Snapshot memory while the plan's labels are still charged; the
+    # leak-check teardown below returns them to the pools.
+    memory_report = snapshot(cluster)
+    if leaksan is not None:
+        release_memory_plan(cluster, plan, swap_volumes)
+        result.leaks = leaksan.finalize(
+            cluster, network=executor.network, recorder=recorder)
+
     return RunMetrics(
         strategy_name=strategy.name,
         model_parameters=total_parameters(model),
         num_nodes=cluster.num_nodes,
         num_gpus=cluster.num_gpus,
         throughput=profiler.report(),
-        memory=snapshot(cluster),
+        memory=memory_report,
         bandwidth=bandwidth,
         execution=result,
         measurement_window=window,

@@ -10,8 +10,9 @@ and 13) draws from.
 from __future__ import annotations
 
 import enum
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
 
 from ..errors import ConfigurationError, OutOfMemoryError
 from ..units import GB
@@ -43,6 +44,9 @@ class MemoryPool:
         self.capacity_bytes = float(capacity_bytes)
         self.owner = owner
         self._allocations: Dict[str, float] = {}
+        #: optional lifecycle observer (:class:`repro.sim.leaksan.
+        #: LeakSanitizer`); ``None`` keeps every hook a single check
+        self.observer = None
 
     @property
     def used_bytes(self) -> float:
@@ -67,10 +71,51 @@ class MemoryPool:
                 available_bytes=self.free_bytes,
             )
         self._allocations[label] = self._allocations.get(label, 0.0) + num_bytes
+        if self.observer is not None:
+            self.observer.pool_allocated(self, label, num_bytes)
 
-    def free(self, label: str) -> float:
-        """Release every byte held under ``label``; returns the amount."""
-        return self._allocations.pop(label, 0.0)
+    def free(self, label: str, *, missing_ok: bool = False) -> float:
+        """Release every byte held under ``label``; returns the amount.
+
+        **Contract.**  Freeing a label with no live allocation raises
+        :class:`~repro.errors.ConfigurationError`: it is either a
+        double-free or a never-allocated label, and both mean the
+        caller's byte accounting has drifted — exactly the bug class the
+        lifecycle analysis (``RES003``/``RES005``) exists to catch, so
+        the runtime must not paper over it.  Callers that legitimately
+        tear down labels that *may* be absent (idempotent cleanup paths)
+        pass ``missing_ok=True`` and get the documented sentinel
+        ``0.0`` back instead.
+        """
+        if label not in self._allocations:
+            if missing_ok:
+                return 0.0
+            if self.observer is not None:
+                self.observer.pool_free_missing(self, label)
+            raise ConfigurationError(
+                f"{self.owner or 'memory pool'}: free of unknown label "
+                f"{label!r}; live labels: {sorted(self._allocations)} "
+                f"(double-free or never allocated; pass missing_ok=True "
+                f"for idempotent teardown)"
+            )
+        amount = self._allocations.pop(label)
+        if self.observer is not None:
+            self.observer.pool_freed(self, label, amount)
+        return amount
+
+    @contextmanager
+    def lease(self, label: str, num_bytes: float) -> Iterator["MemoryPool"]:
+        """Scope-guarded allocation: freed on exit, even on error.
+
+        ``label`` must be exclusive to the lease (``free`` releases the
+        whole label, and labels accumulate), so use a unique transient
+        label rather than one of the long-lived plan labels.
+        """
+        self.allocate(label, num_bytes)
+        try:
+            yield self
+        finally:
+            self.free(label)
 
     def usage_by_label(self) -> Dict[str, float]:
         return dict(self._allocations)

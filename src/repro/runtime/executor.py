@@ -45,6 +45,7 @@ from ..parallel.schedule import (
 )
 from ..sim.engine import BaseEvent, Engine, TieOrder
 from ..sim.flows import FlowNetwork
+from ..sim.leaksan import LeakReport, LeakSanitizer
 from ..sim.sanitizer import SanitizerReport, ScheduleSanitizer
 from ..telemetry.timeline import Lane, Timeline
 from ..trace.recorder import TraceRecorder
@@ -60,6 +61,10 @@ class ExecutionResult:
     total_time: float
     #: populated only for sanitized runs (``Executor(..., sanitize=True)``)
     sanitizer: Optional[SanitizerReport] = None
+    #: populated only for leak-checked runs
+    #: (``run_training(..., leak_check=True)``); the runner fills it in
+    #: after teardown releases the memory plan
+    leaks: Optional["LeakReport"] = None
     #: the materialized fault windows the injector applied (empty for
     #: fault-free runs); the trace builder turns these into fault spans
     fault_events: List[FaultEvent] = field(default_factory=list)
@@ -143,7 +148,8 @@ class Executor:
                  retry_policy: Optional[RetryPolicy] = None,
                  tie_order: Optional[TieOrder] = None,
                  sanitize: bool = False,
-                 trace_recorder: Optional[TraceRecorder] = None) -> None:
+                 trace_recorder: Optional[TraceRecorder] = None,
+                 leak_sanitizer: Optional[LeakSanitizer] = None) -> None:
         schedule.validate()
         self.cluster = cluster
         self.schedule = schedule
@@ -158,6 +164,11 @@ class Executor:
         # hook site is a single None check.
         self.recorder = trace_recorder
         self.network.recorder = trace_recorder
+        # Like the recorder, the leak sanitizer's hooks are pure
+        # bookkeeping (ledger reservations, never admission control), so
+        # attaching one cannot change the schedule either.
+        self.leaksan = leak_sanitizer
+        self.network.leaksan = leak_sanitizer
         self.retry_policy = retry_policy
         # An empty (or absent) plan registers no hooks and schedules no
         # events, so a fault-free run is bit-identical with or without it.

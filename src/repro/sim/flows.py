@@ -117,6 +117,11 @@ class FlowNetwork:
         #: engine state — so an attached recorder cannot perturb the
         #: simulated schedule.
         self.recorder = None
+        #: optional :class:`repro.sim.leaksan.LeakSanitizer`.  Same
+        #: invariant as the recorder: its hooks shadow flow lifecycles
+        #: with ledger reservations (pure bookkeeping — never admission
+        #: control) and cannot perturb the simulated schedule.
+        self.leaksan = None
         #: Batchable activation: a collective launching N flows at one
         #: instant folds into a single settle + N adds + one reallocate,
         #: replacing N full water-filling rounds (see
@@ -187,6 +192,8 @@ class FlowNetwork:
         flow.started_at = self.engine.now
         if self.recorder is not None:
             self.recorder.flow_started(flow)
+        if self.leaksan is not None:
+            self.leaksan.flow_opened(flow)
         self.engine.note_touch("flows:allocator")
         self._settle()
         self._active.add(flow)
@@ -209,6 +216,8 @@ class FlowNetwork:
             flow.started_at = self.engine.now
             if self.recorder is not None:
                 self.recorder.flow_started(flow)
+            if self.leaksan is not None:
+                self.leaksan.flow_opened(flow)
             self._active.add(flow)
         self._reallocate()
 
@@ -243,6 +252,8 @@ class FlowNetwork:
             self.completed_flows += 1
             if self.recorder is not None:
                 self.recorder.flow_finished(flow, self.engine.now)
+            if self.leaksan is not None:
+                self.leaksan.flow_closed(flow, self.engine.now)
             assert flow.completion is not None
             flow.completion.succeed(None)
         if not self._active:

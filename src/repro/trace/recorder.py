@@ -77,6 +77,15 @@ class TraceRecorder:
             end=end,
         ))
 
+    def open_flow_ids(self) -> List[int]:
+        """IDs of spans opened but not yet closed or drained.
+
+        Non-empty after the run only if teardown skipped
+        :meth:`drain_open_flows` — the trace-span leak the runtime
+        sanitizer audits (``RES007``).
+        """
+        return sorted(self._open_flows)
+
     # -- finalization ----------------------------------------------------------
     def drain_open_flows(self, end: float) -> None:
         """Close out flows still streaming when the run ended.

@@ -37,9 +37,41 @@ class TestMemoryPool:
             pool.allocate("b", 20.0)
         assert pool.used_bytes == 90.0
 
-    def test_free_unknown_label_returns_zero(self):
+    def test_free_unknown_label_raises(self):
+        pool = MemoryPool(10.0, owner="gpu0")
+        with pytest.raises(ConfigurationError) as err:
+            pool.free("nothing")
+        assert "nothing" in str(err.value)
+        assert "gpu0" in str(err.value)
+
+    def test_free_unknown_label_missing_ok_sentinel(self):
         pool = MemoryPool(10.0)
-        assert pool.free("nothing") == 0.0
+        assert pool.free("nothing", missing_ok=True) == 0.0
+
+    def test_double_free_raises(self):
+        pool = MemoryPool(10.0)
+        pool.allocate("a", 5.0)
+        assert pool.free("a") == 5.0
+        with pytest.raises(ConfigurationError):
+            pool.free("a")
+
+    def test_zero_byte_allocate_is_freeable(self):
+        # A zero-byte label still follows the acquire/release protocol:
+        # it appears in the label map and frees exactly once.
+        pool = MemoryPool(10.0)
+        pool.allocate("empty", 0.0)
+        assert pool.usage_by_label() == {"empty": 0.0}
+        assert pool.free("empty") == 0.0
+        with pytest.raises(ConfigurationError):
+            pool.free("empty")
+
+    def test_lease_releases_on_exception(self):
+        pool = MemoryPool(10.0)
+        with pytest.raises(RuntimeError):
+            with pool.lease("scratch", 4.0):
+                assert pool.used_bytes == 4.0
+                raise RuntimeError("boom")
+        assert pool.used_bytes == 0.0
 
     def test_reset(self):
         pool = MemoryPool(10.0)
