@@ -24,6 +24,11 @@ and iteration count forever — so files are comparable across PRs:
   the identical unchecked scenario so the sanitizer's cost stays
   honest (it must remain a small constant factor, never a slowdown
   that discourages leak-checked CI runs).
+* ``cluster_fifo_16``: the multi-tenant cluster service — 16 seeded
+  Poisson arrivals scheduled FIFO onto a 4-node fabric through one
+  shared engine.  Rows report ``jobs_completed`` and the simulated
+  ``jobs_per_hour`` alongside the usual events/sec, so scheduler and
+  shared-ledger overhead has its own trajectory.
 
 Event counts are deterministic (the DES is seeded and tie-ordered);
 wall-clock and events/sec carry machine jitter, which is why each file
@@ -47,6 +52,7 @@ from pathlib import Path
 from typing import Dict, List
 
 from repro.api import RunSpec, run_spec
+from repro.cluster import ClusterScenario, run_cluster
 
 #: Pinned forever — edit only by adding new scenarios, never by changing
 #: existing ones, or the cross-PR trajectory breaks.
@@ -79,12 +85,22 @@ FASTPATH_SCENARIOS: Dict[str, RunSpec] = {
 
 ALL_SCENARIOS: Dict[str, RunSpec] = {**SCENARIOS, **FASTPATH_SCENARIOS}
 
+#: Cluster-service scenarios: many jobs through one shared engine.
+#: Pinned like everything else; measured via ``run_cluster``.
+CLUSTER_SCENARIOS: Dict[str, ClusterScenario] = {
+    "cluster_fifo_16": ClusterScenario(
+        name="bench", nodes=4, policy="fifo", rate_per_hour=12000.0,
+        num_jobs=16, arrival_seed=7, mix="default"),
+}
+
 #: v2: adds the fast-path scenarios and, on hybrid rows, the
 #: ``fidelity`` / ``events_extrapolated`` / ``effective_events_per_sec``
 #: fields.  Pre-v2 rows are still comparable by scenario name.
 #: v3: adds the leak-sanitizer scenario with its ``leak_check`` /
 #: ``flows_tracked`` fields.  Additive only — older rows unchanged.
-SCHEMA_VERSION = 3
+#: v4: adds the cluster-service scenario with ``jobs_completed`` /
+#: ``jobs_per_hour`` fields.  Additive only — older rows unchanged.
+SCHEMA_VERSION = 4
 
 
 def run_scenario(name: str, spec: RunSpec, *, repeats: int = 3) -> dict:
@@ -123,18 +139,48 @@ def run_scenario(name: str, spec: RunSpec, *, repeats: int = 3) -> dict:
     return row
 
 
+def run_cluster_scenario(name: str, scenario: ClusterScenario, *,
+                         repeats: int = 3) -> dict:
+    """Run one pinned cluster scenario ``repeats`` times; median wall."""
+    wall_times: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        report = run_cluster(scenario).report
+        wall_times.append(time.perf_counter() - started)
+    wall_s = statistics.median(wall_times)
+    return {
+        "scenario": name,
+        "kind": "cluster",
+        "policy": scenario.policy,
+        "nodes": scenario.nodes,
+        "jobs": scenario.num_jobs,
+        "jobs_completed": report.jobs_completed,
+        "jobs_per_hour": round(report.goodput_jobs_per_hour, 2),
+        "events_processed": report.events_processed,
+        "wall_clock_s": round(wall_s, 4),
+        "events_per_sec": (round(report.events_processed / wall_s, 1)
+                           if wall_s else 0.0),
+        "repeats": repeats,
+    }
+
+
 def check_against(committed: dict, *, tolerance: float,
                   repeats: int) -> int:
     """Re-measure committed scenarios; fail on a >tolerance regression."""
     failures = 0
     for row in committed.get("scenarios", []):
         name = row["scenario"]
-        spec = ALL_SCENARIOS.get(name)
-        if spec is None:
-            print(f"{name}: unknown scenario in committed record, skipping",
-                  file=sys.stderr)
-            continue
-        fresh = run_scenario(name, spec, repeats=repeats)
+        cluster_scenario = CLUSTER_SCENARIOS.get(name)
+        if cluster_scenario is not None:
+            fresh = run_cluster_scenario(name, cluster_scenario,
+                                         repeats=repeats)
+        else:
+            spec = ALL_SCENARIOS.get(name)
+            if spec is None:
+                print(f"{name}: unknown scenario in committed record, "
+                      f"skipping", file=sys.stderr)
+                continue
+            fresh = run_scenario(name, spec, repeats=repeats)
         floor = row["events_per_sec"] * (1.0 - tolerance)
         status = "ok" if fresh["events_per_sec"] >= floor else "REGRESSION"
         if status == "REGRESSION":
@@ -169,7 +215,11 @@ def main(argv: List[str] | None = None) -> int:
         "schema_version": SCHEMA_VERSION,
         "python": platform.python_version(),
         "scenarios": [run_scenario(name, spec, repeats=args.repeats)
-                      for name, spec in sorted(ALL_SCENARIOS.items())],
+                      for name, spec in sorted(ALL_SCENARIOS.items())]
+                     + [run_cluster_scenario(name, scenario,
+                                             repeats=args.repeats)
+                        for name, scenario
+                        in sorted(CLUSTER_SCENARIOS.items())],
     }
     payload = json.dumps(record, indent=2) + "\n"
     if args.out is None:

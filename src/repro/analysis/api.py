@@ -37,6 +37,7 @@ from . import fault_lints as _fault_lints      # noqa: F401  (registers passes)
 from . import topology_lints as _topology_lints  # noqa: F401  (registers passes)
 from . import source_lints as _source_lints    # noqa: F401  (registers passes)
 from .determinism import det_lints as _det_lints  # noqa: F401  (registers passes)
+from . import cluster_lints as _cluster_lints  # noqa: F401  (registers passes)
 from .dimensions import passes as _dim_passes  # noqa: F401  (registers passes)
 from .lifecycle import passes as _lifecycle_passes  # noqa: F401  (registers passes)
 from .source_lints import DEFAULT_SOURCE_ROOT

@@ -1,0 +1,93 @@
+"""Scheduler-determinism lints over the cluster service (``CLU0xx``).
+
+The cluster service's whole value proposition is that a scenario is a
+pure function of its spec: same arrival seed and policy, same
+:class:`~repro.cluster.report.ClusterReport`, field for field.  The
+generic ``DET0xx`` passes already cover the :mod:`repro.cluster` package
+(it is listed in :data:`~repro.analysis.determinism.det_lints.
+SIM_PACKAGES`), but scheduler code deserves stricter treatment: where
+``DET010`` only flags *unseeded module-level* RNG use and ``DET011``
+warns, anything in the scheduling path that consults the wall clock or
+the process-global RNG stream breaks replayability outright.  Hence the
+dedicated block:
+
+* ``CLU001`` — scheduler code reads the wall clock (ERROR): time in the
+  service is :attr:`Engine.now <repro.sim.engine.Engine.now>` and
+  nothing else, including in "harmless" logging or tiebreaks;
+* ``CLU002`` — scheduler code draws from the process-global
+  :mod:`random` stream or builds an unseeded :class:`random.Random`
+  (ERROR, regardless of any ``random.seed`` call elsewhere in the
+  file: arrivals must thread explicit seeds).
+
+Scope is the ``cluster`` package under the source root; a tree with no
+``cluster`` directory (a unit-test fixture) is scanned wholesale, same
+convention as :func:`~repro.analysis.determinism.det_lints._sim_files`.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+from .context import AnalysisContext
+from .determinism.det_lints import _RANDOM_FNS, _WALL_CLOCK, _dotted
+from .findings import Finding, Severity
+from .registry import register_pass
+from .source_lints import DEFAULT_SOURCE_ROOT
+
+
+def _cluster_files(root: Path) -> List[Path]:
+    package = root / "cluster"
+    if package.is_dir():
+        return sorted(package.rglob("*.py"))
+    return sorted(root.rglob("*.py"))
+
+
+def _cluster_modules(ctx: AnalysisContext
+                     ) -> Iterator[Tuple[ast.Module, str]]:
+    root = (ctx.source_root if ctx.source_root is not None
+            else DEFAULT_SOURCE_ROOT)
+    for path in _cluster_files(root):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError):
+            continue  # unit hygiene (SRC000) reports unparseable files
+        yield tree, path.relative_to(root).as_posix()
+
+
+@register_pass(
+    "clu-scheduler-determinism", family="source", cheap=False,
+    description="cluster scheduler code knows only Engine.now and "
+                "explicitly seeded RNG streams",
+    codes=("CLU001", "CLU002"),
+)
+def clu_scheduler_determinism(ctx: AnalysisContext) -> Iterator[Finding]:
+    for tree, location in _cluster_modules(ctx):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted in _WALL_CLOCK:
+                yield Finding(
+                    "clu-scheduler-determinism", Severity.ERROR, "CLU001",
+                    f"{dotted}() reads the wall clock in scheduler code; "
+                    f"scheduling decisions must depend only on Engine.now",
+                    location=f"{location}:{node.lineno}",
+                )
+            elif (dotted.startswith("random.")
+                    and dotted[len("random."):] in _RANDOM_FNS):
+                yield Finding(
+                    "clu-scheduler-determinism", Severity.ERROR, "CLU002",
+                    f"{dotted}() draws from the process-global RNG in "
+                    f"scheduler code; thread a seeded random.Random "
+                    f"through the scenario instead",
+                    location=f"{location}:{node.lineno}",
+                )
+            elif dotted in ("random.Random", "Random") and not node.args:
+                yield Finding(
+                    "clu-scheduler-determinism", Severity.ERROR, "CLU002",
+                    "random.Random() without a seed in scheduler code; "
+                    "arrival and tie seeds must come from the scenario",
+                    location=f"{location}:{node.lineno}",
+                )

@@ -58,6 +58,12 @@ def execute_job(payload: Dict[str, object]) -> Dict[str, object]:
 
         metrics = run_spec(RunSpec.from_dict(spec_dict))
         return metrics_to_dict(metrics)
+    if kind == "cluster":
+        from ..cluster.scenario import ClusterScenario
+        from ..cluster.service import run_cluster
+
+        run = run_cluster(ClusterScenario.from_dict(spec_dict))
+        return run.report.to_dict()
     raise ConfigurationError(f"unknown job kind {kind!r}")
 
 

@@ -24,10 +24,11 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Tuple, Union
 
 from ..api.spec import RunSpec
+from ..cluster.scenario import ClusterScenario
 from ..errors import ConfigurationError
 from ..experiments.common import ExperimentSpec
 
-JobSpec = Union[ExperimentSpec, RunSpec]
+JobSpec = Union[ExperimentSpec, RunSpec, ClusterScenario]
 
 
 @dataclass(frozen=True)
@@ -35,7 +36,7 @@ class Job:
     """One unit of campaign work: a canonical spec plus a stable id."""
 
     job_id: str
-    kind: str  # "experiment" | "run"
+    kind: str  # "experiment" | "run" | "cluster"
     spec: JobSpec
 
     def cache_key(self, *, salt: str = None) -> str:
@@ -66,17 +67,25 @@ class CampaignSpec:
     iterations: int = 3
     warmup_iterations: int = 1
     full: bool = False
+    #: cluster-service scenarios to run alongside the training sweep
+    clusters: Tuple[ClusterScenario, ...] = ()
 
     def __post_init__(self) -> None:
         for attr in ("experiments", "strategies", "sizes_billions", "nodes"):
             value = getattr(self, attr)
             if not isinstance(value, tuple):
                 object.__setattr__(self, attr, tuple(value))
+        object.__setattr__(self, "clusters", tuple(
+            scenario if isinstance(scenario, ClusterScenario)
+            else ClusterScenario.from_dict(scenario)
+            for scenario in self.clusters
+        ))
         if not self.name:
             raise ConfigurationError("campaign needs a name")
-        if not self.experiments and not self.strategies:
+        if not self.experiments and not self.strategies and not self.clusters:
             raise ConfigurationError(
-                "campaign is empty: list experiments and/or strategies"
+                "campaign is empty: list experiments, strategies, "
+                "and/or clusters"
             )
         if self.strategies and not self.sizes_billions:
             raise ConfigurationError(
@@ -104,6 +113,9 @@ class CampaignSpec:
                         warmup_iterations=self.warmup_iterations,
                     )
                     jobs.append(Job(f"run/{spec.label}", "run", spec))
+        for scenario in self.clusters:
+            jobs.append(Job(f"cluster/{scenario.label}", "cluster",
+                            scenario))
         seen: Dict[str, int] = {}
         for job in jobs:
             seen[job.job_id] = seen.get(job.job_id, 0) + 1
@@ -125,6 +137,7 @@ class CampaignSpec:
             "iterations": self.iterations,
             "warmup_iterations": self.warmup_iterations,
             "full": self.full,
+            "clusters": [scenario.to_dict() for scenario in self.clusters],
         }
 
     @classmethod

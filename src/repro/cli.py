@@ -15,6 +15,8 @@ Eight subcommands mirror the paper's workflow::
     repro faults   --strategy zero3 \
                    --fault "node0.nic0:down@t=2ms,dur=1ms" --seed 7
                                                   # degraded-fabric run
+    repro cluster run --policy sjf --rate-per-hour 2400 \
+                   --jobs 20 --leak-check           # multi-tenant service
     repro trace diff a.json b.json                # compare two traces
     repro trace summary out.json                  # span/byte summary
     repro trace check out.json                    # schema validation
@@ -195,6 +197,105 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         for job in report.jobs:
             source = "cache " if job.cached else f"{job.elapsed_s:5.1f}s"
             print(f"  [{source}] {job.job_id}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .cluster import ClusterScenario, run_cluster
+
+    if args.arrivals == "poisson":
+        scenario = ClusterScenario(
+            name=args.name,
+            nodes=args.nodes,
+            policy=args.policy,
+            arrivals="poisson",
+            rate_per_hour=args.rate_per_hour,
+            num_jobs=args.jobs,
+            arrival_seed=args.seed,
+            mix=args.mix,
+            aging_rate=args.aging,
+            leak_check=args.leak_check,
+            trace=args.trace is not None,
+        )
+    else:
+        from .errors import ConfigurationError
+        try:
+            with open(args.arrivals, "r", encoding="utf-8") as handle:
+                entries = json.load(handle)
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read arrivals trace {args.arrivals!r}: "
+                f"{error.strerror or error}") from error
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"arrivals trace {args.arrivals!r} is not valid JSON: "
+                f"{error}") from error
+        if not isinstance(entries, list):
+            raise ConfigurationError(
+                f"arrivals trace {args.arrivals!r} must be a JSON list "
+                f"of job entries, got {type(entries).__name__}")
+        scenario = ClusterScenario(
+            name=args.name,
+            nodes=args.nodes,
+            policy=args.policy,
+            arrivals="trace",
+            trace_jobs=tuple(entries),
+            aging_rate=args.aging,
+            leak_check=args.leak_check,
+            trace=args.trace is not None,
+        )
+    run = run_cluster(scenario)
+    report = run.report
+    if args.leak_check:
+        assert report.leaks is not None
+        report.leaks.assert_clean()
+        print(f"leak sanitizer: clean "
+              f"({report.leaks.pools_audited} pools, "
+              f"{report.leaks.ledgers_audited} ledgers, "
+              f"{report.leaks.flows_tracked} flows audited)",
+              file=sys.stderr)
+    if args.trace is not None:
+        from .trace import write_trace
+        assert run.trace is not None
+        write_trace(run.trace, args.trace)
+        print(f"cluster trace written: {args.trace} "
+              f"({len(run.trace.spans)} spans, "
+              f"{len(run.trace.flows)} flows, "
+              f"{len(run.trace.links)} links)",
+              file=sys.stderr)
+    payload = report.to_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table(
+            ["metric", "value"],
+            [["policy", report.policy],
+             ["nodes x GPUs", f"{report.nodes} x {report.num_gpus}"],
+             ["jobs (done/failed/all)",
+              f"{report.jobs_completed}/{report.jobs_failed}"
+              f"/{report.jobs_submitted}"],
+             ["preemptions", report.preemptions],
+             ["goodput (jobs/h)",
+              round(report.goodput_jobs_per_hour, 2)],
+             ["queue wait p50/p99 (s)",
+              f"{report.queue_wait_p50_s:.3f}"
+              f"/{report.queue_wait_p99_s:.3f}"],
+             ["max in system", report.max_in_system_jobs],
+             ["cluster utilization",
+              round(report.cluster_utilization, 4)],
+             ["makespan (s)", round(report.total_time_s, 3)]],
+            title=f"cluster service: {report.scenario}",
+        ))
+        print()
+        print(format_table(
+            ["tenant", "jobs", "gpu-s", "util", "preempt"],
+            [[name,
+              account["jobs_completed"],
+              round(float(account["gpu_seconds"]), 2),
+              account["utilization"],
+              account["preemptions"]]
+             for name, account in sorted(report.tenants.items())],
+        ))
     return 0
 
 
@@ -504,6 +605,43 @@ def build_parser() -> argparse.ArgumentParser:
                    "code versions")
     campaign_gc.add_argument("--cache-dir", default=".repro-cache")
     campaign.set_defaults(func=_cmd_campaign)
+
+    cluster = sub.add_parser(
+        "cluster", help="multi-tenant cluster service over the shared DES")
+    cluster_sub = cluster.add_subparsers(dest="cluster_command",
+                                         required=True)
+    cluster_run = cluster_sub.add_parser(
+        "run", help="admit a stream of jobs onto a shared N-node fabric")
+    cluster_run.add_argument("--name", default="cluster")
+    cluster_run.add_argument("--nodes", type=int, default=4,
+                             help="fabric size (any N >= 1)")
+    cluster_run.add_argument("--policy",
+                             choices=("fifo", "sjf", "memory-aware"),
+                             default="fifo")
+    cluster_run.add_argument("--arrivals", default="poisson",
+                             metavar="poisson|FILE.json",
+                             help="'poisson' for a seeded open-loop "
+                                  "stream, or a JSON trace file of "
+                                  "{time, ...JobSpec} entries")
+    cluster_run.add_argument("--rate-per-hour", type=float, default=1200.0,
+                             help="Poisson arrival rate (jobs/hour)")
+    cluster_run.add_argument("--jobs", type=int, default=12,
+                             help="number of Poisson arrivals")
+    cluster_run.add_argument("--seed", type=int, default=7,
+                             help="arrival-stream seed")
+    cluster_run.add_argument("--mix", default="default",
+                             help="named job mix for Poisson arrivals")
+    cluster_run.add_argument("--aging", type=float, default=0.0,
+                             help="priority gained per queued second")
+    cluster_run.add_argument("--leak-check", action="store_true",
+                             help="audit byte conservation across all "
+                                  "jobs' shared pools and ledgers")
+    cluster_run.add_argument("--trace", default=None, metavar="PATH",
+                             help="write the shared-machine cluster "
+                                  "trace as Chrome Trace JSON")
+    cluster_run.add_argument("--json", action="store_true",
+                             help="emit the full ClusterReport payload")
+    cluster.set_defaults(func=_cmd_cluster)
 
     search = sub.add_parser("search", help="largest model that fits")
     search.add_argument("--strategy", choices=sorted(ALL_STRATEGIES),

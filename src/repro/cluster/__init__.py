@@ -1,0 +1,57 @@
+"""Multi-tenant cluster service: many jobs on one shared DES.
+
+The paper characterizes one training job on one dedicated cluster; this
+package turns that single-job simulator into a long-lived *cluster*
+that admits a stream of concurrent jobs (the ROADMAP's heavy-traffic
+north star).  The pieces:
+
+* :mod:`.views` — :class:`ClusterView`/:class:`NodeView`: a job's rank
+  space mapped onto a subset of the shared machine's GPUs, preserving
+  the uniform rank arithmetic every existing subsystem assumes;
+* :mod:`.jobs` — :class:`JobSpec`/:class:`JobRecord`/:class:`JobStore`:
+  job specs, lifecycle states, and per-tenant accounting;
+* :mod:`.arrivals` — seeded open-loop arrival generation (Poisson and
+  trace-driven interarrival/job-mix profiles, heavy-traffic presets);
+* :mod:`.scenario` — :class:`ClusterScenario`, the canonical
+  serializable form (the cluster analog of :class:`~repro.api.RunSpec`);
+* :mod:`.daemon` — :class:`SchedulerDaemon`: a process on the shared
+  engine doing memory-aware admission, best-fit GPU packing, priority
+  queues with aging, and preemption with checkpoint/restart cost;
+* :mod:`.report` — :class:`ClusterReport`: goodput, queue-wait
+  percentiles, per-tenant utilization, preemption counts;
+* :mod:`.service` — :func:`run_cluster`, the entry point wiring all of
+  the above onto one engine, one flow network, and one set of ledgers.
+
+Every job runs the *existing* executor as a schedulable job body
+(:meth:`~repro.runtime.executor.Executor.execute`) against its
+:class:`ClusterView`, so collectives, host transfers, ledgers, the
+hybrid fast path, tracing, and leak checking all work unchanged — just
+tagged with the job id via ``flow_tag``.
+"""
+
+from .arrivals import JOB_MIXES, Arrival, poisson_arrivals, trace_arrivals
+from .daemon import POLICIES, SchedulerDaemon
+from .jobs import JobRecord, JobSpec, JobState, JobStore
+from .report import ClusterReport
+from .scenario import ClusterScenario
+from .service import ClusterRun, run_cluster
+from .views import ClusterView, NodeView
+
+__all__ = [
+    "Arrival",
+    "ClusterReport",
+    "ClusterRun",
+    "ClusterScenario",
+    "ClusterView",
+    "JOB_MIXES",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "JobStore",
+    "NodeView",
+    "POLICIES",
+    "SchedulerDaemon",
+    "poisson_arrivals",
+    "run_cluster",
+    "trace_arrivals",
+]

@@ -1,0 +1,128 @@
+"""Open-loop arrival generation: seeded Poisson and trace-driven.
+
+The service is *open-loop*: arrivals are generated up front from a seed
+(or an explicit trace) and scheduled on the engine, independent of how
+the cluster is coping — the queueing-theory regime where heavy traffic
+means the queue genuinely builds.  Everything draws from one
+``random.Random(seed)`` instance, so a scenario's arrival stream is a
+pure function of ``(seed, rate, num_jobs, mix)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .jobs import JobSpec
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One job submission at one simulated time."""
+
+    time: float
+    spec: JobSpec
+
+
+#: Named job mixes: (weight, spec template) pairs.  Weights are relative
+#: draw probabilities; templates omit ``name`` (stamped per arrival).
+#: The mixes deliberately span tenants, priorities, and GPU footprints
+#: so packing, aging, and preemption all get exercised.
+JOB_MIXES: Dict[str, Tuple[Tuple[float, Dict[str, object]], ...]] = {
+    # Interactive-ish small jobs next to batch training: the default.
+    "default": (
+        (0.5, {"tenant": "research", "strategy": "ddp",
+               "size_billions": 0.35, "gpus": 2, "iterations": 4,
+               "priority": 0}),
+        (0.3, {"tenant": "product", "strategy": "zero2",
+               "size_billions": 0.7, "gpus": 4, "iterations": 4,
+               "priority": 1}),
+        (0.2, {"tenant": "platform", "strategy": "zero3",
+               "size_billions": 0.7, "gpus": 8, "iterations": 3,
+               "priority": 2}),
+    ),
+    # Everything wants whole nodes: queueing and preemption dominate.
+    "heavy": (
+        (0.4, {"tenant": "research", "strategy": "zero2",
+               "size_billions": 0.7, "gpus": 4, "iterations": 4,
+               "priority": 0}),
+        (0.4, {"tenant": "product", "strategy": "zero3",
+               "size_billions": 0.7, "gpus": 4, "iterations": 4,
+               "priority": 1}),
+        (0.2, {"tenant": "platform", "strategy": "zero3",
+               "size_billions": 1.4, "gpus": 8, "iterations": 3,
+               "priority": 2}),
+    ),
+    # Uniform small jobs: pure packing/throughput, no priority skew.
+    "small": (
+        (1.0, {"tenant": "research", "strategy": "ddp",
+               "size_billions": 0.35, "gpus": 2, "iterations": 3,
+               "priority": 0}),
+    ),
+}
+
+
+def poisson_arrivals(rate_per_hour: float, num_jobs: int, *,
+                     seed: int = 7,
+                     mix: str = "default") -> List[Arrival]:
+    """``num_jobs`` Poisson arrivals at ``rate_per_hour``, seeded.
+
+    Interarrival gaps are exponential with mean ``3600 / rate`` seconds;
+    each arrival draws a spec template from the weighted ``mix``.  All
+    randomness comes from one seeded :class:`random.Random`, never the
+    process-global RNG.
+    """
+    if rate_per_hour <= 0:
+        raise ConfigurationError("rate_per_hour must be positive")
+    if num_jobs < 1:
+        raise ConfigurationError("need at least one arrival")
+    templates = JOB_MIXES.get(mix)
+    if templates is None:
+        raise ConfigurationError(
+            f"unknown job mix {mix!r}; known: {sorted(JOB_MIXES)}"
+        )
+    rng = random.Random(seed)
+    weights = [weight for weight, _ in templates]
+    rate_per_s = rate_per_hour / 3600.0
+    arrivals: List[Arrival] = []
+    now = 0.0
+    for index in range(num_jobs):
+        now += rng.expovariate(rate_per_s)
+        _, template = rng.choices(templates, weights=weights, k=1)[0]
+        spec = JobSpec(name=f"{mix}-{index}", **template)
+        arrivals.append(Arrival(time=now, spec=spec))
+    return arrivals
+
+
+def trace_arrivals(entries: Sequence[Mapping[str, object]]) -> List[Arrival]:
+    """Arrivals from explicit trace entries.
+
+    Each entry is ``{"time": seconds, ...JobSpec fields...}`` — the
+    JSON shape ``repro cluster run --arrivals FILE.json`` reads.  Times
+    must be non-negative and non-decreasing (an open-loop trace is a
+    recorded schedule, not a bag).
+    """
+    arrivals: List[Arrival] = []
+    last = 0.0
+    for index, entry in enumerate(entries):
+        payload = dict(entry)
+        try:
+            time_s = float(payload.pop("time"))
+        except KeyError:
+            raise ConfigurationError(
+                f"trace entry {index} has no arrival time"
+            ) from None
+        if time_s < last:
+            raise ConfigurationError(
+                f"trace entry {index} goes back in time "
+                f"({time_s} after {last})"
+            )
+        last = time_s
+        payload.setdefault("name", f"trace-{index}")
+        arrivals.append(Arrival(time=time_s,
+                                spec=JobSpec.from_dict(payload)))
+    if not arrivals:
+        raise ConfigurationError("arrival trace is empty")
+    return arrivals

@@ -1,0 +1,349 @@
+"""Wire it all together: one engine, one network, many job bodies.
+
+:func:`run_cluster` builds the shared machine (a parametric N-node
+:class:`~repro.hardware.cluster.Cluster`), one
+:class:`~repro.sim.engine.Engine`, and one
+:class:`~repro.sim.flows.FlowNetwork`, schedules the scenario's
+arrivals, and runs the :class:`~repro.cluster.daemon.SchedulerDaemon`
+as a process among the job bodies.  Each granted job runs the existing
+:class:`~repro.runtime.executor.Executor` as a generator
+(:meth:`~repro.runtime.executor.Executor.execute`) against its
+:class:`~repro.cluster.views.ClusterView`, with ``flow_tag=f"{job}/"``
+so every flow in the shared ledgers and trace is attributable.
+
+Ledger ownership: the *service* owns the shared network's recorder and
+leak-sanitizer hooks and the pools' observers; job bodies only charge
+and release their own job-prefixed memory-plan labels through the
+existing :func:`~repro.core.runner.apply_memory_plan` /
+:func:`~repro.core.runner.release_memory_plan` walkers, so the
+byte-conservation audit covers the whole multi-job run.
+
+Hybrid fidelity per job: the body simulates the measured window and,
+once steady, *holds* its resources for the extrapolated remainder via a
+timeout raced against the preemption event — occupancy and GPU-second
+accounting stay exact while the event count stays small.  (Unlike
+single-job hybrid runs, the analytic window does not replay link
+traffic; the cluster report's contention figures come from the
+simulated windows.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.liveness import check_liveness
+from ..core.runner import apply_memory_plan, release_memory_plan
+from ..core.search import model_for_billions
+from ..errors import ConfigurationError, OutOfMemoryError
+from ..experiments.common import make_strategy
+from ..hardware.cluster import Cluster, ClusterSpec
+from ..model.config import TrainingConfig
+from ..parallel.strategy import MemoryPlan, StrategyContext
+from ..runtime.executor import Executor
+from ..sim.engine import Engine, ReversedTies, SeededTies, TieOrder
+from ..sim.fastpath import hybrid_simulated_iterations, is_steady
+from ..sim.flows import FlowNetwork
+from ..sim.leaksan import LeakReport, LeakSanitizer
+from ..trace.model import Span, Trace
+from ..units import GIB
+from ..trace.recorder import TraceRecorder
+from .daemon import SchedulerDaemon, checkpoint_seconds
+from .jobs import JobRecord, JobSpec, JobStore
+from .report import ClusterReport, build_report
+from .scenario import ClusterScenario
+from .trace import build_cluster_trace
+from .views import ClusterView, probe_view
+
+
+@dataclass
+class ClusterRun:
+    """Everything one cluster-service run produced."""
+
+    report: ClusterReport
+    trace: Optional[Trace] = None
+
+    @property
+    def leaks(self) -> Optional[LeakReport]:
+        return self.report.leaks
+
+
+class _JobCollectives:
+    """Per-job recorder facade: tags collective phases with the job id.
+
+    Flow spans come from the shared network recorder (already
+    job-tagged via ``flow_tag``); collective phases are reported by the
+    executor's gates with job-local comm names and ranks, so this shim
+    prefixes the comm and maps ranks to the shared machine before
+    forwarding to the shared recorder.
+    """
+
+    def __init__(self, job_id: str, view: ClusterView,
+                 sink: TraceRecorder) -> None:
+        self.job_id = job_id
+        self.view = view
+        self.sink = sink
+
+    def collective_phase(self, comm: str, group_index: int, kind: str,
+                         payload_bytes: float, launch_count: int,
+                         ranks: Tuple[int, ...], start: float,
+                         end: float) -> None:
+        self.sink.collective_phase(
+            f"{self.job_id}:{comm}", group_index, kind, payload_bytes,
+            launch_count,
+            tuple(self.view.global_rank(rank) for rank in ranks),
+            start, end,
+        )
+
+
+def _build_tie_order(scenario: ClusterScenario) -> Optional[TieOrder]:
+    if scenario.tie_order == "reversed":
+        return ReversedTies()
+    if scenario.tie_order == "seeded":
+        return SeededTies(scenario.tie_seed)
+    return None  # fifo: the engine default
+
+
+class _ClusterService:
+    """The live run state shared by arrivals, daemon, and job bodies."""
+
+    def __init__(self, scenario: ClusterScenario, cluster: Cluster,
+                 engine: Engine, network: FlowNetwork,
+                 recorder: Optional[TraceRecorder]) -> None:
+        self.scenario = scenario
+        self.cluster = cluster
+        self.engine = engine
+        self.network = network
+        self.recorder = recorder
+        self.store = JobStore()
+        #: memoized per-rank memory plans; pools are uniform, so the
+        #: plan depends only on the workload and allocation size
+        self._plans: Dict[Tuple[str, float, int, int], MemoryPlan] = {}
+        self.daemon: Optional[SchedulerDaemon] = None
+
+    # -- planning --------------------------------------------------------------
+    def demand_plan(self, record: JobRecord) -> MemoryPlan:
+        return self.plan_for(record.spec)
+
+    def plan_for(self, spec: JobSpec) -> MemoryPlan:
+        key = (spec.strategy, spec.size_billions, spec.gpus,
+               spec.micro_batch_per_gpu)
+        plan = self._plans.get(key)
+        if plan is None:
+            view = probe_view(self.cluster, spec.gpus)
+            ctx = StrategyContext(
+                view, model_for_billions(spec.size_billions),
+                TrainingConfig(micro_batch_per_gpu=spec.micro_batch_per_gpu),
+            )
+            plan = make_strategy(spec.strategy).memory_plan(ctx)
+            if plan.nvme:
+                raise ConfigurationError(
+                    f"job strategy {spec.strategy!r} plans NVMe residency; "
+                    f"not schedulable on the shared service"
+                )
+            self._plans[key] = plan
+        return plan
+
+    def validate(self, specs: List[JobSpec]) -> None:
+        """Reject arrivals no schedule could ever place.
+
+        Every job must fit an *empty* fabric (GPU shape and per-pool
+        capacity); otherwise the daemon would wait on it forever and
+        the run could never terminate.
+        """
+        for spec in specs:
+            view = probe_view(self.cluster, spec.gpus)  # shape check
+            plan = self.plan_for(spec)
+            needed: Dict[int, float] = {}
+            capacity: Dict[int, float] = {}
+            for rank in range(view.num_gpus):
+                for pool, amount in (
+                        (view.gpu(rank).memory, plan.gpu_total),
+                        (view.dram_for_rank(rank).memory, plan.cpu_total)):
+                    capacity[id(pool)] = pool.capacity_bytes
+                    needed[id(pool)] = needed.get(id(pool), 0.0) + amount
+            for key, amount in needed.items():
+                if amount > capacity[key] + 1e-6:
+                    raise ConfigurationError(
+                        f"job {spec.name!r} ({spec.strategy}, "
+                        f"{spec.size_billions}B on {spec.gpus} GPUs) can "
+                        f"never fit: needs {amount / GIB:.1f} GiB of a "
+                        f"{capacity[key] / GIB:.1f} GiB pool"
+                    )
+
+    # -- arrival callback ------------------------------------------------------
+    def submit(self, spec: JobSpec) -> None:
+        record = self.store.submit(spec, self.engine.now)
+        assert self.daemon is not None
+        self.daemon.submit(record)
+
+    # -- job execution ---------------------------------------------------------
+    def launch(self, record: JobRecord, view: ClusterView) -> None:
+        self.engine.process(self._job_body(record, view),
+                            name=f"{record.job_id}/body")
+
+    def _job_body(self, record: JobRecord, view: ClusterView):
+        engine = self.engine
+        store = self.store
+        daemon = self.daemon
+        assert daemon is not None
+        spec = record.spec
+        job = record.job_id
+        strategy = make_strategy(spec.strategy)
+        model = model_for_billions(spec.size_billions)
+        training = TrainingConfig(micro_batch_per_gpu=spec.micro_batch_per_gpu)
+        ctx = StrategyContext(view, model, training)
+        plan = strategy.memory_plan(ctx)
+        prefixed = MemoryPlan(
+            gpu={f"{job}/{label}": num_bytes
+                 for label, num_bytes in plan.gpu.items()},
+            cpu={f"{job}/{label}": num_bytes
+                 for label, num_bytes in plan.cpu.items()},
+        )
+        try:
+            apply_memory_plan(view, prefixed)
+        except OutOfMemoryError as error:
+            # The daemon's admission check makes this unreachable under
+            # normal operation; kept as a terminal state, not a crash.
+            store.mark_failed(record, engine.now, str(error))
+            daemon.job_failed(record)
+            return
+        segment_start = engine.now
+        record.preempt_event = engine.event()
+        if record.completed_iterations:
+            # Restart after preemption: restore the checkpoint before
+            # training resumes, on the preempted tenant's bill.
+            restore = checkpoint_seconds(plan)
+            store.charge_checkpoint(record, restore)
+            yield engine.timeout(restore)
+        remaining = record.remaining_iterations
+        sim_iterations = remaining
+        if spec.fidelity == "hybrid":
+            measured = hybrid_simulated_iterations(
+                remaining, spec.warmup_iterations)
+            if measured < remaining:
+                sim_iterations = measured
+        executor = Executor(
+            view, strategy.build_schedule(ctx),
+            traffic_profile=strategy.traffic_profile,
+            internode_rate_efficiency=(
+                strategy.calibration.internode_efficiency),
+            engine=engine,
+            network=self.network,
+            flow_tag=f"{job}/",
+            trace_recorder=(
+                _JobCollectives(job, view, self.recorder)
+                if self.recorder is not None else None),
+        )
+        result = yield from executor.execute(
+            sim_iterations,
+            should_stop=lambda: record.preempt_requested,
+        )
+        completed = len(result.iteration_times)
+        record.completed_iterations += completed
+        if (sim_iterations < remaining
+                and completed == sim_iterations
+                and not record.preempt_requested
+                and is_steady(result.iteration_times,
+                              spec.warmup_iterations)):
+            # Steady: hold the allocation for the analytic remainder,
+            # but stay preemptible throughout the hold.
+            period = result.iteration_times[-1]
+            extra = remaining - sim_iterations
+            hold_start = engine.now
+            yield engine.any_of([
+                engine.timeout(period * extra), record.preempt_event,
+            ])
+            if record.preempt_requested:
+                elapsed = engine.now - hold_start
+                record.completed_iterations += min(
+                    extra, int(elapsed / period))
+            else:
+                record.completed_iterations += extra
+        preempted = (record.preempt_requested
+                     and record.remaining_iterations > 0)
+        if preempted:
+            # Checkpoint while still holding the allocation; the cost
+            # lands on the preempted tenant.
+            save = checkpoint_seconds(plan)
+            store.charge_checkpoint(record, save)
+            yield engine.timeout(save)
+        self._collect_spans(record, view, executor)
+        release_memory_plan(view, prefixed)
+        store.charge_gpu_seconds(
+            record, spec.gpus * (engine.now - segment_start))
+        if preempted:
+            store.mark_preempted(record, engine.now)
+            daemon.job_preempted(record)
+        else:
+            store.mark_completed(record, engine.now)
+            daemon.job_finished(record)
+
+    def _collect_spans(self, record: JobRecord, view: ClusterView,
+                       executor: Executor) -> None:
+        if self.recorder is None:
+            return
+        record.spans.extend(
+            Span(view.global_rank(span.rank), span.lane, span.kind,
+                 f"{record.job_id}:{span.name}", span.start, span.end,
+                 synthetic=span.synthetic)
+            for span in executor.timeline.spans
+        )
+
+
+def run_cluster(scenario: ClusterScenario) -> ClusterRun:
+    """Simulate one :class:`ClusterScenario` end to end."""
+    arrivals = scenario.expand_arrivals()
+    cluster = Cluster(ClusterSpec(num_nodes=scenario.nodes))
+    engine = Engine(tie_order=_build_tie_order(scenario))
+    network = FlowNetwork(engine)
+    recorder = TraceRecorder() if scenario.trace else None
+    network.recorder = recorder
+    leaksan: Optional[LeakSanitizer] = None
+    if scenario.leak_check:
+        leaksan = LeakSanitizer()
+        leaksan.attach(cluster)
+        network.leaksan = leaksan
+
+    service = _ClusterService(scenario, cluster, engine, network, recorder)
+    service.validate([arrival.spec for arrival in arrivals])
+    daemon = SchedulerDaemon(
+        engine, cluster, service.store,
+        policy=scenario.policy,
+        aging_rate=scenario.aging_rate,
+        expected_jobs=len(arrivals),
+        demand=service.demand_plan,
+        launch=service.launch,
+    )
+    service.daemon = daemon
+
+    for arrival in arrivals:
+        engine.schedule_at(arrival.time, service.submit, arrival.spec)
+    engine.process(daemon.run(), name="scheduler-daemon")
+    engine.run()
+    check_liveness(engine)
+
+    total_time = engine.now
+    leaks: Optional[LeakReport] = None
+    if leaksan is not None:
+        leaks = leaksan.finalize(cluster, network=network,
+                                 recorder=recorder)
+    report = build_report(
+        scenario.name, scenario.policy,
+        nodes=cluster.num_nodes, num_gpus=cluster.num_gpus,
+        total_time=total_time, store=service.store,
+        events_processed=engine.events_processed,
+        events_folded=engine.events_folded,
+        leaks=leaks,
+    )
+    trace = (
+        build_cluster_trace(cluster, service.store, recorder, total_time,
+                            meta={
+                                "scenario": scenario.name,
+                                "policy": scenario.policy,
+                                "num_nodes": cluster.num_nodes,
+                                "num_gpus": cluster.num_gpus,
+                            })
+        if recorder is not None else None
+    )
+    return ClusterRun(report=report, trace=trace)

@@ -126,7 +126,8 @@ class NcclCommunicator:
                  internode_launch_overhead: float = DEFAULT_INTERNODE_LAUNCH_OVERHEAD,
                  intranode_launch_overhead: float = DEFAULT_INTRANODE_LAUNCH_OVERHEAD,
                  internode_rate_efficiency: float = 0.55,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 label_prefix: str = "") -> None:
         if not ranks:
             raise ConfigurationError("communicator needs at least one rank")
         if len(set(ranks)) != len(ranks):
@@ -135,6 +136,11 @@ class NcclCommunicator:
         self.engine = engine
         self.network = network
         self.profile = profile
+        # Applied at transfer-launch time (not baked into the memoized
+        # launch plans) so plans stay shareable across identically keyed
+        # collectives while the shared-ledger flows stay attributable to
+        # the job that launched them.
+        self.label_prefix = label_prefix
         self.internode_launch_overhead = internode_launch_overhead
         self.intranode_launch_overhead = intranode_launch_overhead
         if not 0 < internode_rate_efficiency <= 1:
@@ -360,7 +366,8 @@ class NcclCommunicator:
         events: List[BaseEvent] = [
             self.network.transfer(
                 route, num_bytes, profile=self.profile,
-                weight_multiplier=weight, label=plan.label,
+                weight_multiplier=weight,
+                label=self.label_prefix + plan.label,
             )
             for route, num_bytes, weight in plan.transfers
         ]
@@ -408,7 +415,7 @@ class NcclCommunicator:
         dst = self.cluster.gpu(dst_rank).name
         route = self.cluster.topology.route(src, dst)
         return self.network.transfer(route, payload_bytes, profile=self.profile,
-                                     label="send_recv")
+                                     label=self.label_prefix + "send_recv")
 
     # -- analytic estimation (no DES) --------------------------------------------
     def estimate(self, op: CollectiveOp, *,

@@ -113,7 +113,12 @@ class _CollectiveGate:
     def arrive(self) -> BaseEvent:
         self.arrived += 1
         if self.arrived > len(self.group):
-            raise SimulationError("more arrivals than group members")
+            raise SimulationError(
+                f"collective gate {self.comm_name!r}[{self.group_index}]: "
+                f"more arrivals than group members "
+                f"({self.arrived} observed, {len(self.group)} expected "
+                f"for ranks {self.group})"
+            )
         if self.arrived == len(self.group):
             started_at = self.executor.engine.now
             inner = self.comm.run(self.op, launch_count=self.launch_count)
@@ -138,7 +143,17 @@ class _CollectiveGate:
 
 
 class Executor:
-    """Runs an :class:`IterationSchedule` on a cluster for N iterations."""
+    """Runs an :class:`IterationSchedule` on a cluster for N iterations.
+
+    Standalone use builds a private :class:`~repro.sim.engine.Engine` and
+    :class:`~repro.sim.flows.FlowNetwork` per run (the historical
+    behaviour).  The cluster service (:mod:`repro.cluster`) instead
+    passes a *shared* ``engine``/``network`` so many jobs run
+    concurrently on one event loop and one set of link ledgers; in that
+    mode ``flow_tag`` prefixes every flow label the job launches (host
+    transfers and collective traffic alike), keeping per-job traffic
+    attributable in the shared ledgers and trace.
+    """
 
     def __init__(self, cluster: Cluster, schedule: IterationSchedule, *,
                  traffic_profile: TrafficProfile = TrafficProfile.BURSTY,
@@ -149,26 +164,34 @@ class Executor:
                  tie_order: Optional[TieOrder] = None,
                  sanitize: bool = False,
                  trace_recorder: Optional[TraceRecorder] = None,
-                 leak_sanitizer: Optional[LeakSanitizer] = None) -> None:
+                 leak_sanitizer: Optional[LeakSanitizer] = None,
+                 engine: Optional[Engine] = None,
+                 network: Optional[FlowNetwork] = None,
+                 flow_tag: str = "") -> None:
         schedule.validate()
         self.cluster = cluster
         self.schedule = schedule
         self.traffic_profile = traffic_profile
         self.swap_volumes = swap_volumes or {}
-        self.engine = Engine(tie_order=tie_order)
+        owns_network = network is None
+        self.engine = engine if engine is not None else Engine(tie_order=tie_order)
         self.sanitizer = ScheduleSanitizer(self.engine) if sanitize else None
-        self.network = FlowNetwork(self.engine)
+        self.network = network if network is not None else FlowNetwork(self.engine)
         self.timeline = Timeline()
+        self.flow_tag = flow_tag
         # The recorder's hooks are append-only (no engine interaction),
         # so attaching one cannot change the schedule; when absent every
         # hook site is a single None check.
         self.recorder = trace_recorder
-        self.network.recorder = trace_recorder
         # Like the recorder, the leak sanitizer's hooks are pure
         # bookkeeping (ledger reservations, never admission control), so
-        # attaching one cannot change the schedule either.
+        # attaching one cannot change the schedule either.  A shared
+        # network's hooks belong to whoever built it (the cluster
+        # service); only a privately built network is wired here.
         self.leaksan = leak_sanitizer
-        self.network.leaksan = leak_sanitizer
+        if owns_network:
+            self.network.recorder = trace_recorder
+            self.network.leaksan = leak_sanitizer
         self.retry_policy = retry_policy
         # An empty (or absent) plan registers no hooks and schedules no
         # events, so a fault-free run is bit-identical with or without it.
@@ -192,53 +215,68 @@ class Executor:
                     profile=self.traffic_profile,
                     internode_rate_efficiency=internode_rate_efficiency,
                     retry_policy=self.retry_policy,
+                    label_prefix=self.flow_tag,
                 )
         return comms
 
     # -- run -------------------------------------------------------------------
-    def run(self, num_iterations: int) -> ExecutionResult:
+    def execute(self, num_iterations: int, *, should_stop=None):
+        """The run as a schedulable generator (a *job body*).
+
+        Standalone callers use :meth:`run`; the cluster service instead
+        spawns this generator as one process among many on a shared
+        engine (``engine.process(executor.execute(n))`` or ``yield
+        from`` inside a larger job body).  ``should_stop`` is polled at
+        iteration boundaries — the preemption hook: returning true stops
+        the run cleanly after the current iteration, and the returned
+        :class:`ExecutionResult` simply carries fewer iteration times.
+        """
         if num_iterations < 1:
             raise ConfigurationError("need at least one iteration")
+        return self._execute(num_iterations, should_stop)
+
+    def _execute(self, num_iterations: int, should_stop):
         iteration_times: List[float] = []
+        started_at = self.engine.now
+        for iteration in range(num_iterations):
+            started = self.engine.now
+            processes = [
+                self.engine.process(
+                    self._rank_process(rank, iteration),
+                    name=f"{self.flow_tag}rank{rank}/it{iteration}",
+                )
+                for rank in self.schedule.ranks
+            ]
+            yield self.engine.all_of(processes)
+            iteration_times.append(self.engine.now - started)
+            if should_stop is not None and should_stop():
+                break
         # Training ends when the driver does.  engine.run() keeps draining
         # whatever else is queued (e.g. fault-revert callbacks scheduled
         # past the last iteration), and that trailing housekeeping must
         # not stretch total_time and dilute the bandwidth statistics.
-        finished_at: List[float] = [0.0]
-
-        def driver():
-            for iteration in range(num_iterations):
-                started = self.engine.now
-                processes = [
-                    self.engine.process(
-                        self._rank_process(rank, iteration),
-                        name=f"rank{rank}/it{iteration}",
-                    )
-                    for rank in self.schedule.ranks
-                ]
-                yield self.engine.all_of(processes)
-                iteration_times.append(self.engine.now - started)
-            finished_at[0] = self.engine.now
-
-        self.engine.process(driver(), name="driver")
-        self.engine.run()
-        check_liveness(self.engine)
-        report = (
-            self.sanitizer.finalize(self.cluster)
-            if self.sanitizer is not None else None
-        )
         return ExecutionResult(
             iteration_times=iteration_times,
             timeline=self.timeline,
-            total_time=finished_at[0],
-            sanitizer=report,
-            fault_events=(
-                list(self.faults.applied_events)
-                if self.faults is not None else []
-            ),
-            events_processed=self.engine.events_processed,
-            events_folded=self.engine.events_folded,
+            total_time=self.engine.now - started_at,
         )
+
+    def run(self, num_iterations: int) -> ExecutionResult:
+        proc = self.engine.process(self.execute(num_iterations), name="driver")
+        self.engine.run()
+        check_liveness(self.engine)
+        result: ExecutionResult = proc.value
+        result.sanitizer = (
+            self.sanitizer.finalize(self.cluster)
+            if self.sanitizer is not None else None
+        )
+        result.fault_events = (
+            list(self.faults.applied_events)
+            if self.faults is not None else []
+        )
+        result.events_processed = self.engine.events_processed
+        result.events_folded = self.engine.events_folded
+        return result
 
     # -- per-rank interpretation ------------------------------------------------
     def _rank_process(self, rank: int, iteration: int):
@@ -364,7 +402,7 @@ class Executor:
             route = topology.route(src, dst)
             return [self.network.transfer(route, step.payload_bytes,
                                           profile=self.traffic_profile,
-                                          label=step.name)]
+                                          label=self.flow_tag + step.name)]
         # One endpoint is the rank's NVMe swap volume: stripe the payload
         # across member drives, capping each flow at the drive's media
         # bandwidth under the aio layer.
@@ -395,7 +433,7 @@ class Executor:
                 self.network.transfer(route, per_member,
                                       profile=self.traffic_profile,
                                       weight_multiplier=multiplier,
-                                      label=step.name)
+                                      label=self.flow_tag + step.name)
             )
         return events
 

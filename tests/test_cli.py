@@ -65,6 +65,43 @@ class TestRun:
         assert "error" in capsys.readouterr().err
 
 
+class TestCluster:
+    def test_json_output(self, capsys):
+        code = main(["cluster", "run", "--jobs", "3",
+                     "--rate-per-hour", "12000", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "cluster"
+        assert payload["jobs_completed"] == 3
+        assert payload["policy"] == "fifo"
+
+    def test_table_output_with_leak_check(self, capsys):
+        code = main(["cluster", "run", "--jobs", "2", "--policy", "sjf",
+                     "--rate-per-hour", "12000", "--leak-check"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "goodput" in captured.out
+        assert "leak sanitizer: clean" in captured.err
+
+    def test_trace_driven_arrivals_and_export(self, tmp_path, capsys):
+        arrivals = tmp_path / "arrivals.json"
+        arrivals.write_text(json.dumps([
+            {"time": 0.0, "name": "a", "strategy": "ddp",
+             "size_billions": 0.35, "gpus": 2},
+            {"time": 0.5, "name": "b", "strategy": "ddp",
+             "size_billions": 0.35, "gpus": 2},
+        ]))
+        out = tmp_path / "cluster-trace.json"
+        code = main(["cluster", "run", "--arrivals", str(arrivals),
+                     "--trace", str(out), "--json"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "cluster trace written" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["jobs_completed"] == 2
+        assert out.exists()
+
+
 class TestTrace:
     @pytest.fixture()
     def trace_file(self, tmp_path, capsys):

@@ -1,0 +1,99 @@
+"""Job-scoped cluster views: rank arithmetic over shared hardware."""
+
+import pytest
+
+from repro.cluster.views import ClusterView, NodeView, probe_view
+from repro.errors import ConfigurationError, TopologyError
+from repro.hardware import Cluster, ClusterSpec
+
+
+@pytest.fixture()
+def cluster():
+    c = Cluster(ClusterSpec(num_nodes=2))
+    c.reset()
+    return c
+
+
+class TestClusterView:
+    def test_intra_node_subset(self, cluster):
+        view = ClusterView(cluster, [(1, (1, 3))])
+        assert view.num_nodes == 1
+        assert view.gpus_per_node == 2
+        assert view.num_gpus == 2
+        assert view.gpu(0) is cluster.nodes[1].gpus[1]
+        assert view.gpu(1) is cluster.nodes[1].gpus[3]
+
+    def test_whole_node_allocation(self, cluster):
+        per_node = cluster.gpus_per_node
+        view = ClusterView(cluster, [
+            (0, tuple(range(per_node))),
+            (1, tuple(range(per_node))),
+        ])
+        assert view.num_gpus == cluster.num_gpus
+        assert view.gpus_per_node == per_node
+        # rank arithmetic matches the real cluster's
+        for rank in range(view.num_gpus):
+            assert view.gpu(rank) is cluster.gpu(rank)
+
+    def test_global_rank_mapping(self, cluster):
+        view = ClusterView(cluster, [(1, (0, 2))])
+        per_node = cluster.gpus_per_node
+        assert view.global_rank(0) == per_node
+        assert view.global_rank(1) == per_node + 2
+        assert view.gpu(1) is cluster.gpu(per_node + 2)
+
+    def test_shared_devices_not_copies(self, cluster):
+        view = ClusterView(cluster, [(0, (0,))])
+        pool = view.gpu(0).memory
+        pool.allocate("probe", 1024)
+        assert cluster.gpu(0).memory.used_bytes == 1024
+        pool.free("probe")
+
+    def test_node_view_delegates_to_node(self, cluster):
+        view = NodeView(cluster.nodes[0], (1,))
+        assert view.gpus == [cluster.nodes[0].gpus[1]]
+        assert view.drams is cluster.nodes[0].drams
+
+    def test_dram_for_rank_follows_socket(self, cluster):
+        view = ClusterView(cluster, [(0, (0, 1, 2, 3))])
+        for rank in range(4):
+            assert view.dram_for_rank(rank) is cluster.dram_for_rank(rank)
+
+    def test_out_of_range_rank_rejected(self, cluster):
+        view = ClusterView(cluster, [(0, (0, 1))])
+        with pytest.raises(TopologyError):
+            view.gpu(2)
+        with pytest.raises(TopologyError):
+            view.node_of_rank(-1)
+
+    def test_empty_allocation_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            ClusterView(cluster, [])
+
+    def test_ragged_allocation_rejected(self, cluster):
+        with pytest.raises(ConfigurationError, match="ragged"):
+            ClusterView(cluster, [(0, (0, 1)), (1, (0, 1, 2))])
+
+    def test_partial_multi_node_rejected(self, cluster):
+        with pytest.raises(ConfigurationError, match="whole nodes"):
+            ClusterView(cluster, [(0, (0, 1)), (1, (0, 1))])
+
+
+class TestProbeView:
+    def test_intra_node_probe(self, cluster):
+        view = probe_view(cluster, 3)
+        assert view.num_gpus == 3
+        assert view.num_nodes == 1
+
+    def test_whole_node_probe(self, cluster):
+        view = probe_view(cluster, 2 * cluster.gpus_per_node)
+        assert view.num_nodes == 2
+        assert view.gpus_per_node == cluster.gpus_per_node
+
+    def test_unpackable_shape_rejected(self, cluster):
+        with pytest.raises(ConfigurationError, match="whole nodes"):
+            probe_view(cluster, cluster.gpus_per_node + 1)
+
+    def test_oversized_probe_rejected(self, cluster):
+        with pytest.raises(ConfigurationError, match="has"):
+            probe_view(cluster, 4 * cluster.num_gpus)

@@ -188,3 +188,99 @@ class TestCpuWork:
         base = cpu_adam_step_time(1e9, cluster.nodes[0].spec.cpu)
         expected = base * 2 / calibration.CPU_ADAM_SHARE_EFFICIENCY
         assert records[0].duration == pytest.approx(expected)
+
+
+class TestCollectiveGateErrors:
+    def test_overfull_gate_names_group_and_counts(self, cluster):
+        """The gate's arrival-overflow error must carry enough context
+        to debug a miskeyed schedule: comm name, group index, and the
+        observed vs expected arrival counts."""
+        from repro.errors import SimulationError
+        from repro.runtime.executor import _CollectiveGate
+
+        class _StubEvent:
+            def add_callback(self, callback):
+                pass
+
+        class _StubComm:
+            def run(self, op, launch_count=1):
+                return _StubEvent()
+
+        executor = Executor(cluster, schedule_of([ComputeStep("fwd", 1.0)]))
+        gate = _CollectiveGate(executor, _StubComm(), op=None,
+                               kernel=KernelKind.NCCL_ALL_REDUCE,
+                               group=[0, 1],
+                               comm_name="dp", group_index=3)
+        gate.arrive()
+        gate.arrive()
+        with pytest.raises(SimulationError) as error:
+            gate.arrive()
+        message = str(error.value)
+        assert "'dp'[3]" in message
+        assert "3 observed, 2 expected" in message
+        assert "ranks [0, 1]" in message
+
+
+class TestSharedEngineMode:
+    def test_execute_runs_as_generator_on_shared_engine(self, cluster):
+        from repro.sim.engine import Engine
+        from repro.sim.flows import FlowNetwork
+
+        engine = Engine()
+        network = FlowNetwork(engine)
+        sched = schedule_of([ComputeStep("fwd", 1.0)])
+        executor = Executor(cluster, sched, engine=engine, network=network,
+                            flow_tag="jobX/")
+        proc = engine.process(executor.execute(2), name="body")
+        engine.run()
+        result = proc.value
+        assert len(result.iteration_times) == 2
+        assert result.total_time > 0
+
+    def test_flow_tag_prefixes_process_names(self, cluster):
+        from repro.sim.engine import Engine
+        from repro.sim.flows import FlowNetwork
+
+        engine = Engine()
+        executor = Executor(cluster, schedule_of([ComputeStep("fwd", 1.0)]),
+                            engine=engine, network=FlowNetwork(engine),
+                            flow_tag="job7/")
+        seen = []
+        original = engine.process
+
+        def spy(generator, name=""):
+            seen.append(name)
+            return original(generator, name)
+
+        engine.process = spy
+        proc = original(executor.execute(1), name="body")
+        engine.run()
+        assert proc.value is not None
+        assert any(name.startswith("job7/rank0/") for name in seen)
+
+    def test_should_stop_halts_between_iterations(self, cluster):
+        from repro.sim.engine import Engine
+        from repro.sim.flows import FlowNetwork
+
+        engine = Engine()
+        executor = Executor(cluster, schedule_of([ComputeStep("fwd", 1.0)]),
+                            engine=engine, network=FlowNetwork(engine))
+        flags = {"stop": False}
+        proc = engine.process(
+            executor.execute(10, should_stop=lambda: flags["stop"]),
+            name="body")
+
+        def request_stop():
+            flags["stop"] = True
+
+        engine.schedule_at(0.0015, request_stop)
+        engine.run()
+        completed = len(proc.value.iteration_times)
+        assert 0 < completed < 10
+
+    def test_standalone_run_unchanged(self, cluster):
+        # run() still owns its private engine and liveness check.
+        sched = schedule_of([ComputeStep("fwd", 1.0)])
+        result = Executor(cluster, sched).run(2)
+        assert len(result.iteration_times) == 2
+        assert result.events_processed > 0
