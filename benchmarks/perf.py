@@ -29,6 +29,12 @@ and iteration count forever — so files are comparable across PRs:
   shared engine.  Rows report ``jobs_completed`` and the simulated
   ``jobs_per_hour`` alongside the usual events/sec, so scheduler and
   shared-ledger overhead has its own trajectory.
+* ``serve_continuous_64``: the inference serving subsystem — 64 seeded
+  Poisson chat requests through one TP-2 instance under continuous
+  batching.  Rows report ``requests_completed`` and the simulated
+  ``goodput_requests_per_s`` alongside the usual events/sec, so the
+  serving scheduler's admission/KV-cache bookkeeping overhead is
+  tracked like everything else.
 
 Event counts are deterministic (the DES is seeded and tie-ordered);
 wall-clock and events/sec carry machine jitter, which is why each file
@@ -53,6 +59,7 @@ from typing import Dict, List
 
 from repro.api import RunSpec, run_spec
 from repro.cluster import ClusterScenario, run_cluster
+from repro.inference import InferenceSpec, run_inference
 
 #: Pinned forever — edit only by adding new scenarios, never by changing
 #: existing ones, or the cross-PR trajectory breaks.
@@ -93,6 +100,16 @@ CLUSTER_SCENARIOS: Dict[str, ClusterScenario] = {
         num_jobs=16, arrival_seed=7, mix="default"),
 }
 
+#: Inference-serving scenarios: seeded open-loop traffic through one
+#: serving instance.  Pinned like everything else; measured via
+#: ``run_inference``.
+INFERENCE_SCENARIOS: Dict[str, InferenceSpec] = {
+    "serve_continuous_64": InferenceSpec(
+        size_billions=0.7, gpus=2, nodes=1, rate_per_second=8.0,
+        num_requests=64, arrival_seed=7, request_mix="chat",
+        batching="continuous"),
+}
+
 #: v2: adds the fast-path scenarios and, on hybrid rows, the
 #: ``fidelity`` / ``events_extrapolated`` / ``effective_events_per_sec``
 #: fields.  Pre-v2 rows are still comparable by scenario name.
@@ -100,7 +117,10 @@ CLUSTER_SCENARIOS: Dict[str, ClusterScenario] = {
 #: ``flows_tracked`` fields.  Additive only — older rows unchanged.
 #: v4: adds the cluster-service scenario with ``jobs_completed`` /
 #: ``jobs_per_hour`` fields.  Additive only — older rows unchanged.
-SCHEMA_VERSION = 4
+#: v5: adds the inference-serving scenario with ``requests_completed``
+#: / ``goodput_requests_per_s`` fields.  Additive only — older rows
+#: unchanged.
+SCHEMA_VERSION = 5
 
 
 def run_scenario(name: str, spec: RunSpec, *, repeats: int = 3) -> dict:
@@ -164,6 +184,32 @@ def run_cluster_scenario(name: str, scenario: ClusterScenario, *,
     }
 
 
+def run_inference_scenario(name: str, spec: InferenceSpec, *,
+                           repeats: int = 3) -> dict:
+    """Run one pinned serving scenario ``repeats`` times; median wall."""
+    wall_times: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        report = run_inference(spec).report
+        wall_times.append(time.perf_counter() - started)
+    wall_s = statistics.median(wall_times)
+    return {
+        "scenario": name,
+        "kind": "inference",
+        "batching": spec.batching,
+        "gpus": spec.gpus,
+        "nodes": spec.nodes,
+        "requests": spec.num_requests,
+        "requests_completed": report.requests_completed,
+        "goodput_requests_per_s": round(report.goodput_requests_per_s, 2),
+        "events_processed": report.events_processed,
+        "wall_clock_s": round(wall_s, 4),
+        "events_per_sec": (round(report.events_processed / wall_s, 1)
+                           if wall_s else 0.0),
+        "repeats": repeats,
+    }
+
+
 def check_against(committed: dict, *, tolerance: float,
                   repeats: int) -> int:
     """Re-measure committed scenarios; fail on a >tolerance regression."""
@@ -171,9 +217,13 @@ def check_against(committed: dict, *, tolerance: float,
     for row in committed.get("scenarios", []):
         name = row["scenario"]
         cluster_scenario = CLUSTER_SCENARIOS.get(name)
+        inference_scenario = INFERENCE_SCENARIOS.get(name)
         if cluster_scenario is not None:
             fresh = run_cluster_scenario(name, cluster_scenario,
                                          repeats=repeats)
+        elif inference_scenario is not None:
+            fresh = run_inference_scenario(name, inference_scenario,
+                                           repeats=repeats)
         else:
             spec = ALL_SCENARIOS.get(name)
             if spec is None:
@@ -219,7 +269,11 @@ def main(argv: List[str] | None = None) -> int:
                      + [run_cluster_scenario(name, scenario,
                                              repeats=args.repeats)
                         for name, scenario
-                        in sorted(CLUSTER_SCENARIOS.items())],
+                        in sorted(CLUSTER_SCENARIOS.items())]
+                     + [run_inference_scenario(name, spec,
+                                               repeats=args.repeats)
+                        for name, spec
+                        in sorted(INFERENCE_SCENARIOS.items())],
     }
     payload = json.dumps(record, indent=2) + "\n"
     if args.out is None:

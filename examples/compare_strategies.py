@@ -10,7 +10,8 @@ Run:  python examples/compare_strategies.py [--nodes 1|2]
 
 import argparse
 
-from repro import max_model_size, paper_model, run_training
+from repro import max_model_size, paper_model
+from repro.core import run_training
 from repro.hardware import dual_node_cluster, single_node_cluster
 from repro.parallel import DdpStrategy, MegatronStrategy, zero1, zero2, zero3
 from repro.telemetry.report import format_table

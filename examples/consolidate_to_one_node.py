@@ -10,7 +10,8 @@ where the bytes and the time go at each step.
 Run:  python examples/consolidate_to_one_node.py
 """
 
-from repro import max_model_size, model_for_billions, paper_model, run_training
+from repro import max_model_size, model_for_billions, paper_model
+from repro.core import run_training
 from repro.hardware import Cluster, ClusterSpec, dual_node_cluster, single_node_cluster
 from repro.parallel import (
     MegatronStrategy,

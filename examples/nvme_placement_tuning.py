@@ -11,7 +11,8 @@ Run:  python examples/nvme_placement_tuning.py [--size 33.3]
 
 import argparse
 
-from repro import model_for_billions, run_training
+from repro import model_for_billions
+from repro.core import run_training
 from repro.hardware import Cluster, ClusterSpec
 from repro.hardware.link import LinkClass
 from repro.parallel import PLACEMENTS, zero3_nvme_optimizer_params

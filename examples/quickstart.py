@@ -9,7 +9,8 @@ memory usage, and per-interconnect bandwidth.
 Run:  python examples/quickstart.py
 """
 
-from repro import model_for_billions, run_training
+from repro import model_for_billions
+from repro.core import run_training
 from repro.hardware import single_node_cluster
 from repro.parallel import zero2
 

@@ -12,7 +12,8 @@ Run:  python examples/train_language_model.py [--articles 200]
 
 import argparse
 
-from repro import model_for_billions, run_training
+from repro import model_for_billions
+from repro.core import run_training
 from repro.hardware import single_node_cluster
 from repro.parallel import zero2
 from repro.workloads import (

@@ -20,9 +20,6 @@ Every table and figure of the paper is reproducible through
 :mod:`repro.experiments` (``run_experiment("fig7")`` etc.).
 """
 
-import functools
-import warnings
-
 from . import calibration, errors, units
 from .api import RunSpec, run_spec
 from .core import (
@@ -34,7 +31,6 @@ from .core import (
     model_for_billions,
     plan_only,
 )
-from .core import run_training as _run_training
 from .errors import (
     CapabilityError,
     ConfigurationError,
@@ -46,24 +42,17 @@ from .errors import (
 from .model import ModelConfig, TrainingConfig, paper_model, total_parameters
 
 
-@functools.wraps(_run_training)
-def run_training(*args, **kwargs):
-    """Deprecated top-level alias for :func:`repro.core.runner.run_training`.
-
-    The declarative front door is :func:`repro.api.run_spec`; scripts
-    that want the positional runner should import it from
-    :mod:`repro.core` directly.
-    """
-    warnings.warn(
-        "repro.run_training is deprecated; use repro.api.run_spec "
-        "(declarative) or repro.core.run_training (positional) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _run_training(*args, **kwargs)
+def __getattr__(name: str):
+    if name == "run_training":
+        # The deprecated top-level alias was removed in 1.1.0.
+        raise ImportError(
+            "repro.run_training was removed; use repro.run_spec(RunSpec(...))"
+            " (declarative) or repro.core.run_training (positional) instead"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CapabilityError",
@@ -87,7 +76,6 @@ __all__ = [
     "paper_model",
     "plan_only",
     "run_spec",
-    "run_training",
     "total_parameters",
     "units",
 ]

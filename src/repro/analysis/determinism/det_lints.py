@@ -46,7 +46,7 @@ from ..source_lints import DEFAULT_SOURCE_ROOT
 #: these are in scope for the determinism lints.
 SIM_PACKAGES = (
     "sim", "runtime", "collectives", "parallel", "faults", "hardware",
-    "cluster",
+    "cluster", "inference",
 )
 
 #: Method names whose call inside a set-iteration body means the loop is

@@ -10,9 +10,14 @@ The one import new code needs for spec-driven simulation::
 keyword sprawl into one frozen, JSON-round-trippable value with a
 documented stable :meth:`~repro.api.spec.RunSpec.cache_key` — the hash
 the campaign result cache (:mod:`repro.campaign`) is keyed on.
-``run_training`` itself remains supported as the object-level shim for
-callers that already hold live ``Cluster``/strategy/model objects; see
-DESIGN.md ("Campaigns & caching") for the deprecation path.
+
+``RunSpec`` is one of two workload specs satisfying the
+:class:`~repro.api.workload.Workload` protocol; the other is
+:class:`repro.inference.InferenceSpec` (serving).  Code that wants to
+stay workload-agnostic — campaigns, the cluster daemon, the CLI —
+dispatches through :func:`workload_class`/:func:`spec_from_payload`
+rather than importing concrete spec classes; see DESIGN.md
+("Workloads & the spec API").
 """
 
 from .build import (
@@ -33,10 +38,19 @@ from .spec import (
     default_salt,
     stable_key,
 )
+from .workload import (
+    WORKLOAD_KINDS,
+    Workload,
+    spec_from_payload,
+    workload_class,
+    workload_kind,
+)
 
 __all__ = [
     "RunSpec",
     "TIE_ORDERS",
+    "WORKLOAD_KINDS",
+    "Workload",
     "build_cluster",
     "build_fault_plan",
     "build_model",
@@ -48,5 +62,8 @@ __all__ = [
     "canonical_json",
     "default_salt",
     "run_spec",
+    "spec_from_payload",
     "stable_key",
+    "workload_class",
+    "workload_kind",
 ]

@@ -190,7 +190,22 @@ class RunSpec:
         return stable_key({"kind": "run", "spec": self.to_dict()}, salt=salt)
 
     def replace(self, **changes: object) -> "RunSpec":
-        """A copy with ``changes`` applied (dataclasses.replace shim)."""
+        """A copy with ``changes`` applied, re-validated on construction.
+
+        Goes back through ``__init__`` (and therefore ``__post_init__``)
+        so an invalid field combination — e.g. setting ``num_layers`` on
+        a ``size_billions`` spec, or ``nodes=0`` — raises the same
+        :class:`ConfigurationError` it would at construction time
+        instead of sneaking past as a mutated copy.  Unknown field names
+        are a :class:`ConfigurationError` too, matching ``from_dict``.
+        """
+        known = {spec_field.name for spec_field in fields(self)}
+        unknown = sorted(set(changes) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown {type(self).__name__} fields {unknown}; "
+                f"known: {sorted(known)}"
+            )
         return replace(self, **changes)  # type: ignore[arg-type]
 
     @property

@@ -1,0 +1,124 @@
+"""The workload-polymorphic spec contract: the :class:`Workload` protocol.
+
+The first nine PRs hard-wired the public surface to a single workload
+kind: ``RunSpec`` *was* "the spec", campaigns special-cased it, and the
+CLI only knew ``repro run``.  Adding inference serving
+(:mod:`repro.inference`) would have doubled every one of those seams,
+so this module extracts what all of them actually relied on into a
+small structural protocol:
+
+``to_dict()``
+    JSON-safe field dump (round-trips through ``from_dict``).
+``from_dict(payload)``
+    Classmethod inverse; rejects unknown keys with
+    :class:`~repro.errors.ConfigurationError`.
+``cache_key(salt=...)``
+    Stable content hash per the contract documented in
+    :mod:`repro.api.spec` — the campaign result cache keys on it.
+``label``
+    Short human-readable identity, used for job ids.
+``run()``
+    Materialize and simulate the spec, returning the workload's native
+    result object.
+
+Both :class:`repro.api.RunSpec` (training) and
+:class:`repro.inference.InferenceSpec` satisfy it; campaigns, the
+result cache, the cluster daemon and the CLI dispatch on the *workload
+kind string* ("train" / "inference") via :data:`WORKLOAD_KINDS` and
+:func:`workload_class` instead of importing concrete spec classes.
+
+The registry is intentionally lazy (module-path strings resolved on
+first use) so :mod:`repro.api` never imports :mod:`repro.inference` at
+import time — the protocol layer must stay cycle-free exactly like
+:mod:`repro.api.spec`.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Any, Dict, Mapping, Optional, Tuple, Type
+
+from ..errors import ConfigurationError
+
+try:  # Protocol is 3.8+; runtime_checkable keeps isinstance() useful.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - ancient interpreters only
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """Structural contract every schedulable spec satisfies.
+
+    Purely structural: spec classes do not inherit from this, they just
+    implement the five members.  ``isinstance(spec, Workload)`` works at
+    runtime (method presence only) and the contract tests in
+    ``tests/test_workload_protocol.py`` pin the behavioural half —
+    round-trip equality, cache-key stability, label shape.
+    """
+
+    def to_dict(self) -> Dict[str, object]: ...
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Workload": ...
+
+    def cache_key(self, *, salt: Optional[str] = None) -> str: ...
+
+    @property
+    def label(self) -> str: ...
+
+    def run(self) -> Any: ...
+
+
+#: Workload kind string -> "module:Class" path of the spec satisfying
+#: :class:`Workload`.  Kind strings are public API: they appear in
+#: ``repro run --workload`` and in campaign job ids/payloads.
+_WORKLOAD_PATHS: Dict[str, str] = {
+    "train": "repro.api.spec:RunSpec",
+    "inference": "repro.inference.spec:InferenceSpec",
+}
+
+#: The workload kinds the CLI and campaigns accept, in stable order.
+WORKLOAD_KINDS: Tuple[str, ...] = tuple(_WORKLOAD_PATHS)
+
+_RESOLVED: Dict[str, Type[Any]] = {}
+
+
+def workload_class(kind: str) -> Type[Any]:
+    """The spec class registered for workload ``kind``.
+
+    Resolution is lazy and memoized; an unknown kind is a
+    :class:`ConfigurationError` naming the valid ones.
+    """
+    try:
+        path = _WORKLOAD_PATHS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {kind!r} "
+            f"(expected one of {sorted(_WORKLOAD_PATHS)})"
+        ) from None
+    cls = _RESOLVED.get(kind)
+    if cls is None:
+        module_name, _, class_name = path.partition(":")
+        cls = getattr(import_module(module_name), class_name)
+        _RESOLVED[kind] = cls
+    return cls
+
+
+def workload_kind(spec: Any) -> str:
+    """The registered kind string for a live spec instance."""
+    for kind in WORKLOAD_KINDS:
+        if isinstance(spec, workload_class(kind)):
+            return kind
+    raise ConfigurationError(
+        f"{type(spec).__name__} is not a registered workload spec "
+        f"(known kinds: {sorted(_WORKLOAD_PATHS)})"
+    )
+
+
+def spec_from_payload(kind: str, payload: Mapping[str, object]) -> Workload:
+    """Deserialize a workload-tagged payload back into its spec class."""
+    return workload_class(kind).from_dict(payload)

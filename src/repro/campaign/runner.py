@@ -64,6 +64,12 @@ def execute_job(payload: Dict[str, object]) -> Dict[str, object]:
 
         run = run_cluster(ClusterScenario.from_dict(spec_dict))
         return run.report.to_dict()
+    if kind == "inference":
+        from ..inference.service import run_inference
+        from ..inference.spec import InferenceSpec
+
+        run = run_inference(InferenceSpec.from_dict(spec_dict))
+        return run.report.to_dict()
     raise ConfigurationError(f"unknown job kind {kind!r}")
 
 

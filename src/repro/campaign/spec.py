@@ -4,8 +4,11 @@ A :class:`CampaignSpec` names *what* to reproduce — experiment ids plus
 an optional strategy x model-size x node-count sweep — and
 :meth:`CampaignSpec.expand` materializes it into an ordered list of
 :class:`Job`\\ s, each wrapping one canonical spec
-(:class:`~repro.experiments.common.ExperimentSpec` or
-:class:`~repro.api.RunSpec`).  Expansion order is a pure function of the
+(:class:`~repro.experiments.common.ExperimentSpec`,
+:class:`~repro.api.RunSpec`, :class:`~repro.cluster.scenario.
+ClusterScenario`, or :class:`~repro.inference.InferenceSpec` — any
+:class:`~repro.api.workload.Workload`).  Expansion order is a pure
+function of the
 spec (experiments first, then the sweep in listed order), so a campaign
 enumerates — and reports — identically no matter how many workers
 execute it or in which order they finish.
@@ -27,8 +30,9 @@ from ..api.spec import RunSpec
 from ..cluster.scenario import ClusterScenario
 from ..errors import ConfigurationError
 from ..experiments.common import ExperimentSpec
+from ..inference.spec import InferenceSpec
 
-JobSpec = Union[ExperimentSpec, RunSpec, ClusterScenario]
+JobSpec = Union[ExperimentSpec, RunSpec, ClusterScenario, InferenceSpec]
 
 
 @dataclass(frozen=True)
@@ -36,7 +40,7 @@ class Job:
     """One unit of campaign work: a canonical spec plus a stable id."""
 
     job_id: str
-    kind: str  # "experiment" | "run" | "cluster"
+    kind: str  # "experiment" | "run" | "cluster" | "inference"
     spec: JobSpec
 
     def cache_key(self, *, salt: str = None) -> str:
@@ -69,6 +73,8 @@ class CampaignSpec:
     full: bool = False
     #: cluster-service scenarios to run alongside the training sweep
     clusters: Tuple[ClusterScenario, ...] = ()
+    #: inference serving runs to score alongside (the second Workload)
+    inference: Tuple[InferenceSpec, ...] = ()
 
     def __post_init__(self) -> None:
         for attr in ("experiments", "strategies", "sizes_billions", "nodes"):
@@ -80,12 +86,18 @@ class CampaignSpec:
             else ClusterScenario.from_dict(scenario)
             for scenario in self.clusters
         ))
+        object.__setattr__(self, "inference", tuple(
+            spec if isinstance(spec, InferenceSpec)
+            else InferenceSpec.from_dict(spec)
+            for spec in self.inference
+        ))
         if not self.name:
             raise ConfigurationError("campaign needs a name")
-        if not self.experiments and not self.strategies and not self.clusters:
+        if (not self.experiments and not self.strategies
+                and not self.clusters and not self.inference):
             raise ConfigurationError(
                 "campaign is empty: list experiments, strategies, "
-                "and/or clusters"
+                "clusters, and/or inference"
             )
         if self.strategies and not self.sizes_billions:
             raise ConfigurationError(
@@ -116,6 +128,8 @@ class CampaignSpec:
         for scenario in self.clusters:
             jobs.append(Job(f"cluster/{scenario.label}", "cluster",
                             scenario))
+        for spec in self.inference:
+            jobs.append(Job(f"inference/{spec.label}", "inference", spec))
         seen: Dict[str, int] = {}
         for job in jobs:
             seen[job.job_id] = seen.get(job.job_id, 0) + 1
@@ -138,6 +152,7 @@ class CampaignSpec:
             "warmup_iterations": self.warmup_iterations,
             "full": self.full,
             "clusters": [scenario.to_dict() for scenario in self.clusters],
+            "inference": [spec.to_dict() for spec in self.inference],
         }
 
     @classmethod

@@ -55,6 +55,7 @@ from .experiments.common import ALL_STRATEGIES, make_strategy
 from .faults import FaultPlan, degradation_report
 from .telemetry.bandwidth import BandwidthMonitor
 from .hardware import Cluster, ClusterSpec, dual_node_cluster, single_node_cluster
+from .inference import BATCHING_POLICIES, REQUEST_MIXES
 from .hardware.render import render_cluster, render_cluster_json
 from .parallel.placement import PLACEMENTS
 from .stress import full_stress_suite, latency_sweep
@@ -71,7 +72,96 @@ def _cluster_for(args: argparse.Namespace) -> Cluster:
     return single_node_cluster() if args.nodes == 1 else dual_node_cluster()
 
 
+def _serve_and_render(spec, args: argparse.Namespace) -> int:
+    """Run one InferenceSpec and render its serving report."""
+    run = spec.run()
+    report = run.report
+    if args.leak_check:
+        assert report.leaks is not None
+        report.leaks.assert_clean()
+        print(f"leak sanitizer: clean "
+              f"({report.leaks.pools_audited} pools, "
+              f"{report.leaks.ledgers_audited} ledgers, "
+              f"{report.leaks.flows_tracked} flows audited)",
+              file=sys.stderr)
+    if args.trace is not None:
+        from .trace import write_trace
+        assert run.trace is not None
+        write_trace(run.trace, args.trace)
+        print(f"serving trace written: {args.trace} "
+              f"({len(run.trace.spans)} spans, "
+              f"{len(run.trace.flows)} flows, "
+              f"{len(run.trace.links)} links)",
+              file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(format_table(
+            ["metric", "value"],
+            [["spec", report.spec_label],
+             ["batching", report.batching],
+             ["nodes x GPUs (TP)", f"{report.nodes} x {report.num_gpus}"],
+             ["requests (done/all)",
+              f"{report.requests_completed}/{report.requests_submitted}"],
+             ["TTFT p50/p99 (s)",
+              f"{report.ttft_p50_s:.4f}/{report.ttft_p99_s:.4f}"],
+             ["TPOT p50/p99 (s)",
+              f"{report.tpot_p50_s:.4f}/{report.tpot_p99_s:.4f}"],
+             ["queue wait p50/p99 (s)",
+              f"{report.queue_wait_p50_s:.4f}"
+              f"/{report.queue_wait_p99_s:.4f}"],
+             ["goodput (req/s | tok/s)",
+              f"{report.goodput_requests_per_s:.2f} | "
+              f"{report.goodput_tokens_per_s:.1f}"],
+             ["SLO attainment", round(report.slo_attainment, 4)],
+             ["KV peak / budget (GB)",
+              f"{report.kv_peak_bytes / GB:.2f}"
+              f"/{report.kv_budget_bytes / GB:.2f}"],
+             ["makespan (s)", round(report.total_time_s, 3)],
+             ["cache key", spec.cache_key()[:16]]],
+            title="inference serving run",
+        ))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .inference import InferenceSpec
+
+    spec = InferenceSpec(
+        size_billions=args.size,
+        gpus=args.gpus,
+        nodes=args.nodes,
+        rate_per_second=args.rate,
+        num_requests=args.requests,
+        arrival_seed=args.seed,
+        request_mix=args.mix,
+        batching=args.batching,
+        max_batch_tokens=args.max_batch_tokens,
+        max_batch_requests=args.max_batch_requests,
+        kv_fraction=args.kv_fraction,
+        slo_ttft_s=args.slo_ttft,
+        slo_tpot_s=args.slo_tpot,
+        trace=args.trace is not None,
+        leak_check=args.leak_check,
+    )
+    return _serve_and_render(spec, args)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.workload == "inference":
+        # The workload-polymorphic path: the same flags select an
+        # InferenceSpec (iterations becomes the request count); the
+        # full serving surface lives under `repro serve`.
+        from .inference import InferenceSpec
+
+        spec = InferenceSpec(
+            size_billions=args.size,
+            nodes=args.nodes,
+            num_requests=args.iterations,
+            trace=args.trace is not None,
+            leak_check=args.leak_check,
+        )
+        return _serve_and_render(spec, args)
     spec = RunSpec(
         strategy=args.strategy,
         size_billions=args.size,
@@ -527,7 +617,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="simulate one training configuration")
+    run = sub.add_parser(
+        "run", help="simulate one training (or inference) configuration")
+    run.add_argument("--workload", choices=("train", "inference"),
+                     default="train",
+                     help="which Workload to run; 'inference' maps "
+                          "--size/--nodes/--iterations onto an "
+                          "InferenceSpec (see `repro serve` for the "
+                          "full serving surface)")
     run.add_argument("--strategy", choices=sorted(ALL_STRATEGIES),
                      default="zero2")
     run.add_argument("--size", type=float, default=1.4,
@@ -551,6 +648,45 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit the full machine-readable RunMetrics "
                           "summary (same schema as save_metrics)")
     run.set_defaults(func=_cmd_run)
+
+    serve = sub.add_parser(
+        "serve", help="simulate one inference serving run "
+                      "(continuous batching on the shared fabric model)")
+    serve.add_argument("--size", type=float, default=1.4,
+                       help="model size in billions of parameters")
+    serve.add_argument("--gpus", type=int, default=4,
+                       help="tensor-parallel degree of the instance")
+    serve.add_argument("--nodes", type=int, default=1,
+                       help="nodes the TP group spans")
+    serve.add_argument("--rate", type=float, default=4.0,
+                       help="open-loop Poisson arrival rate (requests/s)")
+    serve.add_argument("--requests", type=int, default=32,
+                       help="number of requests to serve")
+    serve.add_argument("--seed", type=int, default=7,
+                       help="arrival-stream seed")
+    serve.add_argument("--mix", choices=sorted(REQUEST_MIXES),
+                       default="chat",
+                       help="request length mix")
+    serve.add_argument("--batching", choices=BATCHING_POLICIES,
+                       default="continuous")
+    serve.add_argument("--max-batch-tokens", type=int, default=8192)
+    serve.add_argument("--max-batch-requests", type=int, default=16)
+    serve.add_argument("--kv-fraction", type=float, default=0.9,
+                       help="fraction of post-weights free GPU memory "
+                            "given to the KV-cache budget")
+    serve.add_argument("--slo-ttft", type=float, default=1.0,
+                       help="TTFT SLO target (seconds)")
+    serve.add_argument("--slo-tpot", type=float, default=0.2,
+                       help="TPOT SLO target (seconds)")
+    serve.add_argument("--leak-check", action="store_true",
+                       help="audit KV/weights byte conservation at "
+                            "teardown")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="write the serving trace as Chrome Trace "
+                            "JSON")
+    serve.add_argument("--json", action="store_true",
+                       help="emit the full InferenceReport payload")
+    serve.set_defaults(func=_cmd_serve)
 
     campaign = sub.add_parser(
         "campaign", help="run cached experiment sweeps on a worker pool")

@@ -6,16 +6,67 @@ the cluster is coping — the queueing-theory regime where heavy traffic
 means the queue genuinely builds.  Everything draws from one
 ``random.Random(seed)`` instance, so a scenario's arrival stream is a
 pure function of ``(seed, rate, num_jobs, mix)``.
+
+The seeded-process primitives (:func:`poisson_times`,
+:func:`draw_weighted`, :func:`validate_trace_times`) are shared with
+the inference serving subsystem (:mod:`repro.inference.requests`),
+which generates per-request arrival streams the same open-loop way —
+one generator, two workload kinds.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple, TypeVar
 
 from ..errors import ConfigurationError
 from .jobs import JobSpec
+
+_T = TypeVar("_T")
+
+
+def poisson_times(rate_per_s: float, count: int,
+                  rng: random.Random) -> List[float]:
+    """``count`` open-loop Poisson arrival times at ``rate_per_s``.
+
+    Interarrival gaps are exponential with mean ``1 / rate_per_s``
+    seconds, drawn from the caller's seeded ``rng`` (never the
+    process-global RNG — the CLU002 lint enforces this for cluster
+    code, and :mod:`repro.inference` holds itself to the same rule).
+    """
+    if rate_per_s <= 0:
+        raise ConfigurationError("arrival rate must be positive")
+    if count < 1:
+        raise ConfigurationError("need at least one arrival")
+    times: List[float] = []
+    now = 0.0
+    for _ in range(count):
+        now += rng.expovariate(rate_per_s)
+        times.append(now)
+    return times
+
+
+def draw_weighted(templates: Sequence[Tuple[float, _T]],
+                  rng: random.Random) -> _T:
+    """One template drawn by relative weight from a (weight, value) mix."""
+    weights = [weight for weight, _ in templates]
+    _, chosen = rng.choices(list(templates), weights=weights, k=1)[0]
+    return chosen
+
+
+def validate_trace_times(index: int, time_s: float, last: float) -> float:
+    """Check one trace entry's time is non-negative and non-decreasing."""
+    if time_s < 0:
+        raise ConfigurationError(
+            f"trace entry {index} has a negative arrival time ({time_s})"
+        )
+    if time_s < last:
+        raise ConfigurationError(
+            f"trace entry {index} goes back in time "
+            f"({time_s} after {last})"
+        )
+    return time_s
 
 
 @dataclass(frozen=True)
@@ -61,6 +112,21 @@ JOB_MIXES: Dict[str, Tuple[Tuple[float, Dict[str, object]], ...]] = {
                "size_billions": 0.35, "gpus": 2, "iterations": 3,
                "priority": 0}),
     ),
+    # Training batch jobs next to latency-sensitive serving instances:
+    # inference jobs run the serving scheduler (iterations = requests)
+    # at higher base priority, contending for the same fabric/pools.
+    "mixed": (
+        (0.4, {"tenant": "research", "strategy": "ddp",
+               "size_billions": 0.35, "gpus": 2, "iterations": 4,
+               "priority": 0}),
+        (0.3, {"tenant": "product", "strategy": "zero2",
+               "size_billions": 0.7, "gpus": 4, "iterations": 4,
+               "priority": 1}),
+        (0.3, {"tenant": "serving", "workload": "inference",
+               "size_billions": 0.35, "gpus": 2, "iterations": 6,
+               "priority": 2, "request_rate_per_s": 4.0,
+               "request_mix": "chat"}),
+    ),
 }
 
 
@@ -84,13 +150,14 @@ def poisson_arrivals(rate_per_hour: float, num_jobs: int, *,
             f"unknown job mix {mix!r}; known: {sorted(JOB_MIXES)}"
         )
     rng = random.Random(seed)
-    weights = [weight for weight, _ in templates]
     rate_per_s = rate_per_hour / 3600.0
     arrivals: List[Arrival] = []
     now = 0.0
+    # Gap and template draws stay interleaved (gap, template, gap, ...)
+    # so seeded streams from earlier releases replay byte-identically.
     for index in range(num_jobs):
         now += rng.expovariate(rate_per_s)
-        _, template = rng.choices(templates, weights=weights, k=1)[0]
+        template = draw_weighted(templates, rng)
         spec = JobSpec(name=f"{mix}-{index}", **template)
         arrivals.append(Arrival(time=now, spec=spec))
     return arrivals
@@ -114,12 +181,7 @@ def trace_arrivals(entries: Sequence[Mapping[str, object]]) -> List[Arrival]:
             raise ConfigurationError(
                 f"trace entry {index} has no arrival time"
             ) from None
-        if time_s < last:
-            raise ConfigurationError(
-                f"trace entry {index} goes back in time "
-                f"({time_s} after {last})"
-            )
-        last = time_s
+        last = validate_trace_times(index, time_s, last)
         payload.setdefault("name", f"trace-{index}")
         arrivals.append(Arrival(time=time_s,
                                 spec=JobSpec.from_dict(payload)))

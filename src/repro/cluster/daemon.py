@@ -272,6 +272,15 @@ class SchedulerDaemon:
             event = victim.preempt_event
             if event is not None and not event.triggered:
                 event.succeed(None)
+        if not self._draining:
+            # succeed() resumes waiters synchronously, so a victim
+            # parked directly on its preempt event (a serving loop
+            # idling between requests) has already drained: its
+            # job_preempted wake() found no waiting daemon.  Dispatch
+            # again here rather than lose that wakeup forever.  The
+            # recursion is bounded: _maybe_preempt early-returns while
+            # ``_reserved`` is held.
+            self._dispatch()
 
     def _plan_preemption(self, top: JobRecord
                          ) -> Optional[List[JobRecord]]:

@@ -30,18 +30,32 @@ from ..sim.engine import BaseEvent
 #: Fidelities a job may request (mirrors :data:`repro.api.spec.FIDELITIES`).
 JOB_FIDELITIES = ("full", "hybrid")
 
+#: Workload kinds the shared service schedules (mirrors
+#: :data:`repro.api.workload.WORKLOAD_KINDS`, re-declared as data so
+#: this module stays import-cycle-free like :mod:`repro.api.spec`).
+JOB_WORKLOADS = ("train", "inference")
+
 
 @dataclass(frozen=True)
 class JobSpec:
-    """One submitted training job, as pure serializable data.
+    """One submitted job, as pure serializable data.
 
-    ``strategy``/``size_billions`` select the workload exactly as a
-    :class:`~repro.api.RunSpec` would; ``gpus`` is the allocation size
-    the scheduler must pack (k GPUs on one node, or whole nodes).
-    ``priority`` is the base scheduling priority (higher preempts
-    lower); NVMe-offload strategies are rejected because per-rank swap
-    volumes are node-exclusive resources the shared service does not
-    arbitrate yet.
+    ``workload`` selects the job body: ``"train"`` runs the executor
+    over ``strategy``/``size_billions`` exactly as a
+    :class:`~repro.api.RunSpec` would; ``"inference"`` runs the serving
+    scheduler (:mod:`repro.inference`) with ``gpus`` as the
+    tensor-parallel degree and ``iterations`` as the request count —
+    one unit of progress is one completed request, so preemption,
+    SJF ordering, and the store's bookkeeping apply uniformly.  The
+    ``request_*`` fields shape an inference job's open-loop traffic and
+    are ignored for training jobs (they must stay at their defaults so
+    train-job cache keys are unaffected).
+
+    ``gpus`` is the allocation size the scheduler must pack (k GPUs on
+    one node, or whole nodes).  ``priority`` is the base scheduling
+    priority (higher preempts lower); NVMe-offload strategies are
+    rejected because per-rank swap volumes are node-exclusive resources
+    the shared service does not arbitrate yet.
     """
 
     name: str
@@ -54,12 +68,24 @@ class JobSpec:
     priority: int = 0
     fidelity: str = "full"
     micro_batch_per_gpu: int = 16
+    workload: str = "train"
+    #: inference traffic shape (requests arrive open-loop after launch)
+    request_rate_per_s: float = 2.0
+    request_mix: str = "chat"
+    request_seed: int = 7
+    max_batch_tokens: int = 4096
+    max_batch_requests: int = 8
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("job needs a name")
         if not self.tenant:
             raise ConfigurationError("job needs a tenant")
+        if self.workload not in JOB_WORKLOADS:
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r} "
+                f"(expected one of {JOB_WORKLOADS})"
+            )
         if "nvme" in self.strategy:
             raise ConfigurationError(
                 f"job {self.name!r}: NVMe-offload strategies are not "
@@ -69,7 +95,18 @@ class JobSpec:
             raise ConfigurationError("size_billions must be positive")
         if self.gpus < 1:
             raise ConfigurationError("gpus must be >= 1")
-        if self.iterations <= self.warmup_iterations:
+        if self.workload == "inference":
+            if self.iterations < 1:
+                raise ConfigurationError(
+                    "an inference job needs at least one request"
+                )
+            if self.request_rate_per_s <= 0:
+                raise ConfigurationError("request_rate_per_s must be positive")
+            if self.max_batch_tokens < 1:
+                raise ConfigurationError("max_batch_tokens must be >= 1")
+            if self.max_batch_requests < 1:
+                raise ConfigurationError("max_batch_requests must be >= 1")
+        elif self.iterations <= self.warmup_iterations:
             raise ConfigurationError(
                 "need more iterations than warmup iterations"
             )

@@ -29,10 +29,11 @@ simulated windows.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.liveness import check_liveness
+from ..collectives.nccl import NcclCommunicator
 from ..core.runner import apply_memory_plan, release_memory_plan
 from ..core.search import model_for_billions
 from ..errors import ConfigurationError, OutOfMemoryError
@@ -118,7 +119,7 @@ class _ClusterService:
         self.store = JobStore()
         #: memoized per-rank memory plans; pools are uniform, so the
         #: plan depends only on the workload and allocation size
-        self._plans: Dict[Tuple[str, float, int, int], MemoryPlan] = {}
+        self._plans: Dict[Tuple[object, ...], MemoryPlan] = {}
         self.daemon: Optional[SchedulerDaemon] = None
 
     # -- planning --------------------------------------------------------------
@@ -126,23 +127,79 @@ class _ClusterService:
         return self.plan_for(record.spec)
 
     def plan_for(self, spec: JobSpec) -> MemoryPlan:
-        key = (spec.strategy, spec.size_billions, spec.gpus,
-               spec.micro_batch_per_gpu)
+        key = (spec.workload, spec.strategy, spec.size_billions, spec.gpus,
+               spec.micro_batch_per_gpu, spec.request_mix,
+               spec.max_batch_tokens)
         plan = self._plans.get(key)
         if plan is None:
-            view = probe_view(self.cluster, spec.gpus)
-            ctx = StrategyContext(
-                view, model_for_billions(spec.size_billions),
-                TrainingConfig(micro_batch_per_gpu=spec.micro_batch_per_gpu),
-            )
-            plan = make_strategy(spec.strategy).memory_plan(ctx)
-            if plan.nvme:
-                raise ConfigurationError(
-                    f"job strategy {spec.strategy!r} plans NVMe residency; "
-                    f"not schedulable on the shared service"
+            if spec.workload == "inference":
+                plan = self._serving_plan(spec)
+            else:
+                view = probe_view(self.cluster, spec.gpus)
+                ctx = StrategyContext(
+                    view, model_for_billions(spec.size_billions),
+                    TrainingConfig(
+                        micro_batch_per_gpu=spec.micro_batch_per_gpu),
                 )
+                plan = make_strategy(spec.strategy).memory_plan(ctx)
+                if plan.nvme:
+                    raise ConfigurationError(
+                        f"job strategy {spec.strategy!r} plans NVMe "
+                        f"residency; not schedulable on the shared service"
+                    )
             self._plans[key] = plan
         return plan
+
+    def _serving_plan(self, spec: JobSpec) -> MemoryPlan:
+        """Per-rank demand of an inference job: weights + KV budget.
+
+        The KV budget is sized so the token-level admission cap
+        (``max_batch_tokens``) is the binding constraint: with the
+        reserve-max policy a batch can never hold more than
+        ``max_batch_tokens`` of context, so that many tokens of KV per
+        rank is exactly enough for the cache never to block admission.
+        Also front-loads the traffic-shape validation (mix name, every
+        template admissible) so the daemon never waits on a job that
+        could not serve a single request.
+        """
+        from ..inference.costmodel import PhaseCostModel
+        from ..inference.requests import REQUEST_MIXES
+
+        config = model_for_billions(spec.size_billions)
+        if config.num_heads % spec.gpus:
+            raise ConfigurationError(
+                f"job {spec.name!r}: tensor parallelism needs gpus to "
+                f"divide num_heads ({spec.gpus} does not divide "
+                f"{config.num_heads})"
+            )
+        templates = REQUEST_MIXES.get(spec.request_mix)
+        if templates is None:
+            raise ConfigurationError(
+                f"job {spec.name!r}: unknown request mix "
+                f"{spec.request_mix!r}; known: {sorted(REQUEST_MIXES)}"
+            )
+        largest = max(template["prompt_tokens"] + template["output_tokens"]
+                      for _, template in templates)
+        if largest > spec.max_batch_tokens:
+            raise ConfigurationError(
+                f"job {spec.name!r}: mix {spec.request_mix!r} can draw a "
+                f"{largest}-token request but max_batch_tokens is "
+                f"{spec.max_batch_tokens}; it could never be admitted"
+            )
+        if largest > config.max_position_embeddings:
+            raise ConfigurationError(
+                f"job {spec.name!r}: mix {spec.request_mix!r} can draw a "
+                f"{largest}-token context; the model serves at most "
+                f"{config.max_position_embeddings}"
+            )
+        cost = PhaseCostModel(
+            config, self.cluster.nodes[0].spec.gpu,
+            tensor_parallel=spec.gpus,
+        )
+        return MemoryPlan(gpu={
+            "weights": cost.weight_bytes_per_rank,
+            "kv_budget": spec.max_batch_tokens * cost.kv_token_bytes_per_rank,
+        })
 
     def validate(self, specs: List[JobSpec]) -> None:
         """Reject arrivals no schedule could ever place.
@@ -183,6 +240,9 @@ class _ClusterService:
                             name=f"{record.job_id}/body")
 
     def _job_body(self, record: JobRecord, view: ClusterView):
+        if record.spec.workload == "inference":
+            yield from self._serving_body(record, view)
+            return
         engine = self.engine
         store = self.store
         daemon = self.daemon
@@ -270,6 +330,108 @@ class _ClusterService:
             yield engine.timeout(save)
         self._collect_spans(record, view, executor)
         release_memory_plan(view, prefixed)
+        store.charge_gpu_seconds(
+            record, spec.gpus * (engine.now - segment_start))
+        if preempted:
+            store.mark_preempted(record, engine.now)
+            daemon.job_preempted(record)
+        else:
+            store.mark_completed(record, engine.now)
+            daemon.job_finished(record)
+
+    def _serving_body(self, record: JobRecord, view: ClusterView):
+        """An inference job: the serving scheduler as a cluster tenant.
+
+        Imports are deferred: :mod:`repro.inference` imports cluster
+        submodules (arrivals, views), so a top-level import here would
+        close an import cycle through ``cluster/__init__``.
+
+        One completed request is one unit of progress.  On preemption
+        the in-flight batch is aborted (KV reservations released, no
+        checkpoint — a serving instance has no optimizer state worth
+        saving) and the *remaining* requests replay from the seeded
+        stream at the next residency, re-timed to the restart instant.
+        """
+        from ..inference.batching import RequestRecord, ServingScheduler
+        from ..inference.costmodel import PhaseCostModel
+        from ..inference.kvcache import KvCache
+        from ..inference.requests import poisson_requests
+
+        engine = self.engine
+        store = self.store
+        daemon = self.daemon
+        assert daemon is not None
+        spec = record.spec
+        job = record.job_id
+        config = model_for_billions(spec.size_billions)
+        cost = PhaseCostModel(config, self.cluster.nodes[0].spec.gpu,
+                              tensor_parallel=spec.gpus)
+        plan = self.plan_for(spec)
+        weights_plan = MemoryPlan(
+            gpu={f"{job}/weights": plan.gpu["weights"]})
+        pools = [view.gpu(rank).memory for rank in range(view.num_gpus)]
+        try:
+            apply_memory_plan(view, weights_plan)
+            kvcache = KvCache(
+                pools,
+                budget_per_rank=plan.gpu["kv_budget"],
+                bytes_per_token_per_rank=cost.kv_token_bytes_per_rank,
+                tag=f"{job}/",
+            )
+        except OutOfMemoryError as error:
+            # Unreachable under the daemon's admission check (demand is
+            # weights + KV budget); kept as a terminal state.
+            store.mark_failed(record, engine.now, str(error))
+            daemon.job_failed(record)
+            return
+        segment_start = engine.now
+        record.preempt_event = engine.event()
+        # Replay the seeded open-loop stream, skipping requests already
+        # completed in earlier residencies; re-time so the first pending
+        # request arrives at the restart instant and the rest keep their
+        # seeded interarrival gaps.
+        stream = poisson_requests(
+            spec.request_rate_per_s, spec.iterations,
+            seed=spec.request_seed, mix=spec.request_mix,
+        )
+        pending = stream[record.completed_iterations:]
+        offset = engine.now - pending[0].time
+        ranks = list(range(view.num_gpus))
+        comm = None
+        if view.num_gpus > 1:
+            comm = NcclCommunicator(view, engine, self.network, ranks,
+                                    label_prefix=f"{job}/")
+        scheduler = ServingScheduler(
+            engine, cost, kvcache,
+            comm=comm,
+            batching="continuous",
+            max_batch_tokens=spec.max_batch_tokens,
+            max_batch_requests=spec.max_batch_requests,
+            span_ranks=(
+                tuple(view.global_rank(rank) for rank in ranks)
+                if self.recorder is not None else ()),
+            collective_sink=(
+                _JobCollectives(job, view, self.recorder)
+                if self.recorder is not None else None),
+            tag=f"{job}:",
+        )
+        records = [RequestRecord(replace(request, time=request.time + offset))
+                   for request in pending]
+        for request_record in records:
+            engine.schedule_at(request_record.request.time,
+                               scheduler.submit, request_record)
+        stats = yield from scheduler.serve(
+            records,
+            should_stop=lambda: record.preempt_requested,
+            stop_event=record.preempt_event,
+        )
+        record.completed_iterations += stats.completed
+        preempted = (record.preempt_requested
+                     and record.remaining_iterations > 0)
+        if self.recorder is not None:
+            record.spans.extend(stats.spans)
+        kvcache.close()
+        release_memory_plan(view, weights_plan)
         store.charge_gpu_seconds(
             record, spec.gpus * (engine.now - segment_start))
         if preempted:

@@ -1,0 +1,127 @@
+"""Open-loop serving request streams: seeded Poisson and trace-driven.
+
+Same regime as the cluster service's job arrivals
+(:mod:`repro.cluster.arrivals`, whose seeded primitives this module
+reuses): requests are generated up front from a seed or an explicit
+trace and scheduled on the engine, independent of how the server is
+coping.  A stream is a pure function of
+``(seed, rate, num_requests, mix)``, so serving results are cacheable
+and the tie-order differ sees identical traffic on every replay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..cluster.arrivals import draw_weighted, poisson_times, validate_trace_times
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request hitting the server at one simulated time."""
+
+    name: str
+    time: float
+    prompt_tokens: int
+    output_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError("request time must be non-negative")
+        if self.prompt_tokens < 1:
+            raise ConfigurationError("prompt_tokens must be >= 1")
+        if self.output_tokens < 1:
+            raise ConfigurationError("output_tokens must be >= 1")
+
+    @property
+    def total_tokens(self) -> int:
+        """Context length at completion: prompt plus generated tokens."""
+        return self.prompt_tokens + self.output_tokens
+
+
+#: Named request mixes: (weight, {prompt_tokens, output_tokens}) pairs.
+#: Shapes stay within the paper model's 1024 max position embeddings so
+#: every mix serves on the unmodified GPT-2-like config.  The three
+#: mixes stress different phases: ``chat`` balances prefill and decode,
+#: ``summarize`` is prefill-heavy (long prompt, short answer), and
+#: ``generate`` is decode-heavy (short prompt, long completion).
+REQUEST_MIXES: Dict[str, Tuple[Tuple[float, Dict[str, int]], ...]] = {
+    "chat": (
+        (0.6, {"prompt_tokens": 128, "output_tokens": 128}),
+        (0.3, {"prompt_tokens": 384, "output_tokens": 192}),
+        (0.1, {"prompt_tokens": 640, "output_tokens": 64}),
+    ),
+    "summarize": (
+        (0.7, {"prompt_tokens": 768, "output_tokens": 64}),
+        (0.3, {"prompt_tokens": 896, "output_tokens": 96}),
+    ),
+    "generate": (
+        (0.7, {"prompt_tokens": 64, "output_tokens": 512}),
+        (0.3, {"prompt_tokens": 128, "output_tokens": 768}),
+    ),
+}
+
+
+def poisson_requests(rate_per_second: float, num_requests: int, *,
+                     seed: int = 7,
+                     mix: str = "chat") -> List[Request]:
+    """``num_requests`` Poisson request arrivals at ``rate_per_second``.
+
+    Arrival times come from :func:`repro.cluster.arrivals.poisson_times`
+    and token shapes from the weighted ``mix``, all off one seeded
+    :class:`random.Random` — never the process-global RNG.
+    """
+    templates = REQUEST_MIXES.get(mix)
+    if templates is None:
+        raise ConfigurationError(
+            f"unknown request mix {mix!r}; known: {sorted(REQUEST_MIXES)}"
+        )
+    rng = random.Random(seed)
+    times = poisson_times(rate_per_second, num_requests, rng)
+    return [
+        Request(name=f"{mix}-{index}", time=time,
+                **draw_weighted(templates, rng))
+        for index, time in enumerate(times)
+    ]
+
+
+def trace_requests(entries: Sequence[Mapping[str, object]]) -> List[Request]:
+    """Requests from explicit trace entries.
+
+    Each entry is ``{"time": seconds, "prompt_tokens": n,
+    "output_tokens": n, "name"?: str}`` — the JSON shape
+    ``repro serve --requests FILE.json`` reads.  Times must be
+    non-negative and non-decreasing.
+    """
+    requests: List[Request] = []
+    last = 0.0
+    for index, entry in enumerate(entries):
+        payload = dict(entry)
+        try:
+            time_s = float(payload.pop("time"))  # type: ignore[arg-type]
+        except KeyError:
+            raise ConfigurationError(
+                f"request trace entry {index} has no arrival time"
+            ) from None
+        last = validate_trace_times(index, time_s, last)
+        name = str(payload.pop("name", f"trace-{index}"))
+        unknown = sorted(set(payload) - {"prompt_tokens", "output_tokens"})
+        if unknown:
+            raise ConfigurationError(
+                f"request trace entry {index} has unknown fields {unknown}"
+            )
+        try:
+            prompt = int(payload["prompt_tokens"])  # type: ignore[arg-type]
+            output = int(payload["output_tokens"])  # type: ignore[arg-type]
+        except KeyError as error:
+            raise ConfigurationError(
+                f"request trace entry {index} is missing {error.args[0]!r}"
+            ) from None
+        requests.append(Request(name=name, time=time_s,
+                                prompt_tokens=prompt, output_tokens=output))
+    if not requests:
+        raise ConfigurationError("request trace is empty")
+    return requests

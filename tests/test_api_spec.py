@@ -72,6 +72,22 @@ class TestRoundTrip:
         assert other.nodes == 2 and spec.nodes == 1
         assert other.cache_key() != spec.cache_key()
 
+    def test_replace_revalidates(self):
+        """Regression: replace() must re-run __post_init__ validation,
+        never hand back an invalid spec."""
+        spec = RunSpec(strategy="ddp", size_billions=1.4)
+        with pytest.raises(ConfigurationError):
+            spec.replace(iterations=0)
+        with pytest.raises(ConfigurationError):
+            spec.replace(fidelity="approximate")
+        with pytest.raises(ConfigurationError):
+            spec.replace(size_billions=None)  # neither size nor layers
+
+    def test_replace_rejects_unknown_fields(self):
+        spec = RunSpec(strategy="ddp", size_billions=1.4)
+        with pytest.raises(ConfigurationError, match="warp_factor"):
+            spec.replace(warp_factor=9)
+
 
 class TestCacheKey:
     def test_key_ignores_dict_ordering(self):

@@ -24,11 +24,23 @@ class TestTopLevel:
         assert callable(single_node_cluster)
         assert callable(zero2)
 
-    def test_run_training_shim_warns_and_delegates(self):
+    def test_run_training_shim_removed(self):
+        """The deprecated top-level alias now fails loudly, with a map."""
+        with pytest.raises(ImportError, match="repro.core.run_training"):
+            from repro import run_training  # noqa: F401
+        with pytest.raises(ImportError, match="run_spec"):
+            repro.run_training
+        assert "run_training" not in repro.__all__
+        # Unknown names still raise a plain AttributeError.
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_positional_runner_still_importable(self):
+        """The replacement the error message points at actually works."""
         import warnings
 
-        from repro import model_for_billions, run_training
-        from repro.core import run_training as core_run_training
+        from repro import model_for_billions
+        from repro.core import run_training
         from repro.hardware import single_node_cluster
         from repro.parallel import zero2
 
@@ -36,18 +48,7 @@ class TestTopLevel:
             warnings.simplefilter("always")
             metrics = run_training(single_node_cluster(), zero2(),
                                    model_for_billions(0.7), iterations=2)
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)]
-        assert len(deprecations) == 1
-        assert "repro.api.run_spec" in str(deprecations[0].message)
         assert metrics.tflops > 0
-        # The shim wraps — not replaces — the real runner, and the real
-        # runner itself stays warning-free.
-        assert run_training.__wrapped__ is core_run_training
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            core_run_training(single_node_cluster(), zero2(),
-                              model_for_billions(0.7), iterations=2)
         assert not [w for w in caught
                     if issubclass(w.category, DeprecationWarning)]
 

@@ -1,0 +1,150 @@
+"""The Workload protocol: one spec contract, two implementations.
+
+Training (:class:`repro.api.RunSpec`) and serving
+(:class:`repro.inference.InferenceSpec`) satisfy the same structural
+protocol — round-trippable dicts, salted cache keys, human labels, a
+``run()`` entry point — which is what lets campaigns, the result cache,
+and the cluster daemon treat them uniformly.  These tests pin the
+contract itself, cross-implementation.
+"""
+
+import pytest
+
+from repro.api import RunSpec
+from repro.api.workload import (
+    WORKLOAD_KINDS,
+    Workload,
+    spec_from_payload,
+    workload_class,
+    workload_kind,
+)
+from repro.campaign import CampaignSpec, run_campaign
+from repro.errors import ConfigurationError
+from repro.inference import InferenceSpec
+
+
+def _spec_for(kind):
+    if kind == "train":
+        return RunSpec(strategy="zero2", size_billions=0.7, iterations=3)
+    return InferenceSpec(size_billions=0.7, gpus=2, num_requests=8)
+
+
+#: Fixed-salt cache keys: these must NEVER change for an unchanged spec
+#: payload (the result cache's correctness depends on it).  The salt is
+#: pinned so the golden survives version bumps, which intentionally
+#: rotate the *default* salt.
+GOLDEN_SALT = "workload-golden"
+GOLDEN_KEYS = {
+    "train": "23e7c5d923fd356c66680a4b891e8bdd"
+             "5759fcbe2da312d569fc8f3bbbdf194e",
+    "inference": "59cfdac75cfc462c605d51ff533afbe2"
+                 "7bb514eb5f6f3b5d37ec79b3cbae015b",
+}
+GOLDEN_LABELS = {
+    "train": "zero2-0.7b-n1-B",
+    "inference": "infer-0.7b-tp2-n1-continuous-p4x8",
+}
+
+
+class TestProtocol:
+    def test_kinds(self):
+        assert WORKLOAD_KINDS == ("train", "inference")
+
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_specs_satisfy_protocol(self, kind):
+        spec = _spec_for(kind)
+        assert isinstance(spec, Workload)
+        assert workload_kind(spec) == kind
+        assert type(spec) is workload_class(kind)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="workload"):
+            workload_class("batch")
+        with pytest.raises(ConfigurationError, match="workload"):
+            spec_from_payload("batch", {})
+
+    def test_unregistered_spec_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="not a registered"):
+            workload_kind(object())
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_to_dict_from_dict_is_identity(self, kind):
+        spec = _spec_for(kind)
+        assert type(spec).from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_spec_from_payload_dispatches(self, kind):
+        spec = _spec_for(kind)
+        assert spec_from_payload(kind, spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_unknown_payload_fields_rejected(self, kind):
+        spec = _spec_for(kind)
+        payload = dict(spec.to_dict())
+        payload["not_a_field"] = 1
+        with pytest.raises(ConfigurationError, match="not_a_field"):
+            spec_from_payload(kind, payload)
+
+
+class TestCacheKeys:
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_fixed_salt_golden(self, kind):
+        """Keyed payloads are stable across releases (cache contract)."""
+        spec = _spec_for(kind)
+        assert spec.cache_key(salt=GOLDEN_SALT) == GOLDEN_KEYS[kind]
+
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_label_golden(self, kind):
+        assert _spec_for(kind).label == GOLDEN_LABELS[kind]
+
+    def test_kinds_never_collide(self):
+        """A train and an inference spec can never share a cache slot,
+        even if their field dicts were to coincide."""
+        keys = {kind: _spec_for(kind).cache_key(salt=GOLDEN_SALT)
+                for kind in WORKLOAD_KINDS}
+        assert len(set(keys.values())) == len(keys)
+
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_key_tracks_fields(self, kind):
+        spec = _spec_for(kind)
+        changed = (spec.replace(iterations=spec.iterations + 1)
+                   if kind == "train"
+                   else spec.replace(num_requests=spec.num_requests + 1))
+        assert (changed.cache_key(salt=GOLDEN_SALT)
+                != spec.cache_key(salt=GOLDEN_SALT))
+
+
+class TestCampaignAcrossWorkloads:
+    def _campaign(self):
+        return CampaignSpec(
+            name="workloads",
+            strategies=("ddp",),
+            sizes_billions=(0.35,),
+            iterations=2,
+            inference=(InferenceSpec(size_billions=0.35, gpus=2,
+                                     num_requests=4),),
+        )
+
+    def test_expansion_is_deterministic_and_mixed(self):
+        jobs = self._campaign().expand()
+        assert [job.kind for job in jobs] == ["run", "inference"]
+        assert jobs[1].job_id == "inference/infer-0.35b-tp2-n1-continuous-p4x4"
+        again = self._campaign().expand()
+        assert [job.job_id for job in again] == [job.job_id for job in jobs]
+
+    def test_campaign_round_trips_through_json_dict(self):
+        campaign = self._campaign()
+        rebuilt = CampaignSpec.from_dict(campaign.to_dict())
+        assert rebuilt == campaign
+
+    def test_serial_and_parallel_payloads_identical(self):
+        """Worker count must not leak into any cached payload, for
+        either workload kind."""
+        serial = run_campaign(self._campaign(), workers=1, cache=None)
+        parallel = run_campaign(self._campaign(), workers=2, cache=None)
+        assert [job.job_id for job in serial.jobs] == \
+               [job.job_id for job in parallel.jobs]
+        for ours, theirs in zip(serial.jobs, parallel.jobs):
+            assert ours.payload == theirs.payload
